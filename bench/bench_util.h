@@ -1,0 +1,77 @@
+#ifndef PATHALG_BENCH_BENCH_UTIL_H_
+#define PATHALG_BENCH_BENCH_UTIL_H_
+
+/// Shared helpers for the reproduction benches. Every bench binary first
+/// prints the paper artifact it regenerates (table rows / plan / result
+/// set), asserts the pinned facts, and then runs google-benchmark timings.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "algebra/condition.h"
+#include "algebra/core_ops.h"
+#include "algebra/recursive.h"
+#include "path/path_ops.h"
+#include "workload/figure1.h"
+#include "workload/generators.h"
+
+namespace pathalg {
+namespace bench {
+
+/// Abort the bench with a message when a pinned paper fact fails — a bench
+/// that silently regenerates the wrong artifact is worse than one that
+/// crashes.
+inline void Check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "FATAL: paper artifact mismatch: %s\n", what);
+    std::abort();
+  }
+}
+
+/// σ_{label(edge(1))=label}(Edges(G)).
+inline PathSet LabelEdges(const PropertyGraph& g, const std::string& label) {
+  return Select(g, EdgesOf(g), *EdgeLabelEq(1, label));
+}
+
+/// The ten Table 3 trails, the input of the paper's §5 walkthrough
+/// (Table 5 / Figure 5).
+inline PathSet Table3Trails(const Figure1Ids& i) {
+  PathSet s;
+  s.Insert(Path({i.n1, i.n2}, {i.e1}));                               // p1
+  s.Insert(Path({i.n1, i.n2, i.n3, i.n2}, {i.e1, i.e2, i.e3}));       // p2
+  s.Insert(Path({i.n1, i.n2, i.n3}, {i.e1, i.e2}));                   // p3
+  s.Insert(Path({i.n1, i.n2, i.n4}, {i.e1, i.e4}));                   // p5
+  s.Insert(
+      Path({i.n1, i.n2, i.n3, i.n2, i.n4}, {i.e1, i.e2, i.e3, i.e4}));  // p6
+  s.Insert(Path({i.n2, i.n3, i.n2}, {i.e2, i.e3}));                   // p7
+  s.Insert(Path({i.n2, i.n3}, {i.e2}));                               // p9
+  s.Insert(Path({i.n2, i.n4}, {i.e4}));                               // p11
+  s.Insert(Path({i.n2, i.n3, i.n2, i.n4}, {i.e2, i.e3, i.e4}));       // p12
+  s.Insert(Path({i.n3, i.n2, i.n4}, {i.e3, i.e4}));                   // p13
+  return s;
+}
+
+/// A social graph scaled by `persons` with proportional messages/chords,
+/// deterministic per size.
+inline PropertyGraph ScaledSocialGraph(size_t persons) {
+  SocialGraphOptions opts;
+  opts.num_persons = persons;
+  opts.num_messages = persons * 2;
+  opts.ring_degree = 2;
+  opts.random_knows = persons;
+  opts.likes_per_message = 2;
+  opts.seed = 7;
+  return MakeSocialGraph(opts);
+}
+
+inline void PrintHeader(const char* what) {
+  std::printf("================================================================\n");
+  std::printf("  Reproducing %s\n", what);
+  std::printf("================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace pathalg
+
+#endif  // PATHALG_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,159 @@
+// Ablation of the optimizer rules: a fixed workload of plans evaluated
+// with all rules on, all off, and each major rule toggled individually —
+// quantifying what each rewrite contributes (the design-choice index of
+// DESIGN.md). Correctness first: all configurations must return the same
+// results (modulo termination, which is itself the any-shortest payoff).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "plan/evaluator.h"
+#include "plan/optimizer.h"
+
+namespace pathalg {
+namespace {
+
+using bench::Check;
+
+PlanPtr KnowsEdgesPlan() {
+  return PlanNode::Select(EdgeLabelEq(1, "Knows"), PlanNode::EdgesScan());
+}
+
+// The workload: one plan per rule family.
+std::vector<PlanPtr> Workload() {
+  PlanPtr knows = KnowsEdgesPlan();
+  return {
+      // pushdown + merge target (Figure 6).
+      PlanNode::Select(FirstPropEq("name", Value("person0")),
+                       PlanNode::Join(knows, knows)),
+      // orderby-simplify target (§6).
+      PlanNode::Project(
+          {std::nullopt, std::nullopt, 1},
+          PlanNode::OrderBy(
+              OrderKey::kPG,
+              PlanNode::GroupBy(
+                  GroupKey::kNone,
+                  PlanNode::Recursive(PathSemantics::kTrail, knows)))),
+      // join-identity + union-dedup target.
+      PlanNode::Union(PlanNode::Join(knows, PlanNode::NodesScan()), knows),
+      // restrict-elim target.
+      PlanNode::Restrict(
+          PathSemantics::kTrail,
+          PlanNode::Recursive(PathSemantics::kAcyclic, knows)),
+  };
+}
+
+void PrintAblation() {
+  bench::PrintHeader("optimizer rule ablation");
+  PropertyGraph g = bench::ScaledSocialGraph(24);
+  EvalOptions eval;
+  eval.limits.max_path_length = 4;
+  eval.limits.truncate = true;
+
+  OptimizerOptions all_on;
+  OptimizerOptions all_off;
+  all_off.select_merge = all_off.select_pushdown = false;
+  all_off.orderby_simplify = all_off.union_dedup = false;
+  all_off.project_all = all_off.any_shortest = false;
+  all_off.restrict_elim = all_off.join_identity = false;
+  all_off.recursive_idempotent = false;
+
+  size_t i = 0;
+  for (const PlanPtr& plan : Workload()) {
+    OptimizeResult on = Optimize(plan, all_on);
+    OptimizeResult off = Optimize(plan, all_off);
+    Check(off.applied.empty(), "all-off applies nothing");
+    auto r_on = Evaluate(g, on.plan, eval);
+    auto r_off = Evaluate(g, off.plan, eval);
+    Check(r_on.ok() && r_off.ok(), "both configurations evaluate");
+    Check(*r_on == *r_off, "optimization preserves results");
+    std::printf("  plan %zu: %zu rule applications, |answer| = %zu\n", i++,
+                on.applied.size(), r_on->size());
+  }
+  std::printf("\n");
+}
+
+void BM_WorkloadAllRules(benchmark::State& state) {
+  PropertyGraph g = bench::ScaledSocialGraph(24);
+  EvalOptions eval;
+  eval.limits.max_path_length = 4;
+  eval.limits.truncate = true;
+  std::vector<PlanPtr> optimized;
+  for (const PlanPtr& plan : Workload()) {
+    optimized.push_back(Optimize(plan).plan);
+  }
+  for (auto _ : state) {
+    for (const PlanPtr& plan : optimized) {
+      auto r = Evaluate(g, plan, eval);
+      benchmark::DoNotOptimize(r);
+    }
+  }
+  state.SetLabel("all rules on");
+}
+BENCHMARK(BM_WorkloadAllRules);
+
+void BM_WorkloadNoRules(benchmark::State& state) {
+  PropertyGraph g = bench::ScaledSocialGraph(24);
+  EvalOptions eval;
+  eval.limits.max_path_length = 4;
+  eval.limits.truncate = true;
+  std::vector<PlanPtr> plans = Workload();
+  for (auto _ : state) {
+    for (const PlanPtr& plan : plans) {
+      auto r = Evaluate(g, plan, eval);
+      benchmark::DoNotOptimize(r);
+    }
+  }
+  state.SetLabel("all rules off");
+}
+BENCHMARK(BM_WorkloadNoRules);
+
+void BM_WorkloadSingleRuleOff(benchmark::State& state) {
+  PropertyGraph g = bench::ScaledSocialGraph(24);
+  EvalOptions eval;
+  eval.limits.max_path_length = 4;
+  eval.limits.truncate = true;
+  OptimizerOptions opts;
+  const char* label = "?";
+  switch (state.range(0)) {
+    case 0:
+      opts.select_pushdown = false;
+      label = "no select-pushdown";
+      break;
+    case 1:
+      opts.orderby_simplify = false;
+      label = "no orderby-simplify";
+      break;
+    case 2:
+      opts.join_identity = false;
+      label = "no join-identity";
+      break;
+    case 3:
+      opts.restrict_elim = false;
+      label = "no restrict-elim";
+      break;
+  }
+  std::vector<PlanPtr> optimized;
+  for (const PlanPtr& plan : Workload()) {
+    optimized.push_back(Optimize(plan, opts).plan);
+  }
+  for (auto _ : state) {
+    for (const PlanPtr& plan : optimized) {
+      auto r = Evaluate(g, plan, eval);
+      benchmark::DoNotOptimize(r);
+    }
+  }
+  state.SetLabel(label);
+}
+BENCHMARK(BM_WorkloadSingleRuleOff)->DenseRange(0, 3);
+
+}  // namespace
+}  // namespace pathalg
+
+int main(int argc, char** argv) {
+  pathalg::PrintAblation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

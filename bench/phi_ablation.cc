@@ -1,0 +1,84 @@
+// Ablation of the two ϕ engines (DESIGN.md design-choice index): the naive
+// Definition 4.1 fixpoint (re-joins the whole accumulated set every round)
+// versus the optimized engines (semi-naive frontier expansion; best-first
+// search for shortest). Verifies equality, then times both — the expected
+// shape: optimized wins, and the gap grows with the answer size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace pathalg {
+namespace {
+
+using bench::Check;
+
+void PrintAblation() {
+  bench::PrintHeader("ϕ engine ablation — naive Def. 4.1 vs optimized");
+  PropertyGraph g = bench::ScaledSocialGraph(16);
+  PathSet knows = bench::LabelEdges(g, "Knows");
+  for (PathSemantics sem :
+       {PathSemantics::kTrail, PathSemantics::kAcyclic,
+        PathSemantics::kSimple, PathSemantics::kShortest}) {
+    // Bound trail/acyclic/simple by length: the bounded answer is complete
+    // for the bound and identical across engines; shortest is finite.
+    EvalLimits limits;
+    if (sem != PathSemantics::kShortest) {
+      limits.max_path_length = 4;
+      limits.truncate = true;
+    }
+    auto naive = Recursive(knows, sem, limits, PhiEngine::kNaive);
+    auto opt = Recursive(knows, sem, limits, PhiEngine::kOptimized);
+    Check(naive.ok() && opt.ok(), "both engines succeed");
+    Check(*naive == *opt, "engines agree");
+    std::printf("  %-9s |answer| = %-7zu (engines agree)\n",
+                PathSemanticsToString(sem), opt->size());
+  }
+  std::printf("\n");
+}
+
+void BM_PhiEngine(benchmark::State& state) {
+  auto engine = static_cast<PhiEngine>(state.range(0));
+  auto sem = static_cast<PathSemantics>(state.range(1));
+  PropertyGraph g = bench::ScaledSocialGraph(16);
+  PathSet knows = bench::LabelEdges(g, "Knows");
+  EvalLimits limits;
+  if (sem != PathSemantics::kShortest) {
+    limits.max_path_length = 4;
+    limits.truncate = true;
+  }
+  for (auto _ : state) {
+    auto r = Recursive(knows, sem, limits, engine);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(std::string(engine == PhiEngine::kNaive ? "naive/"
+                                                         : "optimized/") +
+                 PathSemanticsToString(sem));
+}
+BENCHMARK(BM_PhiEngine)
+    ->ArgsProduct({{0, 1}, {0, 1, 2, 3, 4}});
+
+void BM_ShortestEngineScaling(benchmark::State& state) {
+  auto engine = static_cast<PhiEngine>(state.range(0));
+  PropertyGraph g =
+      bench::ScaledSocialGraph(static_cast<size_t>(state.range(1)));
+  PathSet knows = bench::LabelEdges(g, "Knows");
+  for (auto _ : state) {
+    auto r = Recursive(knows, PathSemantics::kShortest, {}, engine);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(engine == PhiEngine::kNaive ? "naive" : "dijkstra");
+}
+BENCHMARK(BM_ShortestEngineScaling)
+    ->ArgsProduct({{0, 1}, {12, 16, 24}});
+
+}  // namespace
+}  // namespace pathalg
+
+int main(int argc, char** argv) {
+  pathalg::PrintAblation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Reproduces Table 3: the paper's 14 sample Knows+ paths on the Figure 1
+// graph, classified under Walk / Trail / Acyclic / Simple / Shortest — the
+// classification is *recomputed* by running ϕ under each semantics, not
+// hard-coded. Then benchmarks ϕ per semantics on Figure 1 and on scaled
+// cyclic graphs.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace pathalg {
+namespace {
+
+using bench::Check;
+using bench::LabelEdges;
+
+std::vector<std::pair<const char*, Path>> Table3Paths(const Figure1Ids& i) {
+  return {
+      {"p1", Path({i.n1, i.n2}, {i.e1})},
+      {"p2", Path({i.n1, i.n2, i.n3, i.n2}, {i.e1, i.e2, i.e3})},
+      {"p3", Path({i.n1, i.n2, i.n3}, {i.e1, i.e2})},
+      {"p4",
+       Path({i.n1, i.n2, i.n3, i.n2, i.n3}, {i.e1, i.e2, i.e3, i.e2})},
+      {"p5", Path({i.n1, i.n2, i.n4}, {i.e1, i.e4})},
+      {"p6",
+       Path({i.n1, i.n2, i.n3, i.n2, i.n4}, {i.e1, i.e2, i.e3, i.e4})},
+      {"p7", Path({i.n2, i.n3, i.n2}, {i.e2, i.e3})},
+      {"p8",
+       Path({i.n2, i.n3, i.n2, i.n3, i.n2}, {i.e2, i.e3, i.e2, i.e3})},
+      {"p9", Path({i.n2, i.n3}, {i.e2})},
+      {"p10", Path({i.n2, i.n3, i.n2, i.n3}, {i.e2, i.e3, i.e2})},
+      {"p11", Path({i.n2, i.n4}, {i.e4})},
+      {"p12", Path({i.n2, i.n3, i.n2, i.n4}, {i.e2, i.e3, i.e4})},
+      {"p13", Path({i.n3, i.n2, i.n4}, {i.e3, i.e4})},
+      {"p14",
+       Path({i.n3, i.n2, i.n3, i.n2, i.n4}, {i.e3, i.e2, i.e3, i.e4})},
+  };
+}
+
+void PrintTable3() {
+  bench::PrintHeader("Table 3 — Knows+ paths under W/T/A/S/Sh semantics");
+  Figure1Ids ids;
+  PropertyGraph g = MakeFigure1Graph(&ids);
+  PathSet knows = LabelEdges(g, "Knows");
+
+  // Walk membership is tested against the bounded enumeration (the answer
+  // set is infinite; every Table 3 path has length <= 4).
+  PathSet walk = *Recursive(knows, PathSemantics::kWalk,
+                            {.max_path_length = 4, .truncate = true});
+  PathSet trail = *Recursive(knows, PathSemantics::kTrail);
+  PathSet acyclic = *Recursive(knows, PathSemantics::kAcyclic);
+  PathSet simple = *Recursive(knows, PathSemantics::kSimple);
+  PathSet shortest = *Recursive(knows, PathSemantics::kShortest);
+
+  std::printf("%-4s %-42s %-4s %-4s %-4s %-4s %-4s\n", "ID", "Path", "W",
+              "T", "A", "S", "Sh");
+  int trail_count = 0;
+  for (const auto& [name, p] : Table3Paths(ids)) {
+    std::printf("%-4s %-42s %-4s %-4s %-4s %-4s %-4s\n", name,
+                p.ToString(g).c_str(), walk.Contains(p) ? "x" : "",
+                trail.Contains(p) ? "x" : "",
+                acyclic.Contains(p) ? "x" : "",
+                simple.Contains(p) ? "x" : "",
+                shortest.Contains(p) ? "x" : "");
+    Check(walk.Contains(p), "every Table 3 path is a walk");
+    trail_count += trail.Contains(p) ? 1 : 0;
+  }
+  // §5 Step 3: the trails among Table 3's paths are exactly 10.
+  Check(trail_count == 10, "Table 3 has 10 trails (column T)");
+  Check(trail.size() == 12, "complete trail answer has 12 paths");
+  Check(acyclic.size() == 7, "complete acyclic answer has 7 paths");
+  Check(simple.size() == 9, "complete simple answer has 9 paths");
+  Check(shortest.size() == 9, "complete shortest answer has 9 paths");
+  std::printf(
+      "\nComplete answer sizes on Figure 1: walk(<=4)=%zu trail=%zu "
+      "acyclic=%zu simple=%zu shortest=%zu\n\n",
+      walk.size(), trail.size(), acyclic.size(), simple.size(),
+      shortest.size());
+}
+
+void BM_PhiOnFigure1(benchmark::State& state) {
+  auto semantics = static_cast<PathSemantics>(state.range(0));
+  PropertyGraph g = MakeFigure1Graph();
+  PathSet knows = LabelEdges(g, "Knows");
+  EvalLimits limits;
+  if (semantics == PathSemantics::kWalk) {
+    limits.max_path_length = 8;
+    limits.truncate = true;
+  }
+  for (auto _ : state) {
+    auto r = Recursive(knows, semantics, limits);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(PathSemanticsToString(semantics));
+}
+BENCHMARK(BM_PhiOnFigure1)->DenseRange(0, 4);
+
+void BM_PhiOnSocialGraph(benchmark::State& state) {
+  auto semantics = static_cast<PathSemantics>(state.range(0));
+  PropertyGraph g = bench::ScaledSocialGraph(32);
+  PathSet knows = LabelEdges(g, "Knows");
+  EvalLimits limits;
+  limits.max_path_length = 4;  // bounded for every semantics: comparability
+  limits.truncate = true;
+  for (auto _ : state) {
+    auto r = Recursive(knows, semantics, limits);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(PathSemanticsToString(semantics));
+}
+BENCHMARK(BM_PhiOnSocialGraph)->DenseRange(0, 4);
+
+}  // namespace
+}  // namespace pathalg
+
+int main(int argc, char** argv) {
+  pathalg::PrintTable3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Reproduces Table 4: the solution-space organization (partitions ×
+// groups) induced by each of the eight γψ variants, computed live on the
+// Table 3 trail set; then benchmarks γψ scaling.
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/solution_space.h"
+#include "bench_util.h"
+
+namespace pathalg {
+namespace {
+
+using bench::Check;
+
+const char* OrganizationText(GroupKey k) {
+  switch (k) {
+    case GroupKey::kNone:
+      return "1 partition, 1 group";
+    case GroupKey::kS:
+    case GroupKey::kT:
+    case GroupKey::kST:
+      return "N partitions, 1 group per partition";
+    case GroupKey::kL:
+      return "1 partition, M groups per partition";
+    case GroupKey::kSL:
+    case GroupKey::kTL:
+    case GroupKey::kSTL:
+      return "N partitions, M groups per partition";
+  }
+  return "?";
+}
+
+void PrintTable4() {
+  bench::PrintHeader("Table 4 — group-by expressions and organizations");
+  Figure1Ids ids;
+  MakeFigure1Graph(&ids);
+  PathSet trails = bench::Table3Trails(ids);
+
+  std::printf("%-10s %-44s %-11s %s\n", "gamma", "organization (paper)",
+              "partitions", "groups");
+  for (int k = 0; k <= 7; ++k) {
+    GroupKey key = static_cast<GroupKey>(k);
+    SolutionSpace ss = GroupBy(trails, key);
+    std::printf("gamma_%-4s %-44s %-11zu %zu\n", GroupKeyToString(key),
+                OrganizationText(key), ss.num_partitions(), ss.num_groups());
+    // Structural checks per Table 4.
+    bool single_partition = key == GroupKey::kNone || key == GroupKey::kL;
+    Check((ss.num_partitions() == 1) == single_partition,
+          "partition count shape");
+    if (!GroupKeyUsesLength(key)) {
+      Check(ss.num_groups() == ss.num_partitions(),
+            "one group per partition when L unused");
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_GroupByScaling(benchmark::State& state) {
+  PropertyGraph g = bench::ScaledSocialGraph(
+      static_cast<size_t>(state.range(0)));
+  PathSet knows = bench::LabelEdges(g, "Knows");
+  PathSet trails = *Recursive(knows, PathSemantics::kTrail,
+                              {.max_path_length = 4, .truncate = true});
+  for (auto _ : state) {
+    SolutionSpace ss = GroupBy(trails, GroupKey::kSTL);
+    benchmark::DoNotOptimize(ss);
+  }
+  state.counters["paths"] = static_cast<double>(trails.size());
+}
+BENCHMARK(BM_GroupByScaling)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+}  // namespace
+}  // namespace pathalg
+
+int main(int argc, char** argv) {
+  pathalg::PrintTable4();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

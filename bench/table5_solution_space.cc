@@ -1,0 +1,84 @@
+// Reproduces Table 5: the solution space produced by γST over the trails
+// of Table 3 (the paper's §5 walkthrough), with the MinL(P)/MinL(G)/Len(p)
+// columns, then benchmarks the group-by/order-by/projection pipeline.
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/solution_space.h"
+#include "bench_util.h"
+
+namespace pathalg {
+namespace {
+
+using bench::Check;
+
+void PrintTable5() {
+  bench::PrintHeader("Table 5 — solution space of γST over Table 3 trails");
+  Figure1Ids ids;
+  PropertyGraph g = MakeFigure1Graph(&ids);
+  PathSet trails = bench::Table3Trails(ids);
+  SolutionSpace ss = GroupBy(trails, GroupKey::kST);
+  std::printf("%s\n", ss.ToTableString(g).c_str());
+
+  Check(ss.num_partitions() == 7, "Table 5 has 7 partitions");
+  Check(ss.num_groups() == 7, "Table 5 has one group per partition");
+  Check(ss.num_paths() == 10, "Table 5 covers 10 paths");
+
+  // §5 Step 6: π(*,*,1)(τA(γST(...))) = {p1,p3,p5,p7,p9,p11,p13}.
+  auto projected =
+      Project(OrderBy(ss, OrderKey::kA), {std::nullopt, std::nullopt, 1});
+  Check(projected.ok(), "projection evaluates");
+  Check(projected->size() == 7, "Fig 5 output has 7 paths");
+  PathSet expected;
+  expected.Insert(Path({ids.n1, ids.n2}, {ids.e1}));
+  expected.Insert(Path({ids.n1, ids.n2, ids.n3}, {ids.e1, ids.e2}));
+  expected.Insert(Path({ids.n1, ids.n2, ids.n4}, {ids.e1, ids.e4}));
+  expected.Insert(Path({ids.n2, ids.n3, ids.n2}, {ids.e2, ids.e3}));
+  expected.Insert(Path({ids.n2, ids.n3}, {ids.e2}));
+  expected.Insert(Path({ids.n2, ids.n4}, {ids.e4}));
+  expected.Insert(Path({ids.n3, ids.n2, ids.n4}, {ids.e3, ids.e4}));
+  Check(*projected == expected, "Fig 5 output matches the paper");
+  std::printf("pi(*,*,1)(tau_A(gamma_ST(...))) = %s\n\n",
+              projected->ToString(g).c_str());
+}
+
+PathSet BigTrailSet(size_t persons) {
+  PropertyGraph g = bench::ScaledSocialGraph(persons);
+  PathSet knows = bench::LabelEdges(g, "Knows");
+  return *Recursive(knows, PathSemantics::kTrail,
+                    {.max_path_length = 4, .truncate = true});
+}
+
+void BM_GroupBy(benchmark::State& state) {
+  auto key = static_cast<GroupKey>(state.range(0));
+  PathSet trails = BigTrailSet(32);
+  for (auto _ : state) {
+    SolutionSpace ss = GroupBy(trails, key);
+    benchmark::DoNotOptimize(ss);
+  }
+  state.SetLabel(std::string("gamma_") + GroupKeyToString(key));
+  state.counters["paths"] = static_cast<double>(trails.size());
+}
+BENCHMARK(BM_GroupBy)->DenseRange(0, 7);
+
+void BM_FullSelectorPipeline(benchmark::State& state) {
+  PathSet trails = BigTrailSet(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto r = Project(OrderBy(GroupBy(trails, GroupKey::kST), OrderKey::kA),
+                     {std::nullopt, std::nullopt, 1});
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["paths"] = static_cast<double>(trails.size());
+}
+BENCHMARK(BM_FullSelectorPipeline)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+}  // namespace pathalg
+
+int main(int argc, char** argv) {
+  pathalg::PrintTable5();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Interactive query shell — the C++ counterpart of the paper's §7.2
+// command-line parser: type a path query, get the textual logical plan
+// (paper style), the algebra expression, the optimized plan, and the
+// result evaluated over the Figure 1 graph (or a graph loaded from a CSV
+// file passed as argv[1]).
+//
+// Usage:
+//   query_shell                # Figure 1 graph, read queries from stdin
+//   query_shell graph.csv      # your own graph (see graph/csv.h format)
+//
+// When stdin has no queries (e.g. in CI), runs a built-in demo script.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "graph/csv.h"
+#include "gql/query.h"
+#include "plan/optimizer.h"
+#include "workload/figure1.h"
+
+using namespace pathalg;  // NOLINT — example brevity
+
+namespace {
+
+void RunOne(const PropertyGraph& g, const std::string& line) {
+  auto query = Query::Parse(line);
+  if (!query.ok()) {
+    std::printf("!! %s\n", query.status().ToString().c_str());
+    return;
+  }
+  std::printf("\n-- plan (paper §7.2 style) --------------------------\n%s",
+              query->parsed().ToPlanText().c_str());
+  std::printf("-- algebra ------------------------------------------\n%s\n",
+              query->plan()->ToAlgebraString().c_str());
+  QueryOptions opts;
+  opts.eval.limits.max_path_length = 16;
+  opts.eval.limits.truncate = true;
+  OptimizeResult optimized = Optimize(query->plan(), opts.optimizer);
+  if (!optimized.applied.empty()) {
+    std::printf("-- optimized (");
+    for (size_t i = 0; i < optimized.applied.size(); ++i) {
+      std::printf("%s%s", i ? ", " : "", optimized.applied[i].c_str());
+    }
+    std::printf(") ----\n%s\n", optimized.plan->ToAlgebraString().c_str());
+  }
+  auto result = query->Execute(g, opts);
+  if (!result.ok()) {
+    std::printf("!! %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("-- result (%zu paths) -------------------------------\n",
+              result->size());
+  size_t shown = 0;
+  for (const Path& p : result->Sorted()) {
+    if (++shown > 20) {
+      std::printf("  ... (%zu more)\n", result->size() - 20);
+      break;
+    }
+    std::printf("  %s\n", p.ToString(g).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PropertyGraph g;
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    auto loaded = LoadGraphFromCsv(buffer.str());
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    g = std::move(loaded).value();
+    std::printf("loaded %s: %zu nodes, %zu edges\n", argv[1], g.num_nodes(),
+                g.num_edges());
+  } else {
+    g = MakeFigure1Graph();
+    std::printf("using the paper's Figure 1 graph (7 nodes, 11 edges)\n");
+  }
+
+  std::printf("enter path queries, one per line (empty line to quit)\n> ");
+  std::string line;
+  bool any_input = false;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) break;
+    any_input = true;
+    RunOne(g, line);
+    std::printf("\n> ");
+  }
+  if (!any_input) {
+    std::printf("(no stdin; running the demo script)\n");
+    for (const char* demo : {
+             "MATCH ANY SHORTEST TRAIL p = (x)-[:Knows+]->(y)",
+             "MATCH ALL SIMPLE p = (?x {name:\"Moe\"})"
+             "-[(:Knows+)|(:Likes/:Has_creator)+]->(?y {name:\"Apu\"})",
+             "MATCH ALL PARTITIONS ALL GROUPS 1 PATHS TRAIL "
+             "p = (?x)-[(:Knows)*]->(?y) GROUP BY TARGET ORDER BY PATH",
+         }) {
+      std::printf("\n> %s\n", demo);
+      RunOne(g, demo);
+    }
+  }
+  return 0;
+}

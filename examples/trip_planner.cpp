@@ -1,0 +1,118 @@
+// Trip planner: a transport network where edges carry a `km` cost,
+// demonstrating the extension features — §2.3 sequenced path queries
+// (train legs, then ferry legs, whole route acyclic), group variables
+// (collect the city names along a route), and per-route aggregates
+// (total kilometres via SumEdgeProperty).
+
+#include <cstdio>
+
+#include "gql/sequence.h"
+#include "path/path_functions.h"
+#include "plan/evaluator.h"
+#include "regex/parser.h"
+
+using namespace pathalg;  // NOLINT — example brevity
+
+namespace {
+
+PropertyGraph MakeTransportNetwork() {
+  GraphBuilder b;
+  auto city = [&b](const char* name) {
+    return b.AddNode("City", {{"name", Value(name)}});
+  };
+  NodeId lyon = city("Lyon");
+  NodeId paris = city("Paris");
+  NodeId lille = city("Lille");
+  NodeId calais = city("Calais");
+  NodeId dover = city("Dover");
+  NodeId london = city("London");
+  NodeId brussels = city("Brussels");
+  auto link = [&b](NodeId a, NodeId c, const char* mode, double km) {
+    (void)b.AddEdge(a, c, mode, {{"km", Value(km)}});
+  };
+  link(lyon, paris, "Train", 465);
+  link(paris, lille, "Train", 225);
+  link(lille, calais, "Train", 110);
+  link(paris, calais, "Train", 290);   // direct but longer than via Lille? no: shorter hop count
+  link(lille, brussels, "Train", 110);
+  link(calais, dover, "Ferry", 42);
+  link(dover, london, "Train", 125);
+  link(brussels, london, "Train", 370);  // Eurostar via the tunnel
+  return b.Build();
+}
+
+}  // namespace
+
+int main() {
+  PropertyGraph g = MakeTransportNetwork();
+  std::printf("network: %zu cities, %zu links\n\n", g.num_nodes(),
+              g.num_edges());
+
+  // §2.3 sequence: any number of train legs, then exactly one ferry, then
+  // any number of train legs; the whole route must be acyclic.
+  SequenceQuery q;
+  q.selector = {SelectorKind::kAll, 1};
+  q.restrictor = PathSemantics::kAcyclic;
+  auto part = [](const char* regex_text, ConditionPtr filter) {
+    SequencePart p;
+    p.selector = {SelectorKind::kAll, 1};
+    p.restrictor = PathSemantics::kAcyclic;
+    p.regex = *ParseRegex(regex_text);
+    p.filter = std::move(filter);
+    return p;
+  };
+  q.parts.push_back(
+      part(":Train+", FirstPropEq("name", Value("Lyon"))));
+  q.parts.push_back(part(":Ferry", nullptr));
+  q.parts.push_back(
+      part(":Train+", LastPropEq("name", Value("London"))));
+
+  auto plan = BuildSequencePlan(q);
+  if (!plan.ok()) {
+    std::printf("plan error: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("sequence plan:\n%s\n", (*plan)->ToTreeString().c_str());
+  auto routes = Evaluate(g, *plan);
+  if (!routes.ok()) {
+    std::printf("eval error: %s\n", routes.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Lyon → (train+) → ferry → (train+) → London routes:\n");
+  for (const Path& route : routes->Sorted()) {
+    // Group variables: the cities along the route and the total distance.
+    auto names = CollectNodeProperty(g, route, "name");
+    std::string itinerary;
+    for (const auto& name : names) {
+      if (!itinerary.empty()) itinerary += " → ";
+      itinerary += name.has_value() ? name->AsString() : "?";
+    }
+    auto km = SumEdgeProperty(g, route, "km");
+    std::printf("  %-55s %2zu legs, %6.0f km\n", itinerary.c_str(),
+                route.Len(), km.value_or(0));
+  }
+
+  // Compare: the all-train alternative (no ferry) via Brussels.
+  SequenceQuery train_only;
+  train_only.selector = {SelectorKind::kAllShortest, 1};
+  train_only.restrictor = PathSemantics::kAcyclic;
+  train_only.parts.push_back(
+      part(":Train+", Condition::And(FirstPropEq("name", Value("Lyon")),
+                                     LastPropEq("name", Value("London")))));
+  auto train_plan = BuildSequencePlan(train_only);
+  auto train_routes = Evaluate(g, *train_plan);
+  std::printf("\nfewest-leg all-train route:\n");
+  for (const Path& route : train_routes->Sorted()) {
+    auto names = CollectNodeProperty(g, route, "name");
+    std::string itinerary;
+    for (const auto& name : names) {
+      if (!itinerary.empty()) itinerary += " → ";
+      itinerary += name.has_value() ? name->AsString() : "?";
+    }
+    auto km = SumEdgeProperty(g, route, "km");
+    std::printf("  %-55s %2zu legs, %6.0f km\n", itinerary.c_str(),
+                route.Len(), km.value_or(0));
+  }
+  return 0;
+}

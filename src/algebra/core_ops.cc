@@ -1,0 +1,58 @@
+#include "algebra/core_ops.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace pathalg {
+
+PathSet Select(const PropertyGraph& g, const PathSet& s,
+               const Condition& condition) {
+  PathSet out;
+  for (const Path& p : s) {
+    if (condition.Evaluate(g, p)) out.Insert(p);
+  }
+  return out;
+}
+
+PathSet Join(const PathSet& s1, const PathSet& s2) {
+  // Index the right side by First(p2).
+  std::unordered_map<NodeId, std::vector<const Path*>> by_first;
+  by_first.reserve(s2.size());
+  for (const Path& p2 : s2) {
+    by_first[p2.First()].push_back(&p2);
+  }
+  PathSet out;
+  for (const Path& p1 : s1) {
+    auto it = by_first.find(p1.Last());
+    if (it == by_first.end()) continue;
+    for (const Path* p2 : it->second) {
+      out.Insert(Path::ConcatUnchecked(p1, *p2));
+    }
+  }
+  return out;
+}
+
+PathSet Union(const PathSet& s1, const PathSet& s2) {
+  PathSet out;
+  for (const Path& p : s1) out.Insert(p);
+  for (const Path& p : s2) out.Insert(p);
+  return out;
+}
+
+PathSet Intersect(const PathSet& s1, const PathSet& s2) {
+  PathSet out;
+  for (const Path& p : s1) {
+    if (s2.Contains(p)) out.Insert(p);
+  }
+  return out;
+}
+
+PathSet Difference(const PathSet& s1, const PathSet& s2) {
+  PathSet out;
+  for (const Path& p : s1) {
+    if (!s2.Contains(p)) out.Insert(p);
+  }
+  return out;
+}
+
+}  // namespace pathalg

@@ -1,0 +1,40 @@
+#ifndef PATHALG_ALGEBRA_CORE_OPS_H_
+#define PATHALG_ALGEBRA_CORE_OPS_H_
+
+/// \file core_ops.h
+/// The Core Path Algebra (Definition 3.1): selection σ, join ⋈ and union ∪
+/// over sets of paths, plus the "natural graph operators missing from the
+/// two proposals" (§1) — intersection and difference — which keep the
+/// algebra closed under sets of paths.
+///
+/// All operators are pure functions PathSet×PathSet→PathSet (σ takes one
+/// set); output insertion order is deterministic: σ preserves input order,
+/// ⋈ enumerates left paths in order and right matches in order, ∪ takes the
+/// left set followed by unseen right paths.
+
+#include "algebra/condition.h"
+#include "path/path_set.h"
+
+namespace pathalg {
+
+/// σ_c(S) = {p ∈ S | ev(c, p) = True}.
+PathSet Select(const PropertyGraph& g, const PathSet& s,
+               const Condition& condition);
+
+/// S ⋈ S' = {p1 ◦ p2 | p1 ∈ S, p2 ∈ S', Last(p1) = First(p2)}.
+/// Hash-join on the connecting node.
+PathSet Join(const PathSet& s1, const PathSet& s2);
+
+/// S ∪ S' with set semantics (duplicates eliminated).
+PathSet Union(const PathSet& s1, const PathSet& s2);
+
+/// S ∩ S' — extension beyond the paper's core (§1 mentions the standards
+/// lack such natural operators).
+PathSet Intersect(const PathSet& s1, const PathSet& s2);
+
+/// S − S' — extension, see Intersect.
+PathSet Difference(const PathSet& s1, const PathSet& s2);
+
+}  // namespace pathalg
+
+#endif  // PATHALG_ALGEBRA_CORE_OPS_H_

@@ -1,0 +1,313 @@
+#include "algebra/recursive.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace pathalg {
+
+const char* PathSemanticsToString(PathSemantics s) {
+  switch (s) {
+    case PathSemantics::kWalk:
+      return "WALK";
+    case PathSemantics::kTrail:
+      return "TRAIL";
+    case PathSemantics::kAcyclic:
+      return "ACYCLIC";
+    case PathSemantics::kSimple:
+      return "SIMPLE";
+    case PathSemantics::kShortest:
+      return "SHORTEST";
+  }
+  return "?";
+}
+
+bool SatisfiesSemantics(const Path& p, PathSemantics s) {
+  switch (s) {
+    case PathSemantics::kWalk:
+    case PathSemantics::kShortest:
+      return true;
+    case PathSemantics::kTrail:
+      return p.IsTrail();
+    case PathSemantics::kAcyclic:
+      return p.IsAcyclic();
+    case PathSemantics::kSimple:
+      return p.IsSimple();
+  }
+  return false;
+}
+
+namespace {
+
+struct PairHash {
+  size_t operator()(const std::pair<NodeId, NodeId>& p) const {
+    size_t h = std::hash<uint64_t>{}(p.first);
+    HashCombine(h, std::hash<uint64_t>{}(p.second));
+    return h;
+  }
+};
+
+using BestMap =
+    std::unordered_map<std::pair<NodeId, NodeId>, size_t, PairHash>;
+
+/// Index of the base set by First(p) for endpoint joins.
+std::unordered_map<NodeId, std::vector<const Path*>> IndexByFirst(
+    const PathSet& base) {
+  std::unordered_map<NodeId, std::vector<const Path*>> idx;
+  idx.reserve(base.size());
+  for (const Path& p : base) idx[p.First()].push_back(&p);
+  return idx;
+}
+
+Status ExhaustedError(const char* what) {
+  return Status::ResourceExhausted(
+      std::string("phi evaluation exceeded budget (") + what +
+      "); the answer set may be infinite under WALK semantics — "
+      "use a restrictor, a length bound, or truncate=true");
+}
+
+// ---------------------------------------------------------------------------
+// Naive engine: Definition 4.1 verbatim.
+//   ϕ0(S) = S;  ϕi(S) = (ϕ{i-1}(S) ⋈ ϕ0(S)) ∪ ϕ{i-1}(S)  until fixpoint.
+// The restrictor filter is applied to every candidate (§4: "filtering the
+// paths generated during the recursion").
+// ---------------------------------------------------------------------------
+Result<PathSet> RecursiveNaive(const PathSet& base, PathSemantics semantics,
+                               const EvalLimits& limits) {
+  const bool shortest = semantics == PathSemantics::kShortest;
+  BestMap best;
+  bool dropped = false;
+
+  PathSet acc;  // ϕ_{i}(S), accumulated.
+  for (const Path& p : base) {
+    if (p.empty()) continue;
+    if (!SatisfiesSemantics(p, semantics)) continue;
+    if (p.Len() > limits.max_path_length) {
+      dropped = true;
+      continue;
+    }
+    if (shortest) {
+      auto key = std::make_pair(p.First(), p.Last());
+      auto it = best.find(key);
+      if (it == best.end() || p.Len() < it->second) best[key] = p.Len();
+    }
+    acc.Insert(p);
+  }
+
+  // ϕ0 is the *filtered* base — Definition 4.1 instantiated per semantics.
+  // Copy it out: `acc` grows during the fixpoint and would invalidate
+  // pointers into its storage.
+  std::vector<Path> base_paths(acc.begin(), acc.end());
+  std::unordered_map<NodeId, std::vector<const Path*>> index;
+  for (const Path& p : base_paths) index[p.First()].push_back(&p);
+
+  for (size_t iter = 0; iter < limits.max_iterations; ++iter) {
+    // Join the full accumulated set with ϕ0 (this is what makes the naive
+    // engine quadratic: older paths are re-joined every round).
+    std::vector<Path> generated;
+    for (const Path& p1 : acc) {
+      auto it = index.find(p1.Last());
+      if (it == index.end()) continue;
+      for (const Path* p2 : it->second) {
+        Path q = Path::ConcatUnchecked(p1, *p2);
+        if (q.Len() > limits.max_path_length) {
+          dropped = true;
+          continue;
+        }
+        if (!SatisfiesSemantics(q, semantics)) continue;
+        if (shortest) {
+          auto key = std::make_pair(q.First(), q.Last());
+          auto bit = best.find(key);
+          if (bit != best.end() && q.Len() > bit->second) continue;
+          if (bit == best.end() || q.Len() < bit->second) {
+            best[key] = q.Len();
+          }
+        }
+        generated.push_back(std::move(q));
+      }
+    }
+    size_t before = acc.size();
+    for (Path& q : generated) {
+      if (acc.size() >= limits.max_paths) {
+        if (limits.truncate) return acc;
+        return ExhaustedError("max_paths");
+      }
+      acc.Insert(std::move(q));
+    }
+    if (acc.size() == before) {
+      // Fixpoint: |ϕi| == |ϕ{i-1}|.
+      if (dropped && !limits.truncate) {
+        return ExhaustedError("max_path_length");
+      }
+      return shortest ? KeepShortestPerEndpointPair(acc) : acc;
+    }
+  }
+  if (limits.truncate) {
+    return shortest ? KeepShortestPerEndpointPair(acc) : acc;
+  }
+  return ExhaustedError("max_iterations");
+}
+
+// ---------------------------------------------------------------------------
+// Optimized engine, non-shortest: semi-naive frontier expansion. Each round
+// extends only the paths discovered in the previous round, which generates
+// every composition exactly once.
+// ---------------------------------------------------------------------------
+Result<PathSet> RecursiveSemiNaive(const PathSet& base,
+                                   PathSemantics semantics,
+                                   const EvalLimits& limits) {
+  PathSet acc;
+  std::vector<Path> frontier;
+  bool dropped = false;
+  for (const Path& p : base) {
+    if (p.empty()) continue;
+    if (!SatisfiesSemantics(p, semantics)) continue;
+    if (p.Len() > limits.max_path_length) {
+      dropped = true;
+      continue;
+    }
+    if (acc.Insert(p)) frontier.push_back(p);
+  }
+  std::vector<Path> base_paths(acc.begin(), acc.end());
+  std::unordered_map<NodeId, std::vector<const Path*>> index;
+  for (const Path& p : base_paths) index[p.First()].push_back(&p);
+
+  size_t iterations = 0;
+  while (!frontier.empty()) {
+    if (++iterations > limits.max_iterations) {
+      if (limits.truncate) return acc;
+      return ExhaustedError("max_iterations");
+    }
+    std::vector<Path> next;
+    for (const Path& p1 : frontier) {
+      // A closed simple path repeats its endpoint on any extension; skip.
+      if (semantics == PathSemantics::kSimple && p1.Len() > 0 &&
+          p1.First() == p1.Last()) {
+        continue;
+      }
+      auto it = index.find(p1.Last());
+      if (it == index.end()) continue;
+      for (const Path* p2 : it->second) {
+        Path q = Path::ConcatUnchecked(p1, *p2);
+        if (q.Len() > limits.max_path_length) {
+          dropped = true;
+          continue;
+        }
+        if (!SatisfiesSemantics(q, semantics)) continue;
+        if (acc.size() >= limits.max_paths) {
+          if (limits.truncate) return acc;
+          return ExhaustedError("max_paths");
+        }
+        if (acc.Insert(q)) next.push_back(std::move(q));
+      }
+    }
+    frontier = std::move(next);
+  }
+  if (dropped && !limits.truncate) {
+    return ExhaustedError("max_path_length");
+  }
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// Optimized engine, shortest: best-first (Dijkstra-style) expansion in
+// global length order. Only per-pair-optimal paths are expanded; this is
+// sound because a prefix of a shortest composition can always be replaced
+// by a shortest composition between the same endpoints.
+// ---------------------------------------------------------------------------
+Result<PathSet> RecursiveShortestDijkstra(const PathSet& base,
+                                          const EvalLimits& limits) {
+  auto cmp = [](const Path& a, const Path& b) {
+    // Min-heap by (length, canonical order) for determinism.
+    if (a.Len() != b.Len()) return a.Len() > b.Len();
+    return b < a;
+  };
+  std::priority_queue<Path, std::vector<Path>, decltype(cmp)> heap(cmp);
+  std::unordered_map<NodeId, std::vector<const Path*>> index =
+      IndexByFirst(base);
+
+  for (const Path& p : base) {
+    if (p.empty()) continue;
+    if (p.Len() > limits.max_path_length) continue;
+    heap.push(p);
+  }
+
+  BestMap best;
+  PathSet out;
+  PathSet expanded;  // dedup of heap pops (a path can be pushed twice)
+  size_t pops = 0;
+  while (!heap.empty()) {
+    if (++pops > limits.max_iterations * 64) {
+      if (limits.truncate) return out;
+      return ExhaustedError("max_iterations");
+    }
+    Path p = heap.top();
+    heap.pop();
+    auto key = std::make_pair(p.First(), p.Last());
+    auto it = best.find(key);
+    if (it != best.end() && p.Len() > it->second) continue;  // not optimal
+    if (it == best.end()) best[key] = p.Len();
+    if (!expanded.Insert(p)) continue;  // already handled this exact path
+    if (out.size() >= limits.max_paths) {
+      if (limits.truncate) return out;
+      return ExhaustedError("max_paths");
+    }
+    out.Insert(p);
+    // Expand: optimal p extended by every base path.
+    auto adj = index.find(p.Last());
+    if (adj == index.end()) continue;
+    for (const Path* b : adj->second) {
+      if (b->Len() == 0) continue;  // identity extension, no progress
+      Path q = Path::ConcatUnchecked(p, *b);
+      if (q.Len() > limits.max_path_length) continue;
+      auto qkey = std::make_pair(q.First(), q.Last());
+      auto qit = best.find(qkey);
+      if (qit != best.end() && q.Len() > qit->second) continue;  // prune
+      heap.push(std::move(q));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<PathSet> Recursive(const PathSet& base, PathSemantics semantics,
+                          const EvalLimits& limits, PhiEngine engine) {
+  if (engine == PhiEngine::kNaive) {
+    return RecursiveNaive(base, semantics, limits);
+  }
+  if (semantics == PathSemantics::kShortest) {
+    return RecursiveShortestDijkstra(base, limits);
+  }
+  return RecursiveSemiNaive(base, semantics, limits);
+}
+
+PathSet RestrictPaths(const PathSet& s, PathSemantics semantics) {
+  if (semantics == PathSemantics::kShortest) {
+    return KeepShortestPerEndpointPair(s);
+  }
+  PathSet out;
+  for (const Path& p : s) {
+    if (SatisfiesSemantics(p, semantics)) out.Insert(p);
+  }
+  return out;
+}
+
+PathSet KeepShortestPerEndpointPair(const PathSet& s) {
+  BestMap best;
+  for (const Path& p : s) {
+    auto key = std::make_pair(p.First(), p.Last());
+    auto it = best.find(key);
+    if (it == best.end() || p.Len() < it->second) best[key] = p.Len();
+  }
+  PathSet out;
+  for (const Path& p : s) {
+    if (best[std::make_pair(p.First(), p.Last())] == p.Len()) out.Insert(p);
+  }
+  return out;
+}
+
+}  // namespace pathalg

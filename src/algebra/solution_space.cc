@@ -1,0 +1,262 @@
+#include "algebra/solution_space.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <numeric>
+#include <sstream>
+#include <tuple>
+
+namespace pathalg {
+
+const char* GroupKeyToString(GroupKey k) {
+  switch (k) {
+    case GroupKey::kNone:
+      return "";
+    case GroupKey::kS:
+      return "S";
+    case GroupKey::kT:
+      return "T";
+    case GroupKey::kL:
+      return "L";
+    case GroupKey::kST:
+      return "ST";
+    case GroupKey::kSL:
+      return "SL";
+    case GroupKey::kTL:
+      return "TL";
+    case GroupKey::kSTL:
+      return "STL";
+  }
+  return "?";
+}
+
+const char* OrderKeyToString(OrderKey k) {
+  switch (k) {
+    case OrderKey::kP:
+      return "P";
+    case OrderKey::kG:
+      return "G";
+    case OrderKey::kA:
+      return "A";
+    case OrderKey::kPG:
+      return "PG";
+    case OrderKey::kPA:
+      return "PA";
+    case OrderKey::kGA:
+      return "GA";
+    case OrderKey::kPGA:
+      return "PGA";
+  }
+  return "?";
+}
+
+bool GroupKeyUsesSource(GroupKey k) {
+  return k == GroupKey::kS || k == GroupKey::kST || k == GroupKey::kSL ||
+         k == GroupKey::kSTL;
+}
+bool GroupKeyUsesTarget(GroupKey k) {
+  return k == GroupKey::kT || k == GroupKey::kST || k == GroupKey::kTL ||
+         k == GroupKey::kSTL;
+}
+bool GroupKeyUsesLength(GroupKey k) {
+  return k == GroupKey::kL || k == GroupKey::kSL || k == GroupKey::kTL ||
+         k == GroupKey::kSTL;
+}
+bool OrderKeyOrdersPartitions(OrderKey k) {
+  return k == OrderKey::kP || k == OrderKey::kPG || k == OrderKey::kPA ||
+         k == OrderKey::kPGA;
+}
+bool OrderKeyOrdersGroups(OrderKey k) {
+  return k == OrderKey::kG || k == OrderKey::kPG || k == OrderKey::kGA ||
+         k == OrderKey::kPGA;
+}
+bool OrderKeyOrdersPaths(OrderKey k) {
+  return k == OrderKey::kA || k == OrderKey::kPA || k == OrderKey::kGA ||
+         k == OrderKey::kPGA;
+}
+
+size_t SolutionSpace::MinLenOfGroup(size_t g) const {
+  size_t min_len = std::numeric_limits<size_t>::max();
+  for (uint32_t i : group_paths_[g]) {
+    min_len = std::min(min_len, paths_[i].Len());
+  }
+  return min_len;
+}
+
+size_t SolutionSpace::MinLenOfPartition(size_t p) const {
+  size_t min_len = std::numeric_limits<size_t>::max();
+  for (uint32_t g : partition_groups_[p]) {
+    min_len = std::min(min_len, MinLenOfGroup(g));
+  }
+  return min_len;
+}
+
+std::string SolutionSpace::ToTableString(const PropertyGraph& graph) const {
+  std::ostringstream os;
+  os << "Partition  Group     Path                                     "
+        "MinL(P)  MinL(G)  Len(p)\n";
+  for (size_t p = 0; p < num_partitions(); ++p) {
+    for (size_t g_ix = 0; g_ix < partition_groups_[p].size(); ++g_ix) {
+      uint32_t g = partition_groups_[p][g_ix];
+      for (size_t i_ix = 0; i_ix < group_paths_[g].size(); ++i_ix) {
+        uint32_t i = group_paths_[g][i_ix];
+        std::string part = "part" + std::to_string(p + 1);
+        std::string grp = "group" + std::to_string(p + 1) +
+                          std::to_string(g_ix + 1);
+        std::string path = paths_[i].ToString(graph);
+        os << part << std::string(part.size() < 11 ? 11 - part.size() : 1, ' ')
+           << grp << std::string(grp.size() < 10 ? 10 - grp.size() : 1, ' ')
+           << path
+           << std::string(path.size() < 41 ? 41 - path.size() : 1, ' ')
+           << MinLenOfPartition(p) << "        " << MinLenOfGroup(g)
+           << "        " << paths_[i].Len() << "\n";
+      }
+    }
+  }
+  return os.str();
+}
+
+SolutionSpace GroupBy(const PathSet& s, GroupKey key) {
+  SolutionSpace ss;
+  const bool use_s = GroupKeyUsesSource(key);
+  const bool use_t = GroupKeyUsesTarget(key);
+  const bool use_l = GroupKeyUsesLength(key);
+
+  // Partition key: (source?, target?); group key refines it with (length?).
+  // kInvalidId marks "component unused" so that all paths share the key.
+  using PartKey = std::pair<uint32_t, uint32_t>;
+  using GrpKey = std::tuple<uint32_t, uint32_t, size_t>;
+  std::map<PartKey, uint32_t> partitions;
+  std::map<GrpKey, uint32_t> groups;
+
+  auto part_key = [&](const Path& p) -> PartKey {
+    return {use_s ? p.First() : kInvalidId, use_t ? p.Last() : kInvalidId};
+  };
+  auto grp_key = [&](const Path& p) -> GrpKey {
+    return {use_s ? p.First() : kInvalidId, use_t ? p.Last() : kInvalidId,
+            use_l ? p.Len() : 0};
+  };
+
+  // Phase 1: collect keys, then number partitions and groups in key order.
+  // Canonical numbering (by source/target/length, not first occurrence)
+  // makes the solution space — and hence every ANY-style projection pick —
+  // independent of how the input set was enumerated, which is what lets
+  // the optimizer's rewrites preserve results exactly.
+  for (const Path& p : s) {
+    partitions[part_key(p)] = 0;
+    groups[grp_key(p)] = 0;
+  }
+  uint32_t next = 0;
+  for (auto& [k, v] : partitions) v = next++;
+  next = 0;
+  for (auto& [k, v] : groups) v = next++;
+
+  ss.partition_groups_.resize(partitions.size());
+  ss.group_paths_.resize(groups.size());
+  ss.group_partition_.resize(groups.size());
+  for (const auto& [gk, gi] : groups) {
+    uint32_t pi = partitions[PartKey{std::get<0>(gk), std::get<1>(gk)}];
+    ss.group_partition_[gi] = pi;
+    // Map iteration is key order, so groups land in each partition sorted
+    // by their length component.
+    ss.partition_groups_[pi].push_back(gi);
+  }
+
+  // Phase 2: paths keep their set insertion order within each group.
+  for (const Path& p : s) {
+    uint32_t gi = groups[grp_key(p)];
+    uint32_t path_ix = static_cast<uint32_t>(ss.paths_.size());
+    ss.paths_.push_back(p);
+    ss.path_group_.push_back(gi);
+    ss.group_paths_[gi].push_back(path_ix);
+  }
+
+  // Δ(x) = 1 for every path, group and partition (§5.1): no virtual order.
+  ss.path_rank_.assign(ss.num_paths(), 1);
+  ss.group_rank_.assign(ss.num_groups(), 1);
+  ss.partition_rank_.assign(ss.num_partitions(), 1);
+  return ss;
+}
+
+SolutionSpace OrderBy(const SolutionSpace& in, OrderKey key) {
+  SolutionSpace ss = in;  // Δ′ is the only change (Table 6).
+  if (OrderKeyOrdersPartitions(key)) {
+    for (size_t p = 0; p < ss.num_partitions(); ++p) {
+      ss.partition_rank_[p] = ss.MinLenOfPartition(p);
+    }
+  }
+  if (OrderKeyOrdersGroups(key)) {
+    for (size_t g = 0; g < ss.num_groups(); ++g) {
+      ss.group_rank_[g] = ss.MinLenOfGroup(g);
+    }
+  }
+  if (OrderKeyOrdersPaths(key)) {
+    for (size_t i = 0; i < ss.num_paths(); ++i) {
+      ss.path_rank_[i] = ss.paths_[i].Len();
+    }
+  }
+  return ss;
+}
+
+std::string ProjectionSpec::ToString() const {
+  auto render = [](const std::optional<size_t>& v) {
+    return v.has_value() ? std::to_string(*v) : std::string("*");
+  };
+  return "(" + render(partitions) + "," + render(groups) + "," +
+         render(paths) + ")";
+}
+
+Result<PathSet> Project(const SolutionSpace& ss, const ProjectionSpec& spec) {
+  for (const auto& field : {spec.partitions, spec.groups, spec.paths}) {
+    if (field.has_value() && *field == 0) {
+      return Status::InvalidArgument(
+          "projection counts must be positive integers or *");
+    }
+  }
+
+  // Algorithm 1. Sort(·) is a stable sort on Δ so that equal ranks keep
+  // their first-occurrence order.
+  auto take = [](const std::optional<size_t>& want, size_t have) {
+    return (!want.has_value() || *want > have) ? have : *want;
+  };
+
+  std::vector<uint32_t> seq_p(ss.num_partitions());
+  std::iota(seq_p.begin(), seq_p.end(), 0);
+  std::stable_sort(seq_p.begin(), seq_p.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     return ss.PartitionRank(a) < ss.PartitionRank(b);
+                   });
+
+  PathSet out;
+  size_t max_p = take(spec.partitions, seq_p.size());
+  for (size_t pi = 0; pi < max_p; ++pi) {
+    std::vector<uint32_t> seq_g = ss.GroupsOfPartition(seq_p[pi]);
+    std::stable_sort(seq_g.begin(), seq_g.end(),
+                     [&](uint32_t a, uint32_t b) {
+                       return ss.GroupRank(a) < ss.GroupRank(b);
+                     });
+    size_t max_g = take(spec.groups, seq_g.size());
+    for (size_t gi = 0; gi < max_g; ++gi) {
+      std::vector<uint32_t> seq_a = ss.PathsOfGroup(seq_g[gi]);
+      // Path-level ties break by canonical path order (not insertion
+      // order): the paper's ANY/ANY SHORTEST are non-deterministic; we
+      // resolve them so the pick is independent of how the input set was
+      // produced, which makes optimizer rewrites exactly result-preserving.
+      std::stable_sort(seq_a.begin(), seq_a.end(),
+                       [&](uint32_t a, uint32_t b) {
+                         if (ss.PathRank(a) != ss.PathRank(b)) {
+                           return ss.PathRank(a) < ss.PathRank(b);
+                         }
+                         return ss.path(a) < ss.path(b);
+                       });
+      size_t max_a = take(spec.paths, seq_a.size());
+      for (size_t ai = 0; ai < max_a; ++ai) {
+        out.Insert(ss.path(seq_a[ai]));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pathalg

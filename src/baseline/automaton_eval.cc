@@ -1,0 +1,273 @@
+#include "baseline/automaton_eval.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "baseline/nfa.h"
+
+namespace pathalg {
+
+namespace {
+
+/// NFA transitions re-indexed by interned graph LabelId for O(1) stepping.
+struct ProductIndex {
+  // forward[state][label] -> next states.
+  std::vector<std::unordered_map<LabelId, std::vector<uint32_t>>> forward;
+  // backward[state][label] -> predecessor states.
+  std::vector<std::unordered_map<LabelId, std::vector<uint32_t>>> backward;
+
+  ProductIndex(const PropertyGraph& g, const Nfa& nfa) {
+    forward.resize(nfa.num_states());
+    backward.resize(nfa.num_states());
+    for (uint32_t s = 0; s < nfa.num_states(); ++s) {
+      for (const Nfa::Transition& tr : nfa.TransitionsFrom(s)) {
+        LabelId l = g.FindLabel(tr.label);
+        if (l == kNoLabel) continue;  // label absent from graph: dead edge
+        forward[s][l].push_back(tr.next);
+        backward[tr.next][l].push_back(s);
+      }
+    }
+  }
+};
+
+class AutomatonEvaluator {
+ public:
+  AutomatonEvaluator(const PropertyGraph& g, const RegexPtr& regex,
+                     const AutomatonEvalOptions& options)
+      : g_(g),
+        options_(options),
+        nfa_(Nfa::FromRegex(regex)),
+        index_(g, nfa_) {}
+
+  Result<PathSet> Run() {
+    std::vector<NodeId> sources;
+    if (options_.source.has_value()) {
+      if (!g_.IsValidNode(*options_.source)) {
+        return Status::InvalidArgument("unknown source node");
+      }
+      sources.push_back(*options_.source);
+    } else {
+      for (NodeId n = 0; n < g_.num_nodes(); ++n) sources.push_back(n);
+    }
+    for (NodeId s : sources) {
+      Status st = options_.semantics == PathSemantics::kShortest
+                      ? RunShortestFrom(s)
+                      : RunDfsFrom(s);
+      PATHALG_RETURN_NOT_OK(st);
+    }
+    return std::move(out_);
+  }
+
+ private:
+  bool TargetOk(NodeId n) const {
+    return !options_.target.has_value() || *options_.target == n;
+  }
+
+  Status Emit(Path p) {
+    if (out_.size() >= options_.limits.max_paths) {
+      if (options_.limits.truncate) return Status::OK();
+      return Status::ResourceExhausted(
+          "automaton evaluation exceeded max_paths");
+    }
+    out_.Insert(std::move(p));
+    return Status::OK();
+  }
+
+  // --- DFS enumeration for walk / trail / acyclic / simple ----------------
+
+  Status RunDfsFrom(NodeId source) {
+    if (nfa_.IsAccepting(nfa_.start()) && TargetOk(source)) {
+      PATHALG_RETURN_NOT_OK(Emit(Path::SingleNode(source)));
+    }
+    nodes_ = {source};
+    edges_.clear();
+    used_edges_.clear();
+    visited_nodes_ = {source};
+    budget_hit_ = false;
+    PATHALG_RETURN_NOT_OK(Dfs(source, nfa_.start()));
+    if (budget_hit_ && !options_.limits.truncate) {
+      return Status::ResourceExhausted(
+          "automaton WALK enumeration exceeded max_path_length; the answer "
+          "set may be infinite — use a restrictor or truncate=true");
+    }
+    return Status::OK();
+  }
+
+  Status Dfs(NodeId node, uint32_t state) {
+    if (edges_.size() >= options_.limits.max_path_length) {
+      // Only WALK can actually grow without bound, but the cap applies to
+      // all semantics for symmetry with ϕ's EvalLimits.
+      budget_hit_ = true;
+      return Status::OK();
+    }
+    const auto& by_label = index_.forward[state];
+    for (EdgeId e : g_.OutEdges(node)) {
+      LabelId l = g_.EdgeLabelId(e);
+      if (l == kNoLabel) continue;
+      auto it = by_label.find(l);
+      if (it == by_label.end()) continue;
+      NodeId next = g_.Target(e);
+
+      bool closes_cycle = false;  // simple: next == first, path becomes closed
+      switch (options_.semantics) {
+        case PathSemantics::kWalk:
+          break;
+        case PathSemantics::kTrail:
+          if (used_edges_.count(e) != 0) continue;
+          break;
+        case PathSemantics::kAcyclic:
+          if (visited_nodes_.count(next) != 0) continue;
+          break;
+        case PathSemantics::kSimple:
+          if (visited_nodes_.count(next) != 0) {
+            if (next != nodes_.front()) continue;
+            closes_cycle = true;
+          }
+          break;
+        case PathSemantics::kShortest:
+          return Status::Internal("shortest uses BFS, not DFS");
+      }
+
+      nodes_.push_back(next);
+      edges_.push_back(e);
+      used_edges_.insert(e);
+      bool newly_visited = visited_nodes_.insert(next).second;
+
+      for (uint32_t next_state : it->second) {
+        if (nfa_.IsAccepting(next_state) && TargetOk(next)) {
+          PATHALG_RETURN_NOT_OK(Emit(Path(nodes_, edges_)));
+        }
+        if (!closes_cycle) {
+          PATHALG_RETURN_NOT_OK(Dfs(next, next_state));
+        }
+      }
+
+      nodes_.pop_back();
+      edges_.pop_back();
+      used_edges_.erase(e);
+      if (newly_visited) visited_nodes_.erase(next);
+    }
+    return Status::OK();
+  }
+
+  // --- BFS + backward enumeration for shortest -----------------------------
+
+  Status RunShortestFrom(NodeId source) {
+    constexpr size_t kInf = std::numeric_limits<size_t>::max();
+    const size_t num_states = nfa_.num_states();
+    auto key = [&](NodeId n, uint32_t s) { return n * num_states + s; };
+    std::vector<size_t> dist(g_.num_nodes() * num_states, kInf);
+    std::queue<std::pair<NodeId, uint32_t>> queue;
+    dist[key(source, nfa_.start())] = 0;
+    queue.push({source, nfa_.start()});
+    while (!queue.empty()) {
+      auto [node, state] = queue.front();
+      queue.pop();
+      size_t d = dist[key(node, state)];
+      if (d >= options_.limits.max_path_length) continue;
+      const auto& by_label = index_.forward[state];
+      for (EdgeId e : g_.OutEdges(node)) {
+        LabelId l = g_.EdgeLabelId(e);
+        if (l == kNoLabel) continue;
+        auto it = by_label.find(l);
+        if (it == by_label.end()) continue;
+        NodeId next = g_.Target(e);
+        for (uint32_t ns : it->second) {
+          if (dist[key(next, ns)] == kInf) {
+            dist[key(next, ns)] = d + 1;
+            queue.push({next, ns});
+          }
+        }
+      }
+    }
+
+    // Per target: best = min dist over accepting states, then enumerate all
+    // dist-decreasing backward paths of exactly that length.
+    for (NodeId t = 0; t < g_.num_nodes(); ++t) {
+      if (!TargetOk(t)) continue;
+      size_t best = kInf;
+      for (uint32_t s = 0; s < num_states; ++s) {
+        if (nfa_.IsAccepting(s)) best = std::min(best, dist[key(t, s)]);
+      }
+      if (best == kInf) continue;
+      if (best == 0) {
+        PATHALG_RETURN_NOT_OK(Emit(Path::SingleNode(t)));
+        continue;
+      }
+      for (uint32_t s = 0; s < num_states; ++s) {
+        if (!nfa_.IsAccepting(s) || dist[key(t, s)] != best) continue;
+        nodes_suffix_ = {t};
+        edges_suffix_.clear();
+        PATHALG_RETURN_NOT_OK(
+            Backtrack(source, t, s, best, dist, num_states));
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Walks dist-decreasing product edges backwards from (node, state) at
+  /// depth `d`, emitting every completed shortest path.
+  Status Backtrack(NodeId source, NodeId node, uint32_t state, size_t d,
+                   const std::vector<size_t>& dist, size_t num_states) {
+    auto key = [&](NodeId n, uint32_t s) { return n * num_states + s; };
+    if (d == 0) {
+      if (node == source && state == nfa_.start()) {
+        std::vector<NodeId> nodes(nodes_suffix_.rbegin(),
+                                  nodes_suffix_.rend());
+        std::vector<EdgeId> edges(edges_suffix_.rbegin(),
+                                  edges_suffix_.rend());
+        PATHALG_RETURN_NOT_OK(Emit(Path(std::move(nodes), std::move(edges))));
+      }
+      return Status::OK();
+    }
+    const auto& by_label = index_.backward[state];
+    for (EdgeId e : g_.InEdges(node)) {
+      LabelId l = g_.EdgeLabelId(e);
+      if (l == kNoLabel) continue;
+      auto it = by_label.find(l);
+      if (it == by_label.end()) continue;
+      NodeId prev = g_.Source(e);
+      for (uint32_t ps : it->second) {
+        if (dist[key(prev, ps)] != d - 1) continue;
+        nodes_suffix_.push_back(prev);
+        edges_suffix_.push_back(e);
+        PATHALG_RETURN_NOT_OK(
+            Backtrack(source, prev, ps, d - 1, dist, num_states));
+        nodes_suffix_.pop_back();
+        edges_suffix_.pop_back();
+      }
+    }
+    return Status::OK();
+  }
+
+  const PropertyGraph& g_;
+  const AutomatonEvalOptions& options_;
+  Nfa nfa_;
+  ProductIndex index_;
+  PathSet out_;
+
+  // DFS working state.
+  std::vector<NodeId> nodes_;
+  std::vector<EdgeId> edges_;
+  std::unordered_set<EdgeId> used_edges_;
+  std::unordered_set<NodeId> visited_nodes_;
+  bool budget_hit_ = false;
+
+  // Backtrack working state (stored target-to-source, reversed on emit).
+  std::vector<NodeId> nodes_suffix_;
+  std::vector<EdgeId> edges_suffix_;
+};
+
+}  // namespace
+
+Result<PathSet> EvaluateRpqAutomaton(const PropertyGraph& g,
+                                     const RegexPtr& regex,
+                                     const AutomatonEvalOptions& options) {
+  if (regex == nullptr) return Status::InvalidArgument("null regex");
+  return AutomatonEvaluator(g, regex, options).Run();
+}
+
+}  // namespace pathalg

@@ -1,0 +1,42 @@
+#ifndef PATHALG_BASELINE_AUTOMATON_EVAL_H_
+#define PATHALG_BASELINE_AUTOMATON_EVAL_H_
+
+/// \file automaton_eval.h
+/// The classical automaton-based RPQ evaluator (§8.2): traverses the
+/// product of the graph with the regex NFA and returns *whole paths* under
+/// a restrictor semantics. This is the independent comparator for the
+/// algebra: differential tests check algebra plans against it, and
+/// bench/algebra_vs_automaton compares their performance.
+///
+/// Semantics note: this evaluator applies the restrictor to the whole path
+/// (GQL's reading). For query shapes where the paper's per-ϕ reading
+/// coincides (a closure at the top of each union branch — all the paper's
+/// examples), results match the algebra exactly.
+
+#include <optional>
+
+#include "algebra/recursive.h"
+#include "common/result.h"
+#include "graph/property_graph.h"
+#include "path/path_set.h"
+#include "regex/ast.h"
+
+namespace pathalg {
+
+struct AutomatonEvalOptions {
+  PathSemantics semantics = PathSemantics::kWalk;
+  EvalLimits limits;
+  /// Restrict to paths starting / ending at a given node.
+  std::optional<NodeId> source;
+  std::optional<NodeId> target;
+};
+
+/// Returns every path p of `g` with λ(p) ∈ L(regex) that satisfies the
+/// restrictor (and per-pair minimality for kShortest), within the limits.
+Result<PathSet> EvaluateRpqAutomaton(const PropertyGraph& g,
+                                     const RegexPtr& regex,
+                                     const AutomatonEvalOptions& options = {});
+
+}  // namespace pathalg
+
+#endif  // PATHALG_BASELINE_AUTOMATON_EVAL_H_

@@ -1,0 +1,30 @@
+#ifndef PATHALG_COMMON_HASH_H_
+#define PATHALG_COMMON_HASH_H_
+
+/// \file hash.h
+/// Hash combinators used by PathSet deduplication and plan hashing.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace pathalg {
+
+/// Mixes `v` into seed `h` (boost::hash_combine-style, 64-bit constants).
+inline void HashCombine(size_t& h, size_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+}
+
+/// Hashes a range of integral ids.
+template <typename It>
+size_t HashRange(It begin, It end, size_t seed = 0) {
+  size_t h = seed;
+  for (It it = begin; it != end; ++it) {
+    HashCombine(h, std::hash<uint64_t>{}(static_cast<uint64_t>(*it)));
+  }
+  return h;
+}
+
+}  // namespace pathalg
+
+#endif  // PATHALG_COMMON_HASH_H_

@@ -1,0 +1,78 @@
+#ifndef PATHALG_COMMON_RESULT_H_
+#define PATHALG_COMMON_RESULT_H_
+
+/// \file result.h
+/// `Result<T>` carries either a value of type `T` or a non-OK `Status`,
+/// mirroring `arrow::Result`. Use `PATHALG_ASSIGN_OR_RETURN` to unwrap.
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace pathalg {
+
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure). Constructing a
+  /// Result from an OK status is a programming error and is normalized to an
+  /// internal error so that `ok()`/`status()` stay coherent.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The failure status, or OK if this result holds a value.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or, on failure, the supplied fallback.
+  T value_or(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Unwraps a Result into `lhs`, returning the error status on failure.
+/// `lhs` may be a declaration: PATHALG_ASSIGN_OR_RETURN(auto v, Foo());
+#define PATHALG_CONCAT_IMPL(a, b) a##b
+#define PATHALG_CONCAT(a, b) PATHALG_CONCAT_IMPL(a, b)
+#define PATHALG_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  auto PATHALG_CONCAT(_res_, __LINE__) = (rexpr);                  \
+  if (!PATHALG_CONCAT(_res_, __LINE__).ok())                       \
+    return PATHALG_CONCAT(_res_, __LINE__).status();               \
+  lhs = std::move(PATHALG_CONCAT(_res_, __LINE__)).value()
+
+}  // namespace pathalg
+
+#endif  // PATHALG_COMMON_RESULT_H_

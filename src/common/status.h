@@ -1,0 +1,133 @@
+#ifndef PATHALG_COMMON_STATUS_H_
+#define PATHALG_COMMON_STATUS_H_
+
+/// \file status.h
+/// Error-handling substrate in the style of Apache Arrow / RocksDB: a cheap
+/// `Status` value that is either OK or carries an error code plus a message.
+/// The library never throws across public API boundaries; every fallible
+/// operation returns a `Status` or a `Result<T>` (see result.h).
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace pathalg {
+
+/// Machine-readable classification of an error.
+enum class StatusCode : int {
+  kOk = 0,
+  /// Caller passed an argument that violates the API contract.
+  kInvalidArgument = 1,
+  /// An entity (node, edge, label, property, partition, ...) was not found.
+  kNotFound = 2,
+  /// An evaluation budget (path length / path count / iterations) was hit;
+  /// used by ϕWalk on cyclic inputs where the true answer is infinite (§4).
+  kResourceExhausted = 3,
+  /// Input text failed to lex/parse (regex or GQL query).
+  kParseError = 4,
+  /// The operation is valid in general but not implemented / not applicable
+  /// to this combination of operands.
+  kNotImplemented = 5,
+  /// Internal invariant violation: a bug in this library, not in the caller.
+  kInternal = 6,
+};
+
+/// Human-readable name of a status code, e.g. "Invalid argument".
+const char* StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. OK status is represented by a null pointer so
+/// that the success path costs a single pointer test and no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_unique<State>(State{code, std::move(msg)});
+    }
+  }
+
+  Status(const Status& other) { CopyFrom(other); }
+  Status& operator=(const Status& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per error code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// The error message; empty for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->msg;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsNotImplemented() const {
+    return code() == StatusCode::kNotImplemented;
+  }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+
+  void CopyFrom(const Status& other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+  }
+
+  std::unique_ptr<State> state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& st);
+
+/// Propagates a non-OK status to the caller.
+#define PATHALG_RETURN_NOT_OK(expr)                 \
+  do {                                              \
+    ::pathalg::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+}  // namespace pathalg
+
+#endif  // PATHALG_COMMON_STATUS_H_

@@ -1,0 +1,46 @@
+#ifndef PATHALG_COMMON_STR_UTIL_H_
+#define PATHALG_COMMON_STR_UTIL_H_
+
+/// \file str_util.h
+/// Small string helpers shared by the parsers, printers and CSV loader.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pathalg {
+
+/// Splits `s` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Like Split, but a backslash escapes the next character: `a\,b,c` yields
+/// {"a,b", "c"}. Used by the CSV graph format so values may contain the
+/// separator.
+std::vector<std::string> SplitEscaped(std::string_view s, char sep);
+
+/// Escapes `sep` and backslash with a backslash (inverse of SplitEscaped's
+/// unescaping).
+std::string EscapeSeparator(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Case-insensitive ASCII equality ("WALK" == "walk").
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Uppercases ASCII letters.
+std::string ToUpper(std::string_view s);
+
+/// Escapes `"` and `\` and wraps in double quotes, for printer output.
+std::string QuoteString(std::string_view s);
+
+}  // namespace pathalg
+
+#endif  // PATHALG_COMMON_STR_UTIL_H_

@@ -1,0 +1,119 @@
+#include "gql/lexer.h"
+
+#include <cctype>
+
+#include "common/str_util.h"
+
+namespace pathalg {
+
+bool Token::IsKeyword(std::string_view kw) const {
+  return kind == TokKind::kIdent && EqualsIgnoreCase(text, kw);
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> out;
+  size_t i = 0;
+  auto error = [&](const std::string& msg) {
+    return Status::ParseError("query: " + msg + " at position " +
+                              std::to_string(i));
+  };
+  while (i < text.size()) {
+    char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[i])) ||
+              text[i] == '_')) {
+        ++i;
+      }
+      tok.kind = TokKind::kIdent;
+      tok.text = std::string(text.substr(start, i - start));
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool has_dot = false;
+      while (i < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[i])) ||
+              (text[i] == '.' && !has_dot &&
+               i + 1 < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[i + 1]))))) {
+        if (text[i] == '.') has_dot = true;
+        ++i;
+      }
+      std::string num(text.substr(start, i - start));
+      if (has_dot) {
+        tok.kind = TokKind::kDouble;
+        tok.double_value = std::stod(num);
+      } else {
+        tok.kind = TokKind::kInt;
+        tok.int_value = std::stoll(num);
+      }
+      tok.text = std::move(num);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++i;
+      std::string content;
+      bool closed = false;
+      while (i < text.size()) {
+        if (text[i] == '\\' && i + 1 < text.size()) {
+          content.push_back(text[i + 1]);
+          i += 2;
+        } else if (text[i] == quote) {
+          ++i;
+          closed = true;
+          break;
+        } else {
+          content.push_back(text[i]);
+          ++i;
+        }
+      }
+      if (!closed) return error("unterminated string literal");
+      tok.kind = TokKind::kString;
+      tok.text = std::move(content);
+      out.push_back(std::move(tok));
+      continue;
+    }
+    // Multi-character symbols first.
+    auto try_symbol = [&](std::string_view sym) {
+      if (text.substr(i, sym.size()) == sym) {
+        tok.kind = TokKind::kSymbol;
+        tok.text = std::string(sym);
+        i += sym.size();
+        out.push_back(tok);
+        return true;
+      }
+      return false;
+    };
+    if (try_symbol("]->") || try_symbol("-[") || try_symbol("!=") ||
+        try_symbol("<>") || try_symbol("<=") || try_symbol(">=")) {
+      continue;
+    }
+    if (std::string_view("()[]{}=<>,.:?*+|/-").find(c) !=
+        std::string_view::npos) {
+      tok.kind = TokKind::kSymbol;
+      tok.text = std::string(1, c);
+      ++i;
+      out.push_back(std::move(tok));
+      continue;
+    }
+    return error(std::string("unexpected character '") + c + "'");
+  }
+  Token end;
+  end.kind = TokKind::kEnd;
+  end.offset = text.size();
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace pathalg

@@ -1,0 +1,44 @@
+#ifndef PATHALG_GQL_LEXER_H_
+#define PATHALG_GQL_LEXER_H_
+
+/// \file lexer.h
+/// Tokenizer for the paper's GQL-like query syntax (§7.1). Keywords are
+/// case-insensitive identifiers; the regex between `-[` and `]->` is *not*
+/// tokenized here — the parser slices it out of the source text and hands
+/// it to regex/parser.h.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pathalg {
+
+enum class TokKind { kIdent, kInt, kDouble, kString, kSymbol, kEnd };
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  /// Identifier text, symbol spelling ("(", "]->", "!=", ...) or raw
+  /// string contents (quotes stripped, escapes resolved).
+  std::string text;
+  int64_t int_value = 0;
+  double double_value = 0;
+  /// Byte offset in the source (for error messages and regex slicing).
+  size_t offset = 0;
+
+  bool IsSymbol(std::string_view s) const {
+    return kind == TokKind::kSymbol && text == s;
+  }
+  /// Case-insensitive keyword test.
+  bool IsKeyword(std::string_view kw) const;
+};
+
+/// Tokenizes `text`. Multi-character symbols: `-[`, `]->`, `!=`, `<>`,
+/// `<=`, `>=`. ParseError on unterminated strings or stray characters.
+Result<std::vector<Token>> Tokenize(std::string_view text);
+
+}  // namespace pathalg
+
+#endif  // PATHALG_GQL_LEXER_H_

@@ -1,0 +1,576 @@
+#include "gql/parser.h"
+
+#include "gql/lexer.h"
+#include "gql/translate.h"
+#include "regex/compile.h"
+#include "regex/parser.h"
+
+namespace pathalg {
+
+namespace {
+
+class QueryParser {
+ public:
+  QueryParser(std::string_view text, std::vector<Token> tokens)
+      : text_(text), tokens_(std::move(tokens)) {}
+
+  Result<ParsedQuery> Parse() {
+    if (!EatKeyword("MATCH")) return Error("query must start with MATCH");
+    ParsedQuery q;
+    // Disambiguate: the extended form starts with (ALL|<int>) PARTITIONS.
+    if ((Peek().IsKeyword("ALL") || Peek().kind == TokKind::kInt) &&
+        tokens_[pos_ + 1].IsKeyword("PARTITIONS")) {
+      q.extended = true;
+      PATHALG_RETURN_NOT_OK(ParseProjection(&q));
+      PATHALG_RETURN_NOT_OK(ParseRestrictor(&q, /*allow_shortest=*/true));
+    } else {
+      PATHALG_RETURN_NOT_OK(ParseSelector(&q));
+      PATHALG_RETURN_NOT_OK(ParseRestrictor(&q, /*allow_shortest=*/false));
+    }
+    PATHALG_RETURN_NOT_OK(ParsePathPattern(&q));
+    if (EatKeyword("WHERE")) {
+      PATHALG_ASSIGN_OR_RETURN(q.where, ParseCondition());
+    }
+    if (q.extended) {
+      PATHALG_RETURN_NOT_OK(ParseGroupBy(&q));
+      PATHALG_RETURN_NOT_OK(ParseOrderBy(&q));
+    }
+    if (Peek().kind != TokKind::kEnd) {
+      return Error("unexpected trailing input '" + Peek().text + "'");
+    }
+    return q;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool EatKeyword(std::string_view kw) {
+    if (!Peek().IsKeyword(kw)) return false;
+    ++pos_;
+    return true;
+  }
+  bool EatSymbol(std::string_view sym) {
+    if (!Peek().IsSymbol(sym)) return false;
+    ++pos_;
+    return true;
+  }
+  Status Error(const std::string& msg) const {
+    return Status::ParseError("query: " + msg + " at position " +
+                              std::to_string(Peek().offset));
+  }
+
+  // --- clause parsers ------------------------------------------------------
+
+  Status ParseSelector(ParsedQuery* q) {
+    Selector& sel = q->selector;
+    if (EatKeyword("ALL")) {
+      if (EatKeyword("SHORTEST")) {
+        sel.kind = SelectorKind::kAllShortest;
+      } else {
+        sel.kind = SelectorKind::kAll;
+      }
+      return Status::OK();
+    }
+    if (EatKeyword("ANY")) {
+      if (EatKeyword("SHORTEST")) {
+        sel.kind = SelectorKind::kAnyShortest;
+      } else if (Peek().kind == TokKind::kInt) {
+        sel.kind = SelectorKind::kAnyK;
+        sel.k = static_cast<size_t>(Advance().int_value);
+        if (sel.k == 0) return Error("ANY k requires k >= 1");
+      } else {
+        sel.kind = SelectorKind::kAny;
+      }
+      return Status::OK();
+    }
+    if (EatKeyword("SHORTEST")) {
+      if (Peek().kind != TokKind::kInt) {
+        return Error("SHORTEST selector requires a count");
+      }
+      sel.k = static_cast<size_t>(Advance().int_value);
+      if (sel.k == 0) return Error("SHORTEST k requires k >= 1");
+      sel.kind = EatKeyword("GROUP") ? SelectorKind::kShortestKGroup
+                                     : SelectorKind::kShortestK;
+      return Status::OK();
+    }
+    sel.kind = SelectorKind::kAll;  // selector is optional; ALL by default
+    return Status::OK();
+  }
+
+  Status ParseProjection(ParsedQuery* q) {
+    auto component = [&](std::string_view kw,
+                         std::optional<size_t>* out) -> Status {
+      if (EatKeyword("ALL")) {
+        *out = std::nullopt;
+      } else if (Peek().kind == TokKind::kInt) {
+        int64_t v = Advance().int_value;
+        if (v <= 0) {
+          return Error("projection counts must be positive");
+        }
+        *out = static_cast<size_t>(v);
+      } else {
+        return Error("expected ALL or a count before " + std::string(kw));
+      }
+      if (!EatKeyword(kw)) {
+        return Error("expected " + std::string(kw));
+      }
+      return Status::OK();
+    };
+    PATHALG_RETURN_NOT_OK(component("PARTITIONS", &q->projection.partitions));
+    PATHALG_RETURN_NOT_OK(component("GROUPS", &q->projection.groups));
+    PATHALG_RETURN_NOT_OK(component("PATHS", &q->projection.paths));
+    return Status::OK();
+  }
+
+  Status ParseRestrictor(ParsedQuery* q, bool allow_shortest) {
+    if (EatKeyword("WALK")) {
+      q->restrictor = PathSemantics::kWalk;
+    } else if (EatKeyword("TRAIL")) {
+      q->restrictor = PathSemantics::kTrail;
+    } else if (EatKeyword("ACYCLIC")) {
+      q->restrictor = PathSemantics::kAcyclic;
+    } else if (EatKeyword("SIMPLE")) {
+      q->restrictor = PathSemantics::kSimple;
+    } else if (allow_shortest && EatKeyword("SHORTEST")) {
+      q->restrictor = PathSemantics::kShortest;
+    } else {
+      q->restrictor = PathSemantics::kWalk;  // restrictor optional: WALK
+    }
+    return Status::OK();
+  }
+
+  Status ParsePathPattern(ParsedQuery* q) {
+    if (Peek().kind != TokKind::kIdent) {
+      return Error("expected a path variable");
+    }
+    q->path_var = Advance().text;
+    if (!EatSymbol("=")) return Error("expected '=' after path variable");
+    PATHALG_ASSIGN_OR_RETURN(q->source, ParseNodePattern());
+    if (!EatSymbol("-[")) return Error("expected '-[' after node pattern");
+    // Slice the regex out of the raw text: from here to the matching ']->'.
+    size_t start = Peek().offset;
+    int depth = 0;
+    size_t end = std::string_view::npos;
+    size_t end_pos = pos_;
+    for (size_t i = pos_; i < tokens_.size(); ++i) {
+      if (tokens_[i].IsSymbol("(")) ++depth;
+      if (tokens_[i].IsSymbol(")")) --depth;
+      if (tokens_[i].IsSymbol("]->") && depth == 0) {
+        end = tokens_[i].offset;
+        end_pos = i;
+        break;
+      }
+    }
+    if (end == std::string_view::npos) {
+      return Error("expected ']->' closing the edge pattern");
+    }
+    PATHALG_ASSIGN_OR_RETURN(q->regex,
+                             ParseRegex(text_.substr(start, end - start)));
+    pos_ = end_pos + 1;
+    PATHALG_ASSIGN_OR_RETURN(q->target, ParseNodePattern());
+    return Status::OK();
+  }
+
+  Result<NodePattern> ParseNodePattern() {
+    if (!EatSymbol("(")) return Error("expected '(' opening a node pattern");
+    NodePattern np;
+    EatSymbol("?");  // GQL-style optional variable marker
+    if (Peek().kind == TokKind::kIdent) np.var = Advance().text;
+    if (EatSymbol(":")) {
+      if (Peek().kind != TokKind::kIdent) {
+        return Error("expected a label after ':'");
+      }
+      np.label = Advance().text;
+    }
+    if (EatSymbol("{")) {
+      while (true) {
+        if (Peek().kind != TokKind::kIdent) {
+          return Error("expected a property name");
+        }
+        std::string key = Advance().text;
+        if (!EatSymbol(":")) return Error("expected ':' after property name");
+        PATHALG_ASSIGN_OR_RETURN(Value v, ParseValue());
+        np.properties.emplace_back(std::move(key), std::move(v));
+        if (EatSymbol(",")) continue;
+        break;
+      }
+      if (!EatSymbol("}")) return Error("expected '}'");
+    }
+    if (!EatSymbol(")")) return Error("expected ')' closing a node pattern");
+    return np;
+  }
+
+  Result<Value> ParseValue() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokKind::kString:
+        return Value(Advance().text);
+      case TokKind::kInt:
+        return Value(Advance().int_value);
+      case TokKind::kDouble:
+        return Value(Advance().double_value);
+      case TokKind::kIdent:
+        if (EatKeyword("TRUE")) return Value(true);
+        if (EatKeyword("FALSE")) return Value(false);
+        if (EatKeyword("NULL")) return Value();
+        return Error("expected a literal value");
+      default:
+        return Error("expected a literal value");
+    }
+  }
+
+  Status ParseGroupBy(ParsedQuery* q) {
+    if (!EatKeyword("GROUP")) {
+      q->group_by = GroupKey::kNone;
+      return Status::OK();
+    }
+    if (!EatKeyword("BY")) return Error("expected BY after GROUP");
+    bool s = EatKeyword("SOURCE");
+    bool t = EatKeyword("TARGET");
+    bool l = EatKeyword("LENGTH");
+    if (!s && !t && !l) {
+      return Error("GROUP BY requires SOURCE, TARGET and/or LENGTH");
+    }
+    if (s && t && l) {
+      q->group_by = GroupKey::kSTL;
+    } else if (s && t) {
+      q->group_by = GroupKey::kST;
+    } else if (s && l) {
+      q->group_by = GroupKey::kSL;
+    } else if (t && l) {
+      q->group_by = GroupKey::kTL;
+    } else if (s) {
+      q->group_by = GroupKey::kS;
+    } else if (t) {
+      q->group_by = GroupKey::kT;
+    } else {
+      q->group_by = GroupKey::kL;
+    }
+    return Status::OK();
+  }
+
+  Status ParseOrderBy(ParsedQuery* q) {
+    if (!EatKeyword("ORDER")) return Status::OK();
+    if (!EatKeyword("BY")) return Error("expected BY after ORDER");
+    bool p = EatKeyword("PARTITION");
+    bool g = EatKeyword("GROUP");
+    bool a = EatKeyword("PATH");
+    if (p && g && a) {
+      q->order_by = OrderKey::kPGA;
+    } else if (p && g) {
+      q->order_by = OrderKey::kPG;
+    } else if (p && a) {
+      q->order_by = OrderKey::kPA;
+    } else if (g && a) {
+      q->order_by = OrderKey::kGA;
+    } else if (p) {
+      q->order_by = OrderKey::kP;
+    } else if (g) {
+      q->order_by = OrderKey::kG;
+    } else if (a) {
+      q->order_by = OrderKey::kA;
+    } else {
+      return Error("ORDER BY requires PARTITION, GROUP and/or PATH");
+    }
+    return Status::OK();
+  }
+
+  // --- WHERE condition -----------------------------------------------------
+
+  Result<ConditionPtr> ParseCondition() { return ParseOr(); }
+
+  Result<ConditionPtr> ParseOr() {
+    PATHALG_ASSIGN_OR_RETURN(ConditionPtr left, ParseAnd());
+    while (EatKeyword("OR")) {
+      PATHALG_ASSIGN_OR_RETURN(ConditionPtr right, ParseAnd());
+      left = Condition::Or(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ConditionPtr> ParseAnd() {
+    PATHALG_ASSIGN_OR_RETURN(ConditionPtr left, ParseUnary());
+    while (EatKeyword("AND")) {
+      PATHALG_ASSIGN_OR_RETURN(ConditionPtr right, ParseUnary());
+      left = Condition::And(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<ConditionPtr> ParseUnary() {
+    if (EatKeyword("NOT")) {
+      PATHALG_ASSIGN_OR_RETURN(ConditionPtr inner, ParseUnary());
+      return Condition::Not(std::move(inner));
+    }
+    // '(' may open a parenthesized condition.
+    if (Peek().IsSymbol("(")) {
+      ++pos_;
+      PATHALG_ASSIGN_OR_RETURN(ConditionPtr inner, ParseCondition());
+      if (!EatSymbol(")")) return Error("expected ')'");
+      return inner;
+    }
+    return ParseSimpleCondition();
+  }
+
+  Result<ConditionPtr> ParseSimpleCondition() {
+    AccessKind access;
+    size_t position = 0;
+    std::string property;
+
+    if (EatKeyword("LABEL")) {
+      if (!EatSymbol("(")) return Error("expected '(' after label");
+      if (EatKeyword("FIRST")) {
+        access = AccessKind::kFirstLabel;
+      } else if (EatKeyword("LAST")) {
+        access = AccessKind::kLastLabel;
+      } else if (EatKeyword("NODE")) {
+        access = AccessKind::kNodeLabel;
+        PATHALG_ASSIGN_OR_RETURN(position, ParsePositionArg());
+      } else if (EatKeyword("EDGE")) {
+        access = AccessKind::kEdgeLabel;
+        PATHALG_ASSIGN_OR_RETURN(position, ParsePositionArg());
+      } else {
+        return Error("label() expects first, last, node(i) or edge(i)");
+      }
+      if (!EatSymbol(")")) return Error("expected ')' closing label()");
+    } else if (EatKeyword("LEN")) {
+      if (!EatSymbol("(") || !EatSymbol(")")) {
+        return Error("expected '()' after len");
+      }
+      access = AccessKind::kLen;
+    } else if (EatKeyword("FIRST")) {
+      access = AccessKind::kFirstProp;
+      PATHALG_ASSIGN_OR_RETURN(property, ParsePropertySuffix());
+    } else if (EatKeyword("LAST")) {
+      access = AccessKind::kLastProp;
+      PATHALG_ASSIGN_OR_RETURN(property, ParsePropertySuffix());
+    } else if (EatKeyword("NODE")) {
+      access = AccessKind::kNodeProp;
+      PATHALG_ASSIGN_OR_RETURN(position, ParsePositionArg());
+      PATHALG_ASSIGN_OR_RETURN(property, ParsePropertySuffix());
+    } else if (EatKeyword("EDGE")) {
+      access = AccessKind::kEdgeProp;
+      PATHALG_ASSIGN_OR_RETURN(position, ParsePositionArg());
+      PATHALG_ASSIGN_OR_RETURN(property, ParsePropertySuffix());
+    } else {
+      return Error("expected a path access (label/len/first/last/node/edge)");
+    }
+
+    CompareOp op;
+    if (EatKeyword("EXISTS")) {
+      return Condition::MakeSimple(access, position, std::move(property),
+                                   CompareOp::kExists, Value());
+    }
+    if (EatKeyword("CONTAINS")) {
+      PATHALG_ASSIGN_OR_RETURN(Value needle, ParseValue());
+      return Condition::MakeSimple(access, position, std::move(property),
+                                   CompareOp::kContains, std::move(needle));
+    }
+    if (EatKeyword("STARTS")) {
+      if (!EatKeyword("WITH")) return Error("expected WITH after STARTS");
+      PATHALG_ASSIGN_OR_RETURN(Value prefix, ParseValue());
+      return Condition::MakeSimple(access, position, std::move(property),
+                                   CompareOp::kStartsWith,
+                                   std::move(prefix));
+    }
+    if (EatSymbol("=")) {
+      op = CompareOp::kEq;
+    } else if (EatSymbol("!=") || EatSymbol("<>")) {
+      op = CompareOp::kNe;
+    } else if (EatSymbol("<=")) {
+      op = CompareOp::kLe;
+    } else if (EatSymbol(">=")) {
+      op = CompareOp::kGe;
+    } else if (EatSymbol("<")) {
+      op = CompareOp::kLt;
+    } else if (EatSymbol(">")) {
+      op = CompareOp::kGt;
+    } else {
+      return Error("expected a comparison operator");
+    }
+    PATHALG_ASSIGN_OR_RETURN(Value v, ParseValue());
+    return Condition::MakeSimple(access, position, std::move(property), op,
+                                 std::move(v));
+  }
+
+  Result<size_t> ParsePositionArg() {
+    if (!EatSymbol("(")) return Error("expected '(' before position");
+    if (Peek().kind != TokKind::kInt) return Error("expected a position");
+    int64_t v = Advance().int_value;
+    if (v < 1) return Error("positions are 1-based");
+    if (!EatSymbol(")")) return Error("expected ')' after position");
+    return static_cast<size_t>(v);
+  }
+
+  Result<std::string> ParsePropertySuffix() {
+    if (!EatSymbol(".")) return Error("expected '.' before property name");
+    if (Peek().kind != TokKind::kIdent) {
+      return Error("expected a property name");
+    }
+    return Advance().text;
+  }
+
+  std::string_view text_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ParsedQuery> ParseQuery(std::string_view text) {
+  PATHALG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  return QueryParser(text, std::move(tokens)).Parse();
+}
+
+ConditionPtr ParsedQuery::EndpointCondition() const {
+  ConditionPtr cond;
+  auto add = [&cond](ConditionPtr c) {
+    cond = cond == nullptr ? std::move(c)
+                           : Condition::And(std::move(cond), std::move(c));
+  };
+  if (!source.label.empty()) add(FirstLabelEq(source.label));
+  for (const auto& [key, value] : source.properties) {
+    add(FirstPropEq(key, value));
+  }
+  if (!target.label.empty()) add(LastLabelEq(target.label));
+  for (const auto& [key, value] : target.properties) {
+    add(LastPropEq(key, value));
+  }
+  if (where != nullptr) add(where);
+  return cond;
+}
+
+PlanPtr ParsedQuery::ToPlan() const {
+  CompileOptions copts;
+  copts.semantics = restrictor;
+  PlanPtr pattern = CompileRpq(regex, copts, EndpointCondition());
+  if (extended) {
+    PlanPtr plan = PlanNode::GroupBy(group_by, std::move(pattern));
+    if (order_by.has_value()) plan = PlanNode::OrderBy(*order_by, plan);
+    return PlanNode::Project(projection, std::move(plan));
+  }
+  return TranslateSelector(selector, std::move(pattern));
+}
+
+namespace {
+
+/// Renders the pattern subtree in the paper's "-> " style (§7.2).
+void AppendPatternPlan(const PlanNode& node, size_t depth, std::string& out) {
+  out.append(depth * 3, ' ');
+  out += "-> ";
+  switch (node.kind()) {
+    case PlanKind::kSelect:
+      // The paper prints selects over the edge scan inline:
+      //   Select: (label(edge(1)) = "Knows" , EDGES(G))
+      if (node.child()->kind() == PlanKind::kEdgesScan) {
+        out += "Select: (" + node.condition()->ToString() + " , EDGES(G))\n";
+        return;
+      }
+      if (node.child()->kind() == PlanKind::kNodesScan) {
+        out += "Select: (" + node.condition()->ToString() + " , NODES(G))\n";
+        return;
+      }
+      out += "Select: (" + node.condition()->ToString() + ")\n";
+      break;
+    case PlanKind::kRecursive:
+      out += std::string("Recursive Join (restrictor: ") +
+             PathSemanticsToString(node.semantics()) + ")\n";
+      break;
+    case PlanKind::kJoin:
+      out += "Join\n";
+      break;
+    case PlanKind::kUnion:
+      out += "Union\n";
+      break;
+    case PlanKind::kNodesScan:
+      out += "NODES(G)\n";
+      return;
+    case PlanKind::kEdgesScan:
+      out += "EDGES(G)\n";
+      return;
+    default:
+      out += PlanKindToString(node.kind());
+      out += "\n";
+      break;
+  }
+  for (const PlanPtr& c : node.children()) {
+    AppendPatternPlan(*c, depth + 1, out);
+  }
+}
+
+std::string ProjectionText(const ProjectionSpec& spec) {
+  auto render = [](const std::optional<size_t>& v) {
+    return v.has_value() ? std::to_string(*v) : std::string("ALL");
+  };
+  return render(spec.partitions) + " PARTITIONS " + render(spec.groups) +
+         " GROUPS " + render(spec.paths) + " PATHS";
+}
+
+std::string OrderKeyText(OrderKey k) {
+  switch (k) {
+    case OrderKey::kP:
+      return "Partition";
+    case OrderKey::kG:
+      return "Group";
+    case OrderKey::kA:
+      return "Path";
+    case OrderKey::kPG:
+      return "Partition, Group";
+    case OrderKey::kPA:
+      return "Partition, Path";
+    case OrderKey::kGA:
+      return "Group, Path";
+    case OrderKey::kPGA:
+      return "Partition, Group, Path";
+  }
+  return "?";
+}
+
+std::string GroupKeyText(GroupKey k) {
+  switch (k) {
+    case GroupKey::kNone:
+      return "-";
+    case GroupKey::kS:
+      return "Source";
+    case GroupKey::kT:
+      return "Target";
+    case GroupKey::kL:
+      return "Length";
+    case GroupKey::kST:
+      return "Source, Target";
+    case GroupKey::kSL:
+      return "Source, Length";
+    case GroupKey::kTL:
+      return "Target, Length";
+    case GroupKey::kSTL:
+      return "Source, Target, Length";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ParsedQuery::ToPlanText() const {
+  std::string out;
+  if (extended) {
+    out += "Projection (" + ProjectionText(projection) + ")\n";
+    if (order_by.has_value()) {
+      out += "OrderBy (" + OrderKeyText(*order_by) + ")\n";
+    }
+    out += "Group (" + GroupKeyText(group_by) + ")\n";
+  } else {
+    out += "Selector (" + selector.ToString() + ")\n";
+  }
+  out += std::string("Restrictor (") + PathSemanticsToString(restrictor) +
+         ")\n";
+  CompileOptions copts;
+  copts.semantics = restrictor;
+  PlanPtr pattern = CompileRpq(regex, copts, EndpointCondition());
+  AppendPatternPlan(*pattern, 0, out);
+  return out;
+}
+
+}  // namespace pathalg

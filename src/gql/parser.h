@@ -1,0 +1,102 @@
+#ifndef PATHALG_GQL_PARSER_H_
+#define PATHALG_GQL_PARSER_H_
+
+/// \file parser.h
+/// Parser for the paper's two query forms (§2.3 and §7.1) — the C++
+/// counterpart of the paper's open-source ANTLR parser.
+///
+/// Standard GQL form:
+///
+///   MATCH <selector>? <restrictor>?
+///         <var> = (<node>)-[<regex>]->(<node>)  (WHERE <condition>)?
+///
+///   selector   := ALL | ANY SHORTEST | ALL SHORTEST | ANY | ANY <int>
+///               | SHORTEST <int> | SHORTEST <int> GROUP
+///   restrictor := WALK | TRAIL | SIMPLE | ACYCLIC
+///
+/// Extended form (the paper's §7.1 grammar, exposing the full algebra):
+///
+///   MATCH (ALL|<int>) PARTITIONS (ALL|<int>) GROUPS (ALL|<int>) PATHS
+///         <restrictor_ext>
+///         <var> = (<node>)-[<regex>]->(<node>)  (WHERE <condition>)?
+///         (GROUP BY (SOURCE)? (TARGET)? (LENGTH)?)?
+///         (ORDER BY (PARTITION)? (GROUP)? (PATH)?)?
+///
+///   restrictor_ext := WALK | TRAIL | SIMPLE | ACYCLIC | SHORTEST
+///
+/// Node patterns: `(x)`, `(?x)`, `({name:"Moe"})`, `(?x {name:"Moe"})`.
+/// WHERE conditions use the paper's accesses: label(first), label(last),
+/// label(node(i)), label(edge(i)), first.p, last.p, node(i).p, edge(i).p,
+/// len(), combined with AND / OR / NOT and = != <> < <= > >=.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "algebra/condition.h"
+#include "algebra/solution_space.h"
+#include "common/result.h"
+#include "gql/selector.h"
+#include "graph/value.h"
+#include "plan/plan.h"
+#include "regex/ast.h"
+
+namespace pathalg {
+
+/// A node pattern `(?var :Label {key: value, ...})`; every element is
+/// optional.
+struct NodePattern {
+  std::string var;    // empty if anonymous
+  std::string label;  // empty if unconstrained
+  std::vector<std::pair<std::string, Value>> properties;
+};
+
+struct ParsedQuery {
+  /// Which grammar form was used.
+  bool extended = false;
+
+  // Standard form:
+  Selector selector;
+
+  // Extended form:
+  ProjectionSpec projection;
+  GroupKey group_by = GroupKey::kNone;
+  std::optional<OrderKey> order_by;
+
+  /// Both forms. The extended grammar allows SHORTEST here.
+  PathSemantics restrictor = PathSemantics::kWalk;
+
+  std::string path_var;
+  NodePattern source;
+  NodePattern target;
+  RegexPtr regex;
+  ConditionPtr where;  // nullptr if absent
+
+  /// The endpoint/WHERE selection: first.p = v for each source property,
+  /// last.p = v for each target property, AND'ed with the WHERE condition.
+  /// nullptr when there is nothing to filter.
+  ConditionPtr EndpointCondition() const;
+
+  /// Compiles to a logical plan: regex → algebra (restrictor on every ϕ),
+  /// σ for endpoints/WHERE, then the Table 7 pipeline (standard form) or
+  /// the explicit γ/τ/π (extended form).
+  PlanPtr ToPlan() const;
+
+  /// §7.2-style textual plan, e.g.
+  ///   Projection (ALL PARTITIONS ALL GROUPS 1 PATHS)
+  ///   OrderBy (Path)
+  ///   Group (Target)
+  ///   Restrictor (TRAIL)
+  ///   -> Recursive Join (restrictor: TRAIL)
+  ///      -> Select: (label(edge(1)) = "Knows" , EDGES(G))
+  std::string ToPlanText() const;
+};
+
+/// Parses a query in either form.
+Result<ParsedQuery> ParseQuery(std::string_view text);
+
+}  // namespace pathalg
+
+#endif  // PATHALG_GQL_PARSER_H_

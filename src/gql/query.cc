@@ -1,0 +1,42 @@
+#include "gql/query.h"
+
+namespace pathalg {
+
+Result<Query> Query::Parse(std::string_view text) {
+  Query q;
+  PATHALG_ASSIGN_OR_RETURN(q.parsed_, ParseQuery(text));
+  q.plan_ = q.parsed_.ToPlan();
+  if (q.plan_ == nullptr) {
+    return Status::Internal("query compiled to a null plan");
+  }
+  PATHALG_RETURN_NOT_OK(q.plan_->Validate());
+  return q;
+}
+
+PlanPtr Query::EffectivePlan(const QueryOptions& options) const {
+  if (!options.optimize) return plan_;
+  return Optimize(plan_, options.optimizer).plan;
+}
+
+Result<PathSet> Query::Execute(const PropertyGraph& g,
+                               const QueryOptions& options) const {
+  PlanPtr plan = EffectivePlan(options);
+  PATHALG_ASSIGN_OR_RETURN(PathSet result, Evaluate(g, plan, options.eval));
+  if (options.whole_path_restrictor) {
+    result = ApplyWholePathRestrictor(result, parsed_.restrictor);
+  }
+  return result;
+}
+
+Result<PathSet> ExecuteQuery(const PropertyGraph& g, std::string_view text,
+                             const QueryOptions& options) {
+  PATHALG_ASSIGN_OR_RETURN(Query q, Query::Parse(text));
+  return q.Execute(g, options);
+}
+
+PathSet ApplyWholePathRestrictor(const PathSet& paths,
+                                 PathSemantics semantics) {
+  return RestrictPaths(paths, semantics);
+}
+
+}  // namespace pathalg

@@ -1,0 +1,69 @@
+#include "gql/selector.h"
+
+namespace pathalg {
+
+std::string Selector::ToString() const {
+  switch (kind) {
+    case SelectorKind::kAll:
+      return "ALL";
+    case SelectorKind::kAnyShortest:
+      return "ANY SHORTEST";
+    case SelectorKind::kAllShortest:
+      return "ALL SHORTEST";
+    case SelectorKind::kAny:
+      return "ANY";
+    case SelectorKind::kAnyK:
+      return "ANY " + std::to_string(k);
+    case SelectorKind::kShortestK:
+      return "SHORTEST " + std::to_string(k);
+    case SelectorKind::kShortestKGroup:
+      return "SHORTEST " + std::to_string(k) + " GROUP";
+  }
+  return "?";
+}
+
+const char* SelectorSemantics(SelectorKind kind) {
+  switch (kind) {
+    case SelectorKind::kAll:
+      return "Returns all paths, for every group, for every partition.";
+    case SelectorKind::kAnyShortest:
+      return "Returns one path with shortest length from each partition.";
+    case SelectorKind::kAllShortest:
+      return "Returns all paths in each partition that have the minimal "
+             "length in the partition.";
+    case SelectorKind::kAny:
+      return "Returns one path in each partition arbitrarily.";
+    case SelectorKind::kAnyK:
+      return "Returns arbitrary k paths in each partition (if fewer than k, "
+             "then all are retained).";
+    case SelectorKind::kShortestK:
+      return "Returns the shortest k paths (if fewer than k, then all are "
+             "retained).";
+    case SelectorKind::kShortestKGroup:
+      return "Partitions by endpoints, sorts each partition by path length, "
+             "groups paths with the same length, then returns all paths in "
+             "the first k groups from each partition.";
+  }
+  return "?";
+}
+
+const char* RestrictorSemantics(PathSemantics semantics) {
+  switch (semantics) {
+    case PathSemantics::kWalk:
+      return "Is the default option, corresponding to the absence of any "
+             "filtering.";
+    case PathSemantics::kTrail:
+      return "Returns paths that do not have any repeated edges.";
+    case PathSemantics::kAcyclic:
+      return "Returns paths that do not have any repeated nodes.";
+    case PathSemantics::kSimple:
+      return "Returns paths with no repeated nodes, except for the first "
+             "and last node if they are the same.";
+    case PathSemantics::kShortest:
+      return "Returns the paths with the shortest length between the first "
+             "and the last node.";
+  }
+  return "?";
+}
+
+}  // namespace pathalg

@@ -1,0 +1,44 @@
+#ifndef PATHALG_GQL_SELECTOR_H_
+#define PATHALG_GQL_SELECTOR_H_
+
+/// \file selector.h
+/// GQL selectors (Table 1) and restrictors (Table 2). Restrictors map 1:1
+/// onto PathSemantics (the paper's extended grammar §7.1 additionally
+/// allows SHORTEST as a restrictor); selectors are the path-mode
+/// post-processing that Table 7 translates into γ/τ/π pipelines.
+
+#include <cstdint>
+#include <string>
+
+#include "algebra/recursive.h"
+
+namespace pathalg {
+
+enum class SelectorKind {
+  kAll,             // ALL
+  kAnyShortest,     // ANY SHORTEST
+  kAllShortest,     // ALL SHORTEST
+  kAny,             // ANY
+  kAnyK,            // ANY k
+  kShortestK,       // SHORTEST k
+  kShortestKGroup,  // SHORTEST k GROUP
+};
+
+struct Selector {
+  SelectorKind kind = SelectorKind::kAll;
+  /// Only for kAnyK / kShortestK / kShortestKGroup.
+  size_t k = 1;
+
+  /// GQL surface syntax, e.g. "SHORTEST 2 GROUP".
+  std::string ToString() const;
+};
+
+/// The informal description from Table 1 (for docs and EXPLAIN output).
+const char* SelectorSemantics(SelectorKind kind);
+
+/// The informal description from Table 2.
+const char* RestrictorSemantics(PathSemantics semantics);
+
+}  // namespace pathalg
+
+#endif  // PATHALG_GQL_SELECTOR_H_

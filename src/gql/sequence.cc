@@ -1,0 +1,32 @@
+#include "gql/sequence.h"
+
+#include "regex/compile.h"
+
+namespace pathalg {
+
+Result<PlanPtr> BuildSequencePlan(const SequenceQuery& query) {
+  if (query.parts.empty()) {
+    return Status::InvalidArgument("sequence query needs at least one part");
+  }
+  PlanPtr joined;
+  for (const SequencePart& part : query.parts) {
+    if (part.regex == nullptr) {
+      return Status::InvalidArgument("sequence part has a null regex");
+    }
+    CompileOptions copts;
+    copts.semantics = part.restrictor;
+    PlanPtr pattern = CompileRpq(part.regex, copts, part.filter);
+    PlanPtr part_plan = TranslateSelector(part.selector, std::move(pattern));
+    joined = joined == nullptr
+                 ? std::move(part_plan)
+                 : PlanNode::Join(std::move(joined), std::move(part_plan));
+  }
+  // Outer restrictor: the whole-path filter ρ over the concatenations
+  // (§2.3: "require that the entire concatenated path be a shortest
+  // trail"). ρWalk is the identity; the optimizer removes it.
+  PlanPtr restricted =
+      PlanNode::Restrict(query.restrictor, std::move(joined));
+  return TranslateSelector(query.selector, std::move(restricted));
+}
+
+}  // namespace pathalg

@@ -1,0 +1,55 @@
+#ifndef PATHALG_GQL_SEQUENCE_H_
+#define PATHALG_GQL_SEQUENCE_H_
+
+/// \file sequence.h
+/// Sequenced path queries (§2.3): GQL/SQL-PGQ allow concatenating path
+/// queries,
+///
+///     s r [s1 r1 (x, regex1, y)] · [s2 r2 (z, regex2, w)],
+///
+/// where each bracketed part runs with its own selector/restrictor, the
+/// answers are concatenated pairwise (⋈ on the shared endpoint), and the
+/// outer selector–restrictor combination applies to the concatenated set —
+/// e.g. "all trails n1→n2, then all shortest walks n2→n3, and the entire
+/// path must be a shortest trail".
+///
+/// This is the paper's composability story made executable: each part's
+/// answer is a set of paths, so the parts are just subplans; the outer
+/// restrictor is the whole-path filter ρ and the outer selector is the
+/// usual Table 7 γ/τ/π pipeline.
+
+#include <vector>
+
+#include "common/result.h"
+#include "gql/selector.h"
+#include "gql/translate.h"
+#include "regex/ast.h"
+
+namespace pathalg {
+
+/// One bracketed sub-query: selector? restrictor (x, regex, y).
+struct SequencePart {
+  Selector selector;                                    // default ALL
+  PathSemantics restrictor = PathSemantics::kWalk;
+  RegexPtr regex;
+  /// Optional endpoint/WHERE filter (first.*/last.* conditions).
+  ConditionPtr filter;
+};
+
+/// The whole sequenced query: outer selector/restrictor over the
+/// concatenation of the parts.
+struct SequenceQuery {
+  Selector selector;                                    // outer s
+  PathSemantics restrictor = PathSemantics::kWalk;      // outer r
+  std::vector<SequencePart> parts;
+};
+
+/// Compiles to a logical plan:
+///   Translate(s, ρ_r(part1 ⋈ part2 ⋈ ...)),
+/// where part_i = Translate(s_i, σ_i(ϕ_{r_i}(RE_i))). Fails on empty
+/// sequences or null regexes.
+Result<PlanPtr> BuildSequencePlan(const SequenceQuery& query);
+
+}  // namespace pathalg
+
+#endif  // PATHALG_GQL_SEQUENCE_H_

@@ -1,0 +1,55 @@
+#include "gql/translate.h"
+
+namespace pathalg {
+
+PlanPtr TranslateSelector(const Selector& selector, PlanPtr pattern_plan) {
+  const std::optional<size_t> kStar = std::nullopt;
+  switch (selector.kind) {
+    case SelectorKind::kAll:
+      // π(*,*,*)(γ(ϕ(RE)))
+      return PlanNode::Project(
+          {kStar, kStar, kStar},
+          PlanNode::GroupBy(GroupKey::kNone, std::move(pattern_plan)));
+    case SelectorKind::kAnyShortest:
+      // π(*,*,1)(τA(γST(ϕ(RE))))
+      return PlanNode::Project(
+          {kStar, kStar, 1},
+          PlanNode::OrderBy(
+              OrderKey::kA,
+              PlanNode::GroupBy(GroupKey::kST, std::move(pattern_plan))));
+    case SelectorKind::kAllShortest:
+      // π(*,1,*)(τG(γSTL(ϕ(RE))))
+      return PlanNode::Project(
+          {kStar, 1, kStar},
+          PlanNode::OrderBy(
+              OrderKey::kG,
+              PlanNode::GroupBy(GroupKey::kSTL, std::move(pattern_plan))));
+    case SelectorKind::kAny:
+      // π(*,*,1)(γST(ϕ(RE)))
+      return PlanNode::Project(
+          {kStar, kStar, 1},
+          PlanNode::GroupBy(GroupKey::kST, std::move(pattern_plan)));
+    case SelectorKind::kAnyK:
+      // π(*,*,k)(γST(ϕ(RE)))
+      return PlanNode::Project(
+          {kStar, kStar, selector.k},
+          PlanNode::GroupBy(GroupKey::kST, std::move(pattern_plan)));
+    case SelectorKind::kShortestK:
+      // π(*,*,k)(τA(γST(ϕ(RE))))
+      return PlanNode::Project(
+          {kStar, kStar, selector.k},
+          PlanNode::OrderBy(
+              OrderKey::kA,
+              PlanNode::GroupBy(GroupKey::kST, std::move(pattern_plan))));
+    case SelectorKind::kShortestKGroup:
+      // π(*,k,*)(τG(γSTL(ϕ(RE))))
+      return PlanNode::Project(
+          {kStar, selector.k, kStar},
+          PlanNode::OrderBy(
+              OrderKey::kG,
+              PlanNode::GroupBy(GroupKey::kSTL, std::move(pattern_plan))));
+  }
+  return nullptr;
+}
+
+}  // namespace pathalg

@@ -1,0 +1,31 @@
+#ifndef PATHALG_GQL_TRANSLATE_H_
+#define PATHALG_GQL_TRANSLATE_H_
+
+/// \file translate.h
+/// Table 7: the translation of every GQL selector–restrictor combination
+/// into a path-algebra expression.
+///
+///   ALL r ppe               → π(*,*,*)(γ(ϕr(RE)))
+///   ANY SHORTEST r ppe      → π(*,*,1)(τA(γST(ϕr(RE))))
+///   ALL SHORTEST r ppe      → π(*,1,*)(τG(γSTL(ϕr(RE))))
+///   ANY r ppe               → π(*,*,1)(γST(ϕr(RE)))
+///   ANY k r ppe             → π(*,*,k)(γST(ϕr(RE)))
+///   SHORTEST k r ppe        → π(*,*,k)(τA(γST(ϕr(RE))))
+///   SHORTEST k GROUP r ppe  → π(*,k,*)(τG(γSTL(ϕr(RE))))
+///
+/// `RE` is the plan compiled from the path-pattern's regex with the
+/// restrictor applied to its ϕ nodes (regex/compile.h); `pattern_plan`
+/// below is that plan, including any endpoint/WHERE selections.
+
+#include "gql/selector.h"
+#include "plan/plan.h"
+
+namespace pathalg {
+
+/// Wraps `pattern_plan` in the γ/τ/π pipeline of Table 7 for `selector`.
+/// The restrictor is already baked into pattern_plan's ϕ nodes.
+PlanPtr TranslateSelector(const Selector& selector, PlanPtr pattern_plan);
+
+}  // namespace pathalg
+
+#endif  // PATHALG_GQL_TRANSLATE_H_

@@ -1,0 +1,136 @@
+#include "graph/csv.h"
+
+#include <cctype>
+#include <charconv>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/str_util.h"
+
+namespace pathalg {
+
+Value ParseValueText(std::string_view text) {
+  if (text == "true") return Value(true);
+  if (text == "false") return Value(false);
+  if (text == "null") return Value();
+  if (!text.empty()) {
+    bool digits = true, has_dot = false;
+    size_t start = (text[0] == '-' || text[0] == '+') ? 1 : 0;
+    if (start == text.size()) digits = false;
+    for (size_t i = start; i < text.size(); ++i) {
+      if (text[i] == '.' && !has_dot) {
+        has_dot = true;
+      } else if (!std::isdigit(static_cast<unsigned char>(text[i]))) {
+        digits = false;
+        break;
+      }
+    }
+    if (digits && !has_dot) {
+      int64_t v = 0;
+      auto [p, ec] =
+          std::from_chars(text.data(), text.data() + text.size(), v);
+      if (ec == std::errc() && p == text.data() + text.size()) {
+        return Value(v);
+      }
+    } else if (digits && has_dot) {
+      return Value(std::stod(std::string(text)));
+    }
+  }
+  return Value(std::string(text));
+}
+
+namespace {
+
+std::vector<std::pair<std::string, Value>> ParseProps(
+    const std::vector<std::string>& fields, size_t first) {
+  std::vector<std::pair<std::string, Value>> props;
+  for (size_t i = first; i < fields.size(); ++i) {
+    std::string_view f = StripWhitespace(fields[i]);
+    if (f.empty()) continue;
+    size_t eq = f.find('=');
+    if (eq == std::string_view::npos) continue;
+    props.emplace_back(std::string(f.substr(0, eq)),
+                       ParseValueText(f.substr(eq + 1)));
+  }
+  return props;
+}
+
+std::string ValueToCsvText(const Value& v) {
+  // Strings are unquoted in the CSV format but must escape the separator.
+  std::string text =
+      v.is_string() ? v.AsString() : v.ToString();
+  return EscapeSeparator(text, ',');
+}
+
+}  // namespace
+
+Result<PropertyGraph> LoadGraphFromCsv(std::string_view text) {
+  GraphBuilder builder;
+  std::unordered_map<std::string, NodeId> nodes;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    std::vector<std::string> f = SplitEscaped(stripped, ',');
+    const std::string where = " (line " + std::to_string(lineno) + ")";
+    if (f[0] == "N") {
+      if (f.size() < 3) {
+        return Status::ParseError("node line needs N,<name>,<label>" + where);
+      }
+      std::string name(StripWhitespace(f[1]));
+      if (nodes.count(name) != 0) {
+        return Status::ParseError("duplicate node name '" + name + "'" +
+                                  where);
+      }
+      NodeId id = builder.AddNamedNode(name, StripWhitespace(f[2]),
+                                       ParseProps(f, 3));
+      nodes.emplace(std::move(name), id);
+    } else if (f[0] == "E") {
+      if (f.size() < 5) {
+        return Status::ParseError(
+            "edge line needs E,<name>,<src>,<dst>,<label>" + where);
+      }
+      auto src = nodes.find(std::string(StripWhitespace(f[2])));
+      auto dst = nodes.find(std::string(StripWhitespace(f[3])));
+      if (src == nodes.end() || dst == nodes.end()) {
+        return Status::ParseError("edge references unknown node" + where);
+      }
+      PATHALG_ASSIGN_OR_RETURN(
+          EdgeId ignored,
+          builder.AddNamedEdge(std::string(StripWhitespace(f[1])),
+                               src->second, dst->second,
+                               StripWhitespace(f[4]), ParseProps(f, 5)));
+      (void)ignored;
+    } else {
+      return Status::ParseError("unknown record type '" + f[0] + "'" + where);
+    }
+  }
+  return builder.Build();
+}
+
+std::string DumpGraphToCsv(const PropertyGraph& g) {
+  auto esc = [](std::string_view s) { return EscapeSeparator(s, ','); };
+  std::string out;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    out += "N," + esc(g.NodeName(n)) + "," + esc(g.NodeLabel(n));
+    for (const auto& [key, value] : g.NodeProperties(n)) {
+      out += "," + esc(g.PropKeyName(key)) + "=" + ValueToCsvText(value);
+    }
+    out += "\n";
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    out += "E," + esc(g.EdgeName(e)) + "," + esc(g.NodeName(g.Source(e))) +
+           "," + esc(g.NodeName(g.Target(e))) + "," +
+           esc(g.EdgeLabel(e));
+    for (const auto& [key, value] : g.EdgeProperties(e)) {
+      out += "," + esc(g.PropKeyName(key)) + "=" + ValueToCsvText(value);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace pathalg

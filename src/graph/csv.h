@@ -1,0 +1,34 @@
+#ifndef PATHALG_GRAPH_CSV_H_
+#define PATHALG_GRAPH_CSV_H_
+
+/// \file csv.h
+/// Minimal CSV-ish import/export for property graphs, so examples can ship
+/// datasets as text. Format (one object per line):
+///
+///   N,<name>,<label>,key=value,key=value,...
+///   E,<name>,<src-name>,<dst-name>,<label>,key=value,...
+///
+/// Values are typed by sniffing: `true`/`false` → bool, integral → int,
+/// numeric with '.' → double, otherwise string. Lines starting with '#' and
+/// blank lines are ignored.
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "graph/property_graph.h"
+
+namespace pathalg {
+
+/// Parses a graph from the textual format above.
+Result<PropertyGraph> LoadGraphFromCsv(std::string_view text);
+
+/// Serializes `g` to the textual format above (round-trips with the loader).
+std::string DumpGraphToCsv(const PropertyGraph& g);
+
+/// Sniffs a value from text (see file comment for the rules).
+Value ParseValueText(std::string_view text);
+
+}  // namespace pathalg
+
+#endif  // PATHALG_GRAPH_CSV_H_

@@ -1,0 +1,168 @@
+#include "graph/property_graph.h"
+
+#include <algorithm>
+
+namespace pathalg {
+
+LabelId PropertyGraph::FindLabel(std::string_view name) const {
+  auto it = label_index_.find(std::string(name));
+  return it == label_index_.end() ? kNoLabel : it->second;
+}
+
+PropKeyId PropertyGraph::FindPropKey(std::string_view name) const {
+  auto it = prop_key_index_.find(std::string(name));
+  return it == prop_key_index_.end() ? kInvalidId : it->second;
+}
+
+namespace {
+const Value* LookupProp(const PropertyList& props, PropKeyId key) {
+  // Property lists are sorted by key id (see GraphBuilder::InternProps).
+  auto it = std::lower_bound(
+      props.begin(), props.end(), key,
+      [](const std::pair<PropKeyId, Value>& p, PropKeyId k) {
+        return p.first < k;
+      });
+  if (it != props.end() && it->first == key) return &it->second;
+  return nullptr;
+}
+}  // namespace
+
+const Value* PropertyGraph::NodeProperty(NodeId n, PropKeyId key) const {
+  if (!IsValidNode(n) || key == kInvalidId) return nullptr;
+  return LookupProp(node_props_[n], key);
+}
+
+const Value* PropertyGraph::EdgeProperty(EdgeId e, PropKeyId key) const {
+  if (!IsValidEdge(e) || key == kInvalidId) return nullptr;
+  return LookupProp(edge_props_[e], key);
+}
+
+const Value* PropertyGraph::NodeProperty(NodeId n,
+                                         std::string_view key) const {
+  return NodeProperty(n, FindPropKey(key));
+}
+
+const Value* PropertyGraph::EdgeProperty(EdgeId e,
+                                         std::string_view key) const {
+  return EdgeProperty(e, FindPropKey(key));
+}
+
+const std::vector<EdgeId>& PropertyGraph::EdgesWithLabel(
+    LabelId label) const {
+  static const std::vector<EdgeId> kEmpty;
+  if (label >= edges_by_label_.size()) return kEmpty;
+  return edges_by_label_[label];
+}
+
+NodeId PropertyGraph::FindNodeByName(std::string_view name) const {
+  auto it = node_name_index_.find(std::string(name));
+  return it == node_name_index_.end() ? kInvalidId : it->second;
+}
+
+NodeId PropertyGraph::FindNodeByProperty(std::string_view key,
+                                         const Value& value) const {
+  PropKeyId k = FindPropKey(key);
+  if (k == kInvalidId) return kInvalidId;
+  for (NodeId n = 0; n < num_nodes(); ++n) {
+    const Value* v = NodeProperty(n, k);
+    if (v != nullptr && *v == value) return n;
+  }
+  return kInvalidId;
+}
+
+NodeId GraphBuilder::AddNode(
+    std::string_view label, std::vector<std::pair<std::string, Value>> props) {
+  NodeId id = static_cast<NodeId>(graph_.num_nodes());
+  return AddNamedNode("n" + std::to_string(id + 1), label, std::move(props));
+}
+
+NodeId GraphBuilder::AddNamedNode(
+    std::string name, std::string_view label,
+    std::vector<std::pair<std::string, Value>> props) {
+  NodeId id = static_cast<NodeId>(graph_.num_nodes());
+  graph_.node_labels_.push_back(label.empty() ? kNoLabel
+                                              : InternLabel(label));
+  graph_.node_props_.push_back(InternProps(std::move(props)));
+  graph_.node_name_index_.emplace(name, id);
+  graph_.node_names_.push_back(std::move(name));
+  return id;
+}
+
+Result<EdgeId> GraphBuilder::AddEdge(
+    NodeId src, NodeId dst, std::string_view label,
+    std::vector<std::pair<std::string, Value>> props) {
+  EdgeId id = static_cast<EdgeId>(graph_.num_edges());
+  return AddNamedEdge("e" + std::to_string(id + 1), src, dst, label,
+                      std::move(props));
+}
+
+Result<EdgeId> GraphBuilder::AddNamedEdge(
+    std::string name, NodeId src, NodeId dst, std::string_view label,
+    std::vector<std::pair<std::string, Value>> props) {
+  if (!graph_.IsValidNode(src) || !graph_.IsValidNode(dst)) {
+    return Status::InvalidArgument(
+        "edge '" + name + "' references unknown node id " +
+        std::to_string(graph_.IsValidNode(src) ? dst : src));
+  }
+  EdgeId id = static_cast<EdgeId>(graph_.num_edges());
+  graph_.edge_src_.push_back(src);
+  graph_.edge_dst_.push_back(dst);
+  graph_.edge_labels_.push_back(label.empty() ? kNoLabel
+                                              : InternLabel(label));
+  graph_.edge_props_.push_back(InternProps(std::move(props)));
+  graph_.edge_names_.push_back(std::move(name));
+  return id;
+}
+
+PropertyGraph GraphBuilder::Build() {
+  PropertyGraph g = std::move(graph_);
+  graph_ = PropertyGraph();
+  g.out_.assign(g.num_nodes(), {});
+  g.in_.assign(g.num_nodes(), {});
+  g.edges_by_label_.assign(g.labels_.size(), {});
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    g.out_[g.edge_src_[e]].push_back(e);
+    g.in_[g.edge_dst_[e]].push_back(e);
+    if (g.edge_labels_[e] != kNoLabel) {
+      g.edges_by_label_[g.edge_labels_[e]].push_back(e);
+    }
+  }
+  return g;
+}
+
+LabelId GraphBuilder::InternLabel(std::string_view name) {
+  auto [it, inserted] = graph_.label_index_.emplace(
+      std::string(name), static_cast<LabelId>(graph_.labels_.size()));
+  if (inserted) graph_.labels_.emplace_back(name);
+  return it->second;
+}
+
+PropKeyId GraphBuilder::InternPropKey(std::string_view name) {
+  auto [it, inserted] = graph_.prop_key_index_.emplace(
+      std::string(name), static_cast<PropKeyId>(graph_.prop_keys_.size()));
+  if (inserted) graph_.prop_keys_.emplace_back(name);
+  return it->second;
+}
+
+PropertyList GraphBuilder::InternProps(
+    std::vector<std::pair<std::string, Value>> props) {
+  PropertyList out;
+  out.reserve(props.size());
+  for (auto& [key, value] : props) {
+    out.emplace_back(InternPropKey(key), std::move(value));
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  // Last writer wins on duplicate keys: within each equal-key run (stable
+  // sort preserves insertion order) keep the final element.
+  PropertyList dedup;
+  for (size_t i = 0; i < out.size(); ++i) {
+    if (i + 1 < out.size() && out[i + 1].first == out[i].first) continue;
+    dedup.push_back(std::move(out[i]));
+  }
+  return dedup;
+}
+
+}  // namespace pathalg

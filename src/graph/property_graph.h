@@ -1,0 +1,176 @@
+#ifndef PATHALG_GRAPH_PROPERTY_GRAPH_H_
+#define PATHALG_GRAPH_PROPERTY_GRAPH_H_
+
+/// \file property_graph.h
+/// The property graph data model of Definition 2.1: a directed labelled
+/// multigraph G = (N, E, ρ, λ, ν) where nodes and edges carry an optional
+/// label (λ) and a set of property/value pairs (ν), and ρ maps each edge to
+/// its (source, target) node pair.
+///
+/// Identifiers are dense 32-bit indexes assigned by `GraphBuilder`; labels
+/// and property keys are interned per graph so that operator inner loops
+/// compare integers, never strings. The graph is immutable once built.
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "graph/value.h"
+
+namespace pathalg {
+
+using NodeId = uint32_t;
+using EdgeId = uint32_t;
+using LabelId = uint32_t;
+using PropKeyId = uint32_t;
+
+/// Sentinel meaning "no label" (λ is a partial function) / "no such id".
+inline constexpr uint32_t kNoLabel = std::numeric_limits<uint32_t>::max();
+inline constexpr uint32_t kInvalidId = std::numeric_limits<uint32_t>::max();
+
+/// A sorted-by-key list of (property, value) pairs for one object.
+using PropertyList = std::vector<std::pair<PropKeyId, Value>>;
+
+/// Immutable property graph. Construct via GraphBuilder.
+class PropertyGraph {
+ public:
+  /// Constructs the empty graph; populate via GraphBuilder.
+  PropertyGraph() = default;
+
+  size_t num_nodes() const { return node_labels_.size(); }
+  size_t num_edges() const { return edge_src_.size(); }
+
+  bool IsValidNode(NodeId n) const { return n < num_nodes(); }
+  bool IsValidEdge(EdgeId e) const { return e < num_edges(); }
+
+  /// ρ: the source / target node of an edge.
+  NodeId Source(EdgeId e) const { return edge_src_[e]; }
+  NodeId Target(EdgeId e) const { return edge_dst_[e]; }
+
+  /// λ as interned ids (kNoLabel when the object is unlabelled).
+  LabelId NodeLabelId(NodeId n) const { return node_labels_[n]; }
+  LabelId EdgeLabelId(EdgeId e) const { return edge_labels_[e]; }
+
+  /// λ as strings; empty string_view when unlabelled.
+  std::string_view NodeLabel(NodeId n) const {
+    return LabelName(node_labels_[n]);
+  }
+  std::string_view EdgeLabel(EdgeId e) const {
+    return LabelName(edge_labels_[e]);
+  }
+
+  /// Interning lookups. Return kNoLabel / kInvalidId when absent — a label
+  /// that was never used cannot match anything, which lets σ short-circuit.
+  LabelId FindLabel(std::string_view name) const;
+  PropKeyId FindPropKey(std::string_view name) const;
+  std::string_view LabelName(LabelId id) const {
+    return id == kNoLabel ? std::string_view() : labels_[id];
+  }
+  std::string_view PropKeyName(PropKeyId id) const {
+    return id == kInvalidId ? std::string_view() : prop_keys_[id];
+  }
+  size_t num_labels() const { return labels_.size(); }
+
+  /// ν: property access; nullptr when the property is not set.
+  const Value* NodeProperty(NodeId n, PropKeyId key) const;
+  const Value* EdgeProperty(EdgeId e, PropKeyId key) const;
+  const Value* NodeProperty(NodeId n, std::string_view key) const;
+  const Value* EdgeProperty(EdgeId e, std::string_view key) const;
+  const PropertyList& NodeProperties(NodeId n) const {
+    return node_props_[n];
+  }
+  const PropertyList& EdgeProperties(EdgeId e) const {
+    return edge_props_[e];
+  }
+
+  /// Adjacency indexes: edges leaving / entering a node.
+  const std::vector<EdgeId>& OutEdges(NodeId n) const { return out_[n]; }
+  const std::vector<EdgeId>& InEdges(NodeId n) const { return in_[n]; }
+
+  /// All edges carrying `label` (empty for unknown labels).
+  const std::vector<EdgeId>& EdgesWithLabel(LabelId label) const;
+
+  /// Display names ("n1", "e7", ...) used by printers and tests. Builder
+  /// assigns "n{i+1}"/"e{i+1}" unless the caller provided explicit names.
+  const std::string& NodeName(NodeId n) const { return node_names_[n]; }
+  const std::string& EdgeName(EdgeId e) const { return edge_names_[e]; }
+  /// Reverse display-name lookup, for tests/loaders; kInvalidId if unknown.
+  NodeId FindNodeByName(std::string_view name) const;
+
+  /// First node whose property `key` equals `value`; kInvalidId if none.
+  NodeId FindNodeByProperty(std::string_view key, const Value& value) const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<LabelId> node_labels_;
+  std::vector<PropertyList> node_props_;
+  std::vector<std::string> node_names_;
+
+  std::vector<NodeId> edge_src_;
+  std::vector<NodeId> edge_dst_;
+  std::vector<LabelId> edge_labels_;
+  std::vector<PropertyList> edge_props_;
+  std::vector<std::string> edge_names_;
+
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, LabelId> label_index_;
+  std::vector<std::string> prop_keys_;
+  std::unordered_map<std::string, PropKeyId> prop_key_index_;
+
+  std::vector<std::vector<EdgeId>> out_;
+  std::vector<std::vector<EdgeId>> in_;
+  std::vector<std::vector<EdgeId>> edges_by_label_;
+
+  std::unordered_map<std::string, NodeId> node_name_index_;
+};
+
+/// Mutable builder for PropertyGraph. Node/edge ids are assigned densely in
+/// insertion order; edges validate their endpoints eagerly.
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Adds a node; `label` may be empty (λ is partial). Returns its id.
+  NodeId AddNode(std::string_view label = {},
+                 std::vector<std::pair<std::string, Value>> props = {});
+
+  /// Adds a node with an explicit display name (e.g. "n1").
+  NodeId AddNamedNode(std::string name, std::string_view label = {},
+                      std::vector<std::pair<std::string, Value>> props = {});
+
+  /// Adds an edge src→dst. Fails with InvalidArgument on bad endpoints.
+  Result<EdgeId> AddEdge(NodeId src, NodeId dst, std::string_view label = {},
+                         std::vector<std::pair<std::string, Value>> props = {});
+
+  /// Adds an edge with an explicit display name (e.g. "e1").
+  Result<EdgeId> AddNamedEdge(std::string name, NodeId src, NodeId dst,
+                              std::string_view label = {},
+                              std::vector<std::pair<std::string, Value>> props = {});
+
+  size_t num_nodes() const { return graph_.num_nodes(); }
+  size_t num_edges() const { return graph_.num_edges(); }
+
+  /// Finalizes adjacency and label indexes and returns the graph.
+  /// The builder is left empty.
+  PropertyGraph Build();
+
+ private:
+  LabelId InternLabel(std::string_view name);
+  PropKeyId InternPropKey(std::string_view name);
+  PropertyList InternProps(
+      std::vector<std::pair<std::string, Value>> props);
+
+  PropertyGraph graph_;
+};
+
+}  // namespace pathalg
+
+#endif  // PATHALG_GRAPH_PROPERTY_GRAPH_H_

@@ -1,0 +1,55 @@
+#include "graph/transform.h"
+
+#include <unordered_set>
+
+namespace pathalg {
+
+namespace {
+
+std::vector<std::pair<std::string, Value>> CopyProps(
+    const PropertyGraph& g, const PropertyList& props) {
+  std::vector<std::pair<std::string, Value>> out;
+  out.reserve(props.size());
+  for (const auto& [key, value] : props) {
+    out.emplace_back(std::string(g.PropKeyName(key)), value);
+  }
+  return out;
+}
+
+}  // namespace
+
+PropertyGraph ReverseGraph(const PropertyGraph& g) {
+  GraphBuilder b;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    b.AddNamedNode(g.NodeName(n), g.NodeLabel(n),
+                   CopyProps(g, g.NodeProperties(n)));
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    // Endpoints are valid by construction; ignore the Result.
+    (void)b.AddNamedEdge(g.EdgeName(e), g.Target(e), g.Source(e),
+                         g.EdgeLabel(e), CopyProps(g, g.EdgeProperties(e)));
+  }
+  return b.Build();
+}
+
+PropertyGraph SubgraphByEdgeLabels(const PropertyGraph& g,
+                                   const std::vector<std::string>& labels) {
+  std::unordered_set<LabelId> keep;
+  for (const std::string& label : labels) {
+    LabelId id = g.FindLabel(label);
+    if (id != kNoLabel) keep.insert(id);
+  }
+  GraphBuilder b;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    b.AddNamedNode(g.NodeName(n), g.NodeLabel(n),
+                   CopyProps(g, g.NodeProperties(n)));
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (keep.count(g.EdgeLabelId(e)) == 0) continue;
+    (void)b.AddNamedEdge(g.EdgeName(e), g.Source(e), g.Target(e),
+                         g.EdgeLabel(e), CopyProps(g, g.EdgeProperties(e)));
+  }
+  return b.Build();
+}
+
+}  // namespace pathalg

@@ -1,0 +1,34 @@
+#ifndef PATHALG_GRAPH_TRANSFORM_H_
+#define PATHALG_GRAPH_TRANSFORM_H_
+
+/// \file transform.h
+/// Graph-to-graph transformations used to extend the query repertoire:
+///
+/// * ReverseGraph — flips ρ on every edge. Evaluating an RPQ over the
+///   reverse graph answers inverse-label queries (`^a` atoms of two-way
+///   RPQs, §8.1's C2RPQ discussion) without breaking the paper's
+///   forward-only path definition.
+/// * SubgraphByEdgeLabels — keeps only edges with the given labels (all
+///   nodes stay). A cheap static pre-filter for queries whose regex
+///   alphabet is known, shrinking Edges(G) before σ even runs.
+
+#include <string>
+#include <vector>
+
+#include "graph/property_graph.h"
+
+namespace pathalg {
+
+/// Returns G with every edge (u→v) replaced by (v→u). Labels, properties
+/// and display names are preserved; node/edge ids are stable.
+PropertyGraph ReverseGraph(const PropertyGraph& g);
+
+/// Returns G restricted to edges whose label is in `labels`. Nodes (and
+/// their ids) are preserved; edge ids are re-assigned densely in the
+/// original order.
+PropertyGraph SubgraphByEdgeLabels(const PropertyGraph& g,
+                                   const std::vector<std::string>& labels);
+
+}  // namespace pathalg
+
+#endif  // PATHALG_GRAPH_TRANSFORM_H_

@@ -1,0 +1,102 @@
+#include "graph/value.h"
+
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+#include "common/hash.h"
+#include "common/str_util.h"
+
+namespace pathalg {
+
+bool Value::operator==(const Value& other) const {
+  if (is_numeric() && other.is_numeric()) {
+    return AsNumeric() == other.AsNumeric();
+  }
+  return repr_ == other.repr_;
+}
+
+bool Value::operator<(const Value& other) const {
+  // Numerics form a single rank so that Value(1) < Value(1.5) < Value(2).
+  auto rank = [](const Value& v) -> int {
+    switch (v.type()) {
+      case Type::kNull:
+        return 0;
+      case Type::kBool:
+        return 1;
+      case Type::kInt:
+      case Type::kDouble:
+        return 2;
+      case Type::kString:
+        return 3;
+    }
+    return 4;
+  };
+  int ra = rank(*this), rb = rank(other);
+  if (ra != rb) return ra < rb;
+  switch (type()) {
+    case Type::kNull:
+      return false;
+    case Type::kBool:
+      return AsBool() < other.AsBool();
+    case Type::kInt:
+    case Type::kDouble:
+      return AsNumeric() < other.AsNumeric();
+    case Type::kString:
+      return AsString() < other.AsString();
+  }
+  return false;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case Type::kNull:
+      return "null";
+    case Type::kBool:
+      return AsBool() ? "true" : "false";
+    case Type::kInt:
+      return std::to_string(AsInt());
+    case Type::kDouble: {
+      std::ostringstream os;
+      os << AsDouble();
+      return os.str();
+    }
+    case Type::kString:
+      return QuoteString(AsString());
+  }
+  return "?";
+}
+
+size_t Value::Hash() const {
+  size_t h = 0;
+  switch (type()) {
+    case Type::kNull:
+      h = 0x6e756c6c;
+      break;
+    case Type::kBool:
+      HashCombine(h, AsBool() ? 1u : 2u);
+      break;
+    case Type::kInt:
+    case Type::kDouble: {
+      // Ints and equal-valued doubles must hash alike (they compare equal).
+      double d = AsNumeric();
+      if (d == static_cast<double>(static_cast<int64_t>(d)) &&
+          std::abs(d) < 9.0e18) {
+        HashCombine(h, std::hash<int64_t>{}(static_cast<int64_t>(d)));
+      } else {
+        HashCombine(h, std::hash<double>{}(d));
+      }
+      break;
+    }
+    case Type::kString:
+      HashCombine(h, std::hash<std::string>{}(AsString()));
+      break;
+  }
+  return h;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+}  // namespace pathalg

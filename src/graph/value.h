@@ -1,0 +1,73 @@
+#ifndef PATHALG_GRAPH_VALUE_H_
+#define PATHALG_GRAPH_VALUE_H_
+
+/// \file value.h
+/// Property values (the set V of Definition 2.1). A dynamically-typed value
+/// that can be null, boolean, 64-bit integer, double or string. Values are
+/// totally ordered (by type rank, then by payload) so that result sets and
+/// solution spaces have a canonical order.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <variant>
+
+namespace pathalg {
+
+class Value {
+ public:
+  enum class Type { kNull = 0, kBool, kInt, kDouble, kString };
+
+  /// Null value.
+  Value() : repr_(std::monostate{}) {}
+  Value(bool b) : repr_(b) {}                     // NOLINT(runtime/explicit)
+  Value(int64_t i) : repr_(i) {}                  // NOLINT(runtime/explicit)
+  Value(int i) : repr_(static_cast<int64_t>(i)) {}  // NOLINT
+  Value(double d) : repr_(d) {}                   // NOLINT(runtime/explicit)
+  Value(std::string s) : repr_(std::move(s)) {}   // NOLINT(runtime/explicit)
+  Value(const char* s) : repr_(std::string(s)) {}  // NOLINT
+
+  Type type() const { return static_cast<Type>(repr_.index()); }
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_int() const { return type() == Type::kInt; }
+  bool is_double() const { return type() == Type::kDouble; }
+  bool is_string() const { return type() == Type::kString; }
+
+  /// Typed accessors; preconditions checked by std::get.
+  bool AsBool() const { return std::get<bool>(repr_); }
+  int64_t AsInt() const { return std::get<int64_t>(repr_); }
+  double AsDouble() const { return std::get<double>(repr_); }
+  const std::string& AsString() const { return std::get<std::string>(repr_); }
+
+  /// Numeric view: ints and doubles compare with each other numerically.
+  bool is_numeric() const { return is_int() || is_double(); }
+  double AsNumeric() const {
+    return is_int() ? static_cast<double>(AsInt()) : AsDouble();
+  }
+
+  /// Equality follows the paper's condition semantics: same-type payload
+  /// equality, with int/double comparing numerically. Null equals only null.
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+
+  /// Total order: null < bool < numeric < string; numerics compare by value.
+  bool operator<(const Value& other) const;
+  bool operator<=(const Value& other) const { return !(other < *this); }
+  bool operator>(const Value& other) const { return other < *this; }
+  bool operator>=(const Value& other) const { return !(*this < other); }
+
+  /// Rendering used by plan printers: strings are quoted, null is "null".
+  std::string ToString() const;
+
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string> repr_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace pathalg
+
+#endif  // PATHALG_GRAPH_VALUE_H_

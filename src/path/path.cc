@@ -1,0 +1,126 @@
+#include "path/path.h"
+
+#include <cassert>
+#include <unordered_set>
+
+#include "common/hash.h"
+
+namespace pathalg {
+
+Path::Path(std::vector<NodeId> nodes, std::vector<EdgeId> edges)
+    : nodes_(std::move(nodes)), edges_(std::move(edges)) {
+  assert(nodes_.size() == edges_.size() + 1);
+}
+
+Result<Path> Path::Concat(const Path& p1, const Path& p2) {
+  if (p1.empty() || p2.empty()) {
+    return Status::InvalidArgument("cannot concatenate an empty path");
+  }
+  if (p1.Last() != p2.First()) {
+    return Status::InvalidArgument(
+        "path concatenation requires Last(p1) == First(p2)");
+  }
+  return ConcatUnchecked(p1, p2);
+}
+
+Path Path::ConcatUnchecked(const Path& p1, const Path& p2) {
+  std::vector<NodeId> nodes;
+  nodes.reserve(p1.nodes_.size() + p2.nodes_.size() - 1);
+  nodes = p1.nodes_;
+  nodes.insert(nodes.end(), p2.nodes_.begin() + 1, p2.nodes_.end());
+  std::vector<EdgeId> edges;
+  edges.reserve(p1.edges_.size() + p2.edges_.size());
+  edges = p1.edges_;
+  edges.insert(edges.end(), p2.edges_.begin(), p2.edges_.end());
+  return Path(std::move(nodes), std::move(edges));
+}
+
+bool Path::IsAcyclic() const {
+  std::unordered_set<NodeId> seen;
+  for (NodeId n : nodes_) {
+    if (!seen.insert(n).second) return false;
+  }
+  return true;
+}
+
+bool Path::IsSimple() const {
+  if (nodes_.size() <= 1) return true;
+  // All nodes but the last must be pairwise distinct; the last may repeat
+  // only the first (closed simple path / cycle).
+  std::unordered_set<NodeId> seen;
+  for (size_t i = 0; i + 1 < nodes_.size(); ++i) {
+    if (!seen.insert(nodes_[i]).second) return false;
+  }
+  NodeId last = nodes_.back();
+  return seen.count(last) == 0 || last == nodes_.front();
+}
+
+bool Path::IsTrail() const {
+  std::unordered_set<EdgeId> seen;
+  for (EdgeId e : edges_) {
+    if (!seen.insert(e).second) return false;
+  }
+  return true;
+}
+
+Status Path::Validate(const PropertyGraph& g) const {
+  if (empty()) return Status::InvalidArgument("empty path");
+  for (NodeId n : nodes_) {
+    if (!g.IsValidNode(n)) {
+      return Status::InvalidArgument("path references unknown node #" +
+                                     std::to_string(n));
+    }
+  }
+  for (size_t j = 0; j < edges_.size(); ++j) {
+    EdgeId e = edges_[j];
+    if (!g.IsValidEdge(e)) {
+      return Status::InvalidArgument("path references unknown edge #" +
+                                     std::to_string(e));
+    }
+    if (g.Source(e) != nodes_[j] || g.Target(e) != nodes_[j + 1]) {
+      return Status::InvalidArgument(
+          "edge " + std::string(g.EdgeName(e)) +
+          " does not connect the adjacent path nodes (rho mismatch)");
+    }
+  }
+  return Status::OK();
+}
+
+bool Path::operator<(const Path& other) const {
+  if (Len() != other.Len()) return Len() < other.Len();
+  if (nodes_ != other.nodes_) return nodes_ < other.nodes_;
+  return edges_ < other.edges_;
+}
+
+size_t Path::Hash() const {
+  size_t h = HashRange(nodes_.begin(), nodes_.end(), 0x70617468);
+  return HashRange(edges_.begin(), edges_.end(), h);
+}
+
+std::string Path::ToString(const PropertyGraph& g) const {
+  std::string out = "(";
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+      out += g.EdgeName(edges_[i - 1]);
+      out += ", ";
+    }
+    out += g.NodeName(nodes_[i]);
+  }
+  out += ")";
+  return out;
+}
+
+std::string Path::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (i > 0) {
+      out += ", #" + std::to_string(edges_[i - 1]) + ", ";
+    }
+    out += "#" + std::to_string(nodes_[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace pathalg

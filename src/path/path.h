@@ -1,0 +1,115 @@
+#ifndef PATHALG_PATH_PATH_H_
+#define PATHALG_PATH_PATH_H_
+
+/// \file path.h
+/// Paths as first-class values (§2.2): a path is an alternating sequence
+/// (n1, e1, n2, ..., ek, nk+1) with ρ(ei) = (ni, ni+1). A path of length 0
+/// is a single node. This class stores the id sequences; operators needing
+/// λ/ν take the graph as an argument (see path_ops.h).
+///
+/// The paper's path operators (§3.1) use 1-based positions: Node(p, i) is
+/// the i-th node, Edge(p, j) the j-th edge. This API mirrors that.
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/property_graph.h"
+
+namespace pathalg {
+
+class Path {
+ public:
+  /// Constructs the zero-length path (n).
+  static Path SingleNode(NodeId n) { return Path({n}, {}); }
+
+  /// Constructs the length-one path (src, e, dst).
+  static Path SingleEdge(NodeId src, EdgeId e, NodeId dst) {
+    return Path({src, dst}, {e});
+  }
+
+  /// Constructs the length-one path for edge `e` of `g`.
+  static Path EdgeOf(const PropertyGraph& g, EdgeId e) {
+    return SingleEdge(g.Source(e), e, g.Target(e));
+  }
+
+  /// Constructs from explicit sequences; requires
+  /// nodes.size() == edges.size() + 1. Does not validate ρ against a graph —
+  /// use Validate() for that.
+  Path(std::vector<NodeId> nodes, std::vector<EdgeId> edges);
+
+  /// Default: the empty/invalid path (no nodes). Valid paths always have at
+  /// least one node; empty paths only appear as moved-from or default state.
+  Path() = default;
+  bool empty() const { return nodes_.empty(); }
+
+  /// Len(p): number of edges (§3.1).
+  size_t Len() const { return edges_.size(); }
+
+  /// First(p) / Last(p).
+  NodeId First() const { return nodes_.front(); }
+  NodeId Last() const { return nodes_.back(); }
+
+  /// Node(p, i), 1-based; kInvalidId when out of range [1, Len()+1].
+  NodeId NodeAt(size_t i) const {
+    return (i >= 1 && i <= nodes_.size()) ? nodes_[i - 1] : kInvalidId;
+  }
+
+  /// Edge(p, j), 1-based; kInvalidId when out of range [1, Len()].
+  EdgeId EdgeAt(size_t j) const {
+    return (j >= 1 && j <= edges_.size()) ? edges_[j - 1] : kInvalidId;
+  }
+
+  const std::vector<NodeId>& nodes() const { return nodes_; }
+  const std::vector<EdgeId>& edges() const { return edges_; }
+
+  /// Path concatenation p1 ◦ p2 (§3.1). Requires Last(p1) == First(p2);
+  /// returns InvalidArgument otherwise.
+  static Result<Path> Concat(const Path& p1, const Path& p2);
+
+  /// Unchecked concatenation for operator inner loops; precondition:
+  /// !p1.empty() && !p2.empty() && p1.Last() == p2.First().
+  static Path ConcatUnchecked(const Path& p1, const Path& p2);
+
+  /// Classification (§2.2):
+  /// acyclic — all nodes distinct.
+  bool IsAcyclic() const;
+  /// simple — all nodes distinct except possibly first == last.
+  bool IsSimple() const;
+  /// trail — all edges distinct.
+  bool IsTrail() const;
+
+  /// Checks ρ-consistency against `g`: every edge exists and connects the
+  /// adjacent nodes of the sequence.
+  Status Validate(const PropertyGraph& g) const;
+
+  /// Paths are equal iff they have identical id sequences (§2.2); the total
+  /// order (by length, then lexicographic ids) gives result sets a canonical
+  /// order.
+  bool operator==(const Path& other) const {
+    return nodes_ == other.nodes_ && edges_ == other.edges_;
+  }
+  bool operator!=(const Path& other) const { return !(*this == other); }
+  bool operator<(const Path& other) const;
+
+  size_t Hash() const;
+
+  /// Renders with display names: "(n1, e1, n2)".
+  std::string ToString(const PropertyGraph& g) const;
+  /// Renders with raw ids: "(#0, #0, #1)". Useful without a graph at hand.
+  std::string ToString() const;
+
+ private:
+  std::vector<NodeId> nodes_;
+  std::vector<EdgeId> edges_;
+};
+
+struct PathHash {
+  size_t operator()(const Path& p) const { return p.Hash(); }
+};
+
+}  // namespace pathalg
+
+#endif  // PATHALG_PATH_PATH_H_

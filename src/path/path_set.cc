@@ -1,0 +1,39 @@
+#include "path/path_set.h"
+
+#include <algorithm>
+
+namespace pathalg {
+
+bool PathSet::Insert(Path p) {
+  if (!index_.insert(p).second) return false;
+  paths_.push_back(std::move(p));
+  return true;
+}
+
+std::vector<Path> PathSet::Sorted() const {
+  std::vector<Path> out = paths_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool PathSet::operator==(const PathSet& other) const {
+  if (size() != other.size()) return false;
+  for (const Path& p : paths_) {
+    if (!other.Contains(p)) return false;
+  }
+  return true;
+}
+
+std::string PathSet::ToString(const PropertyGraph& g) const {
+  std::string out = "{";
+  bool first = true;
+  for (const Path& p : Sorted()) {
+    if (!first) out += ", ";
+    first = false;
+    out += p.ToString(g);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace pathalg

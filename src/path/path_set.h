@@ -1,0 +1,64 @@
+#ifndef PATHALG_PATH_PATH_SET_H_
+#define PATHALG_PATH_PATH_SET_H_
+
+/// \file path_set.h
+/// The primary data structure of the algebra: a duplicate-free set of paths
+/// (§1: "a set of paths serves as the primary data structure for input and
+/// output in the algebra operators"). Iteration order is insertion order,
+/// which makes every operator deterministic; `Sorted()` gives the canonical
+/// (length, ids) order used by tests and printers.
+
+#include <cstddef>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "path/path.h"
+
+namespace pathalg {
+
+class PathSet {
+ public:
+  PathSet() = default;
+
+  /// Builds a set from a vector, deduplicating.
+  explicit PathSet(const std::vector<Path>& paths) {
+    for (const Path& p : paths) Insert(p);
+  }
+
+  /// Inserts `p`; returns false if it was already present.
+  bool Insert(Path p);
+
+  bool Contains(const Path& p) const { return index_.count(p) != 0; }
+
+  size_t size() const { return paths_.size(); }
+  bool empty() const { return paths_.empty(); }
+
+  const Path& operator[](size_t i) const { return paths_[i]; }
+  std::vector<Path>::const_iterator begin() const { return paths_.begin(); }
+  std::vector<Path>::const_iterator end() const { return paths_.end(); }
+  const std::vector<Path>& paths() const { return paths_; }
+
+  /// Paths in canonical (length, node-ids, edge-ids) order.
+  std::vector<Path> Sorted() const;
+
+  /// Set-level equality (order-insensitive).
+  bool operator==(const PathSet& other) const;
+  bool operator!=(const PathSet& other) const { return !(*this == other); }
+
+  void clear() {
+    paths_.clear();
+    index_.clear();
+  }
+
+  /// Renders as "{(n1, e1, n2), ...}" in canonical order.
+  std::string ToString(const PropertyGraph& g) const;
+
+ private:
+  std::vector<Path> paths_;
+  std::unordered_set<Path, PathHash> index_;
+};
+
+}  // namespace pathalg
+
+#endif  // PATHALG_PATH_PATH_SET_H_

@@ -1,0 +1,51 @@
+#ifndef PATHALG_PLAN_COST_H_
+#define PATHALG_PLAN_COST_H_
+
+/// \file cost.h
+/// Cardinality estimation and a simple cost model over logical plans —
+/// the ingredient §7.3 points at when it says algebra manipulations "are a
+/// standard part of any cost-based query execution plan in SQL databases".
+///
+/// Estimates are deliberately coarse (independence assumptions, uniform
+/// endpoints, capped recursion blowup): their job is to *rank* plan
+/// alternatives (e.g. join associations), not to predict runtimes.
+
+#include <string>
+#include <unordered_map>
+
+#include "graph/property_graph.h"
+#include "plan/plan.h"
+
+namespace pathalg {
+
+/// Per-graph statistics the estimator consumes. Collect once per graph.
+struct GraphStats {
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+  /// label → number of edges/nodes carrying it.
+  std::unordered_map<std::string, size_t> edge_label_counts;
+  std::unordered_map<std::string, size_t> node_label_counts;
+
+  static GraphStats Collect(const PropertyGraph& g);
+};
+
+struct CostEstimate {
+  /// Estimated number of output paths.
+  double cardinality = 0;
+  /// Cumulative work estimate (sum over the subtree of per-operator work).
+  double cost = 0;
+};
+
+/// Estimates output cardinality and total cost of `plan` against `stats`.
+/// Never fails: unknown constructs fall back to conservative defaults.
+CostEstimate EstimateCost(const PlanPtr& plan, const GraphStats& stats);
+
+/// Estimated fraction of paths satisfying `condition` (0..1), using label
+/// histograms for label atoms, 1/num_nodes for endpoint property lookups,
+/// and independence for AND/OR.
+double EstimateSelectivity(const Condition& condition,
+                           const GraphStats& stats);
+
+}  // namespace pathalg
+
+#endif  // PATHALG_PLAN_COST_H_

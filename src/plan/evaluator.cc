@@ -1,0 +1,92 @@
+#include "plan/evaluator.h"
+
+#include <variant>
+
+#include "algebra/core_ops.h"
+#include "path/path_ops.h"
+
+namespace pathalg {
+
+namespace {
+
+using EvalValue = std::variant<PathSet, SolutionSpace>;
+
+Result<EvalValue> Eval(const PropertyGraph& g, const PlanNode& node,
+                       const EvalOptions& options) {
+  // Evaluate children first (all operators are strict).
+  std::vector<EvalValue> inputs;
+  inputs.reserve(node.children().size());
+  for (const PlanPtr& c : node.children()) {
+    PATHALG_ASSIGN_OR_RETURN(EvalValue v, Eval(g, *c, options));
+    inputs.push_back(std::move(v));
+  }
+  auto paths = [&](size_t i) -> PathSet& {
+    return std::get<PathSet>(inputs[i]);
+  };
+  switch (node.kind()) {
+    case PlanKind::kNodesScan:
+      return EvalValue(NodesOf(g));
+    case PlanKind::kEdgesScan:
+      return EvalValue(EdgesOf(g));
+    case PlanKind::kSelect:
+      return EvalValue(Select(g, paths(0), *node.condition()));
+    case PlanKind::kJoin:
+      return EvalValue(Join(paths(0), paths(1)));
+    case PlanKind::kUnion:
+      return EvalValue(Union(paths(0), paths(1)));
+    case PlanKind::kIntersect:
+      return EvalValue(Intersect(paths(0), paths(1)));
+    case PlanKind::kDifference:
+      return EvalValue(Difference(paths(0), paths(1)));
+    case PlanKind::kRecursive: {
+      PATHALG_ASSIGN_OR_RETURN(
+          PathSet r, Recursive(paths(0), node.semantics(), options.limits,
+                               options.engine));
+      return EvalValue(std::move(r));
+    }
+    case PlanKind::kRestrict:
+      return EvalValue(RestrictPaths(paths(0), node.semantics()));
+    case PlanKind::kGroupBy:
+      return EvalValue(GroupBy(paths(0), node.group_key()));
+    case PlanKind::kOrderBy:
+      return EvalValue(
+          OrderBy(std::get<SolutionSpace>(inputs[0]), node.order_key()));
+    case PlanKind::kProject: {
+      PATHALG_ASSIGN_OR_RETURN(
+          PathSet r,
+          Project(std::get<SolutionSpace>(inputs[0]), node.projection()));
+      return EvalValue(std::move(r));
+    }
+  }
+  return Status::Internal("unknown plan kind");
+}
+
+}  // namespace
+
+Result<PathSet> Evaluate(const PropertyGraph& g, const PlanPtr& plan,
+                         const EvalOptions& options) {
+  if (plan == nullptr) return Status::InvalidArgument("null plan");
+  PATHALG_RETURN_NOT_OK(plan->Validate());
+  if (plan->ProducesSpace()) {
+    return Status::InvalidArgument(
+        "plan root produces a solution space; use EvaluateToSpace or add a "
+        "Project");
+  }
+  PATHALG_ASSIGN_OR_RETURN(EvalValue v, Eval(g, *plan, options));
+  return std::get<PathSet>(std::move(v));
+}
+
+Result<SolutionSpace> EvaluateToSpace(const PropertyGraph& g,
+                                      const PlanPtr& plan,
+                                      const EvalOptions& options) {
+  if (plan == nullptr) return Status::InvalidArgument("null plan");
+  PATHALG_RETURN_NOT_OK(plan->Validate());
+  if (!plan->ProducesSpace()) {
+    return Status::InvalidArgument(
+        "plan root produces a set of paths; use Evaluate");
+  }
+  PATHALG_ASSIGN_OR_RETURN(EvalValue v, Eval(g, *plan, options));
+  return std::get<SolutionSpace>(std::move(v));
+}
+
+}  // namespace pathalg

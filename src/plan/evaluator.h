@@ -1,0 +1,35 @@
+#ifndef PATHALG_PLAN_EVALUATOR_H_
+#define PATHALG_PLAN_EVALUATOR_H_
+
+/// \file evaluator.h
+/// The reference interpreter for logical plans: "to build a reference
+/// implementation, one only needs to specify an algorithm for each operator
+/// of the algebra" (§7.2). Each plan node maps 1:1 onto the algebra
+/// implementations in src/algebra.
+
+#include "algebra/recursive.h"
+#include "common/result.h"
+#include "graph/property_graph.h"
+#include "path/path_set.h"
+#include "plan/plan.h"
+
+namespace pathalg {
+
+/// Evaluation knobs threaded through every ϕ in the plan.
+struct EvalOptions {
+  EvalLimits limits;
+  PhiEngine engine = PhiEngine::kOptimized;
+};
+
+/// Evaluates a path-typed plan (root must not be γ/τ). Validates first.
+Result<PathSet> Evaluate(const PropertyGraph& g, const PlanPtr& plan,
+                         const EvalOptions& options = {});
+
+/// Evaluates a space-typed plan (root must be γ or τ). Validates first.
+Result<SolutionSpace> EvaluateToSpace(const PropertyGraph& g,
+                                      const PlanPtr& plan,
+                                      const EvalOptions& options = {});
+
+}  // namespace pathalg
+
+#endif  // PATHALG_PLAN_EVALUATOR_H_

@@ -1,0 +1,133 @@
+#include "regex/ast.h"
+
+namespace pathalg {
+
+// Factory plumbing mirroring PlanNode's: a single place may write fields.
+struct RegexBuilderAccess {
+  static std::shared_ptr<RegexNode> Make(RegexKind kind) {
+    auto n = std::shared_ptr<RegexNode>(new RegexNode());
+    n->kind_ = kind;
+    return n;
+  }
+  static void SetLabel(RegexNode& n, std::string l) {
+    n.label_ = std::move(l);
+  }
+  static void SetChildren(RegexNode& n, RegexPtr l, RegexPtr r) {
+    n.left_ = std::move(l);
+    n.right_ = std::move(r);
+  }
+};
+
+RegexPtr RegexNode::Label(std::string label) {
+  auto n = RegexBuilderAccess::Make(RegexKind::kLabel);
+  RegexBuilderAccess::SetLabel(*n, std::move(label));
+  return n;
+}
+
+RegexPtr RegexNode::Concat(RegexPtr l, RegexPtr r) {
+  auto n = RegexBuilderAccess::Make(RegexKind::kConcat);
+  RegexBuilderAccess::SetChildren(*n, std::move(l), std::move(r));
+  return n;
+}
+
+RegexPtr RegexNode::Union(RegexPtr l, RegexPtr r) {
+  auto n = RegexBuilderAccess::Make(RegexKind::kUnion);
+  RegexBuilderAccess::SetChildren(*n, std::move(l), std::move(r));
+  return n;
+}
+
+RegexPtr RegexNode::Plus(RegexPtr inner) {
+  auto n = RegexBuilderAccess::Make(RegexKind::kPlus);
+  RegexBuilderAccess::SetChildren(*n, std::move(inner), nullptr);
+  return n;
+}
+
+RegexPtr RegexNode::Star(RegexPtr inner) {
+  auto n = RegexBuilderAccess::Make(RegexKind::kStar);
+  RegexBuilderAccess::SetChildren(*n, std::move(inner), nullptr);
+  return n;
+}
+
+RegexPtr RegexNode::Optional(RegexPtr inner) {
+  auto n = RegexBuilderAccess::Make(RegexKind::kOptional);
+  RegexBuilderAccess::SetChildren(*n, std::move(inner), nullptr);
+  return n;
+}
+
+bool RegexNode::MatchesEmpty() const {
+  switch (kind_) {
+    case RegexKind::kLabel:
+      return false;
+    case RegexKind::kConcat:
+      return left_->MatchesEmpty() && right_->MatchesEmpty();
+    case RegexKind::kUnion:
+      return left_->MatchesEmpty() || right_->MatchesEmpty();
+    case RegexKind::kPlus:
+      return left_->MatchesEmpty();
+    case RegexKind::kStar:
+    case RegexKind::kOptional:
+      return true;
+  }
+  return false;
+}
+
+namespace {
+// Precedence: union(1) < concat(2) < postfix(3).
+int Precedence(RegexKind k) {
+  switch (k) {
+    case RegexKind::kUnion:
+      return 1;
+    case RegexKind::kConcat:
+      return 2;
+    default:
+      return 3;
+  }
+}
+
+std::string Render(const RegexNode& n, int parent_prec) {
+  int prec = Precedence(n.kind());
+  std::string out;
+  switch (n.kind()) {
+    case RegexKind::kLabel:
+      out = ":" + n.label();
+      break;
+    case RegexKind::kConcat:
+      out = Render(*n.left(), prec) + "/" + Render(*n.right(), prec);
+      break;
+    case RegexKind::kUnion:
+      out = Render(*n.left(), prec) + "|" + Render(*n.right(), prec);
+      break;
+    case RegexKind::kPlus:
+      out = Render(*n.left(), prec + 1) + "+";
+      break;
+    case RegexKind::kStar:
+      out = Render(*n.left(), prec + 1) + "*";
+      break;
+    case RegexKind::kOptional:
+      out = Render(*n.left(), prec + 1) + "?";
+      break;
+  }
+  if (prec < parent_prec) return "(" + out + ")";
+  return out;
+}
+}  // namespace
+
+std::string RegexNode::ToString() const { return Render(*this, 0); }
+
+bool RegexNode::Equals(const RegexNode& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case RegexKind::kLabel:
+      return label_ == other.label_;
+    case RegexKind::kConcat:
+    case RegexKind::kUnion:
+      return left_->Equals(*other.left_) && right_->Equals(*other.right_);
+    case RegexKind::kPlus:
+    case RegexKind::kStar:
+    case RegexKind::kOptional:
+      return left_->Equals(*other.left_);
+  }
+  return false;
+}
+
+}  // namespace pathalg

@@ -1,0 +1,64 @@
+#ifndef PATHALG_REGEX_AST_H_
+#define PATHALG_REGEX_AST_H_
+
+/// \file ast.h
+/// Regular path expressions (§2.3): the regex part of an RPQ
+/// (x, regex, y). Atoms are edge labels; combinators are concatenation `/`,
+/// alternation `|`, and the postfix closures `+`, `*`, `?` — exactly the
+/// operators used by the paper's examples, e.g.
+/// `(:Knows+)|(:Likes/:Has_creator)*`.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pathalg {
+
+enum class RegexKind { kLabel, kConcat, kUnion, kPlus, kStar, kOptional };
+
+class RegexNode;
+using RegexPtr = std::shared_ptr<const RegexNode>;
+
+class RegexNode {
+ public:
+  RegexKind kind() const { return kind_; }
+
+  /// kLabel only: the edge label to match.
+  const std::string& label() const { return label_; }
+
+  /// kConcat/kUnion: both children; kPlus/kStar/kOptional: left only.
+  const RegexPtr& left() const { return left_; }
+  const RegexPtr& right() const { return right_; }
+
+  /// True if the regex matches the empty word (ε) — such expressions admit
+  /// zero-length paths (single nodes).
+  bool MatchesEmpty() const;
+
+  /// Renders in the paper's syntax with minimal parentheses, e.g.
+  /// `(:Knows+)|(:Likes/:Has_creator)*` prints as
+  /// `:Knows+|(:Likes/:Has_creator)*`.
+  std::string ToString() const;
+
+  bool Equals(const RegexNode& other) const;
+
+  // Factories ---------------------------------------------------------------
+  static RegexPtr Label(std::string label);
+  static RegexPtr Concat(RegexPtr l, RegexPtr r);
+  static RegexPtr Union(RegexPtr l, RegexPtr r);
+  static RegexPtr Plus(RegexPtr inner);
+  static RegexPtr Star(RegexPtr inner);
+  static RegexPtr Optional(RegexPtr inner);
+
+ private:
+  friend struct RegexBuilderAccess;
+  RegexNode() = default;
+
+  RegexKind kind_ = RegexKind::kLabel;
+  std::string label_;
+  RegexPtr left_;
+  RegexPtr right_;
+};
+
+}  // namespace pathalg
+
+#endif  // PATHALG_REGEX_AST_H_

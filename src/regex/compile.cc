@@ -1,0 +1,42 @@
+#include "regex/compile.h"
+
+namespace pathalg {
+
+PlanPtr CompileRegex(const RegexPtr& regex, const CompileOptions& options) {
+  if (regex == nullptr) return nullptr;
+  switch (regex->kind()) {
+    case RegexKind::kLabel:
+      return PlanNode::Select(EdgeLabelEq(1, regex->label()),
+                              PlanNode::EdgesScan());
+    case RegexKind::kConcat:
+      return PlanNode::Join(CompileRegex(regex->left(), options),
+                            CompileRegex(regex->right(), options));
+    case RegexKind::kUnion:
+      return PlanNode::Union(CompileRegex(regex->left(), options),
+                             CompileRegex(regex->right(), options));
+    case RegexKind::kPlus:
+      return PlanNode::Recursive(options.semantics,
+                                 CompileRegex(regex->left(), options));
+    case RegexKind::kStar:
+      return PlanNode::Union(
+          PlanNode::Recursive(options.semantics,
+                              CompileRegex(regex->left(), options)),
+          PlanNode::NodesScan());
+    case RegexKind::kOptional:
+      return PlanNode::Union(CompileRegex(regex->left(), options),
+                             PlanNode::NodesScan());
+  }
+  return nullptr;
+}
+
+PlanPtr CompileRpq(const RegexPtr& regex, const CompileOptions& options,
+                   const ConditionPtr& endpoint_filter) {
+  PlanPtr plan = CompileRegex(regex, options);
+  if (plan == nullptr) return nullptr;
+  if (endpoint_filter != nullptr) {
+    plan = PlanNode::Select(endpoint_filter, std::move(plan));
+  }
+  return plan;
+}
+
+}  // namespace pathalg

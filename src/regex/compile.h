@@ -1,0 +1,45 @@
+#ifndef PATHALG_REGEX_COMPILE_H_
+#define PATHALG_REGEX_COMPILE_H_
+
+/// \file compile.h
+/// Compiles a regular path expression into a path-algebra logical plan,
+/// exactly the way the paper's evaluation trees do it (Figures 2–4):
+///
+///   :L      →  σ[label(edge(1)) = "L"](Edges(G))
+///   r1/r2   →  Compile(r1) ⋈ Compile(r2)
+///   r1|r2   →  Compile(r1) ∪ Compile(r2)
+///   r+      →  ϕ_sem(Compile(r))
+///   r*      →  ϕ_sem(Compile(r)) ∪ Nodes(G)        (Figure 4)
+///   r?      →  Compile(r) ∪ Nodes(G)
+///
+/// The restrictor semantics parameterizes every ϕ node, mirroring §4's
+/// "change the recursive operators in our example query tree with ϕSimple".
+/// Note (documented in DESIGN.md): the paper applies the restrictor to each
+/// ϕ operator; GQL applies it to the whole path. The two coincide for the
+/// paper's query shapes (a closure at the top of each union branch); for
+/// nested closures under concatenation they may differ, and gql::Query
+/// offers a whole-path post-filter for strict GQL conformance.
+
+#include "plan/plan.h"
+#include "regex/ast.h"
+
+namespace pathalg {
+
+struct CompileOptions {
+  /// The restrictor applied to every ϕ node.
+  PathSemantics semantics = PathSemantics::kWalk;
+};
+
+/// Compiles `regex` into a path-typed logical plan.
+PlanPtr CompileRegex(const RegexPtr& regex, const CompileOptions& options = {});
+
+/// Convenience: the endpoint-filtered RPQ plan for the paper's pattern
+/// `(x {prop_key: source_value})-[regex]->(y {prop_key: target_value})`:
+/// wraps CompileRegex in σ[first.key = v AND last.key = w]. Either endpoint
+/// filter may be disabled by passing nullptr.
+PlanPtr CompileRpq(const RegexPtr& regex, const CompileOptions& options,
+                   const ConditionPtr& endpoint_filter);
+
+}  // namespace pathalg
+
+#endif  // PATHALG_REGEX_COMPILE_H_

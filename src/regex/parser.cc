@@ -1,0 +1,115 @@
+#include "regex/parser.h"
+
+#include <cctype>
+
+namespace pathalg {
+
+namespace {
+
+class RegexParser {
+ public:
+  explicit RegexParser(std::string_view text) : text_(text) {}
+
+  Result<RegexPtr> Parse() {
+    PATHALG_ASSIGN_OR_RETURN(RegexPtr r, ParseAlt());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("unexpected character '" + std::string(1, text_[pos_]) +
+                   "'");
+    }
+    return r;
+  }
+
+ private:
+  Status Error(const std::string& msg) {
+    return Status::ParseError("regex: " + msg + " at position " +
+                              std::to_string(pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool Eat(char c) {
+    if (!Peek(c)) return false;
+    ++pos_;
+    return true;
+  }
+
+  Result<RegexPtr> ParseAlt() {
+    PATHALG_ASSIGN_OR_RETURN(RegexPtr left, ParseConcat());
+    while (Eat('|')) {
+      PATHALG_ASSIGN_OR_RETURN(RegexPtr right, ParseConcat());
+      left = RegexNode::Union(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<RegexPtr> ParseConcat() {
+    PATHALG_ASSIGN_OR_RETURN(RegexPtr left, ParsePostfix());
+    while (Eat('/')) {
+      PATHALG_ASSIGN_OR_RETURN(RegexPtr right, ParsePostfix());
+      left = RegexNode::Concat(std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<RegexPtr> ParsePostfix() {
+    PATHALG_ASSIGN_OR_RETURN(RegexPtr inner, ParsePrimary());
+    while (true) {
+      if (Eat('+')) {
+        inner = RegexNode::Plus(std::move(inner));
+      } else if (Eat('*')) {
+        inner = RegexNode::Star(std::move(inner));
+      } else if (Eat('?')) {
+        inner = RegexNode::Optional(std::move(inner));
+      } else {
+        break;
+      }
+    }
+    return inner;
+  }
+
+  Result<RegexPtr> ParsePrimary() {
+    SkipSpace();
+    if (Eat('(')) {
+      PATHALG_ASSIGN_OR_RETURN(RegexPtr inner, ParseAlt());
+      if (!Eat(')')) return Error("expected ')'");
+      return inner;
+    }
+    Eat(':');  // optional GQL label marker
+    SkipSpace();
+    size_t start = pos_;
+    if (pos_ < text_.size() &&
+        (std::isalpha(static_cast<unsigned char>(text_[pos_])) ||
+         text_[pos_] == '_')) {
+      ++pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      return RegexNode::Label(std::string(text_.substr(start, pos_ - start)));
+    }
+    return Error("expected a label or '('");
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<RegexPtr> ParseRegex(std::string_view text) {
+  return RegexParser(text).Parse();
+}
+
+}  // namespace pathalg

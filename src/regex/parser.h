@@ -1,0 +1,27 @@
+#ifndef PATHALG_REGEX_PARSER_H_
+#define PATHALG_REGEX_PARSER_H_
+
+/// \file parser.h
+/// Parser for the paper's regex syntax:
+///
+///   alt     := concat ('|' concat)*
+///   concat  := postfix ('/' postfix)*
+///   postfix := primary ('+' | '*' | '?')*
+///   primary := ':'? IDENT | '(' alt ')'
+///
+/// Identifiers are [A-Za-z_][A-Za-z0-9_]*; the leading ':' (GQL label
+/// syntax) is optional; whitespace is insignificant.
+
+#include <string_view>
+
+#include "common/result.h"
+#include "regex/ast.h"
+
+namespace pathalg {
+
+/// Parses `text` into a regex AST; ParseError (with position) on failure.
+Result<RegexPtr> ParseRegex(std::string_view text);
+
+}  // namespace pathalg
+
+#endif  // PATHALG_REGEX_PARSER_H_

@@ -1,0 +1,45 @@
+#include "workload/figure1.h"
+
+#include <cassert>
+
+namespace pathalg {
+
+PropertyGraph MakeFigure1Graph(Figure1Ids* ids) {
+  GraphBuilder b;
+  Figure1Ids out;
+  out.n1 = b.AddNamedNode("n1", "Person", {{"name", Value("Moe")}});
+  out.n2 = b.AddNamedNode("n2", "Person", {{"name", Value("Homer")}});
+  out.n3 = b.AddNamedNode("n3", "Person", {{"name", Value("Lisa")}});
+  out.n4 = b.AddNamedNode("n4", "Person", {{"name", Value("Apu")}});
+  out.n5 = b.AddNamedNode(
+      "n5", "Message", {{"content", Value("I am so smart, SMRT")}});
+  out.n6 = b.AddNamedNode("n6", "Message",
+                          {{"content", Value("Flaming Moe's tonight")}});
+  out.n7 = b.AddNamedNode("n7", "Message",
+                          {{"content", Value("Thank you, come again")}});
+
+  auto edge = [&b](std::string name, NodeId s, NodeId t,
+                   std::string_view label) {
+    Result<EdgeId> e = b.AddNamedEdge(std::move(name), s, t, label);
+    assert(e.ok());
+    return e.value();
+  };
+  out.e1 = edge("e1", out.n1, out.n2, "Knows");
+  out.e2 = edge("e2", out.n2, out.n3, "Knows");
+  out.e3 = edge("e3", out.n3, out.n2, "Knows");
+  out.e4 = edge("e4", out.n2, out.n4, "Knows");
+  out.e5 = edge("e5", out.n2, out.n5, "Likes");
+  out.e6 = edge("e6", out.n5, out.n1, "Has_creator");
+  out.e7 = edge("e7", out.n3, out.n7, "Likes");
+  out.e8 = edge("e8", out.n1, out.n6, "Likes");
+  out.e9 = edge("e9", out.n4, out.n5, "Likes");
+  out.e10 = edge("e10", out.n7, out.n4, "Has_creator");
+  out.e11 = edge("e11", out.n6, out.n3, "Has_creator");
+
+  if (ids != nullptr) *ids = out;
+  return b.Build();
+}
+
+PropertyGraph MakeFigure1Graph() { return MakeFigure1Graph(nullptr); }
+
+}  // namespace pathalg

@@ -1,0 +1,39 @@
+#ifndef PATHALG_WORKLOAD_FIGURE1_H_
+#define PATHALG_WORKLOAD_FIGURE1_H_
+
+/// \file figure1.h
+/// The paper's running example (Figure 1): a snippet of the LDBC Social
+/// Network Benchmark graph with Persons and Messages connected by Knows,
+/// Likes and Has_creator edges. Reconstructed from every textual constraint
+/// in the paper (see DESIGN.md "Figure 1 reconstruction"):
+///
+///   Persons:  n1 "Moe", n2 "Homer", n3 "Lisa", n4 "Apu"
+///   Messages: n5, n6, n7
+///   Knows:        e1:(n1→n2)  e2:(n2→n3)  e3:(n3→n2)  e4:(n2→n4)
+///   Likes:        e5:(n2→n5)  e7:(n3→n7)  e8:(n1→n6)  e9:(n4→n5)
+///   Has_creator:  e6:(n5→n1)  e10:(n7→n4) e11:(n6→n3)
+///
+/// The inner cycle is n2→n3→n2 (Knows); the outer (Likes/Has_creator)+
+/// cycle is n1→n6→n3→n7→n4→n5→n1.
+
+#include "graph/property_graph.h"
+
+namespace pathalg {
+
+/// Node/edge indexes of the Figure 1 graph, for readable tests. The value
+/// of `kN1` is the NodeId of node "n1", etc. (ids are zero-based; names are
+/// one-based like the paper's).
+struct Figure1Ids {
+  NodeId n1, n2, n3, n4, n5, n6, n7;
+  EdgeId e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11;
+};
+
+/// Builds the Figure 1 graph.
+PropertyGraph MakeFigure1Graph();
+
+/// Builds the graph and returns the id map alongside.
+PropertyGraph MakeFigure1Graph(Figure1Ids* ids);
+
+}  // namespace pathalg
+
+#endif  // PATHALG_WORKLOAD_FIGURE1_H_

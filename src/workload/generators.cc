@@ -1,0 +1,146 @@
+#include "workload/generators.h"
+
+#include <cassert>
+#include <random>
+
+namespace pathalg {
+
+namespace {
+EdgeId MustAddEdge(GraphBuilder& b, NodeId s, NodeId t,
+                   std::string_view label) {
+  Result<EdgeId> e = b.AddEdge(s, t, label);
+  assert(e.ok());
+  return e.value();
+}
+}  // namespace
+
+PropertyGraph MakeCycleGraph(size_t n, std::string_view label) {
+  GraphBuilder b;
+  std::vector<NodeId> nodes;
+  nodes.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    nodes.push_back(b.AddNode("Node", {{"id", Value(int64_t(i))}}));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    MustAddEdge(b, nodes[i], nodes[(i + 1) % n], label);
+  }
+  return b.Build();
+}
+
+PropertyGraph MakeChainGraph(size_t n, std::string_view label) {
+  GraphBuilder b;
+  std::vector<NodeId> nodes;
+  nodes.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    nodes.push_back(b.AddNode("Node", {{"id", Value(int64_t(i))}}));
+  }
+  for (size_t i = 0; i + 1 < n; ++i) {
+    MustAddEdge(b, nodes[i], nodes[i + 1], label);
+  }
+  return b.Build();
+}
+
+PropertyGraph MakeDiamondChainGraph(size_t k, std::string_view label) {
+  GraphBuilder b;
+  NodeId prev = b.AddNode("Node", {{"id", Value(int64_t(0))}});
+  for (size_t i = 0; i < k; ++i) {
+    NodeId top = b.AddNode("Node");
+    NodeId bottom = b.AddNode("Node");
+    NodeId next = b.AddNode("Node", {{"id", Value(int64_t(i + 1))}});
+    MustAddEdge(b, prev, top, label);
+    MustAddEdge(b, prev, bottom, label);
+    MustAddEdge(b, top, next, label);
+    MustAddEdge(b, bottom, next, label);
+    prev = next;
+  }
+  return b.Build();
+}
+
+PropertyGraph MakeGridGraph(size_t w, size_t h,
+                            std::string_view uniform_label) {
+  GraphBuilder b;
+  std::vector<NodeId> nodes(w * h);
+  for (size_t y = 0; y < h; ++y) {
+    for (size_t x = 0; x < w; ++x) {
+      nodes[y * w + x] =
+          b.AddNode("Cell", {{"x", Value(int64_t(x))},
+                             {"y", Value(int64_t(y))}});
+    }
+  }
+  std::string_view east = uniform_label.empty() ? "E" : uniform_label;
+  std::string_view south = uniform_label.empty() ? "S" : uniform_label;
+  for (size_t y = 0; y < h; ++y) {
+    for (size_t x = 0; x < w; ++x) {
+      if (x + 1 < w) {
+        MustAddEdge(b, nodes[y * w + x], nodes[y * w + x + 1], east);
+      }
+      if (y + 1 < h) {
+        MustAddEdge(b, nodes[y * w + x], nodes[(y + 1) * w + x], south);
+      }
+    }
+  }
+  return b.Build();
+}
+
+PropertyGraph MakeRandomGraph(size_t n, size_t m,
+                              const std::vector<std::string>& labels,
+                              uint64_t seed) {
+  assert(n > 0 && !labels.empty());
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<size_t> node_dist(0, n - 1);
+  std::uniform_int_distribution<size_t> label_dist(0, labels.size() - 1);
+  GraphBuilder b;
+  std::vector<NodeId> nodes;
+  nodes.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    nodes.push_back(b.AddNode("Node", {{"id", Value(int64_t(i))}}));
+  }
+  for (size_t i = 0; i < m; ++i) {
+    MustAddEdge(b, nodes[node_dist(rng)], nodes[node_dist(rng)],
+                labels[label_dist(rng)]);
+  }
+  return b.Build();
+}
+
+PropertyGraph MakeSocialGraph(const SocialGraphOptions& options) {
+  assert(options.num_persons >= 2);
+  std::mt19937_64 rng(options.seed);
+  std::uniform_int_distribution<size_t> person_dist(
+      0, options.num_persons - 1);
+  GraphBuilder b;
+  std::vector<NodeId> persons;
+  persons.reserve(options.num_persons);
+  for (size_t i = 0; i < options.num_persons; ++i) {
+    persons.push_back(
+        b.AddNode("Person", {{"name", Value("person" + std::to_string(i))},
+                             {"id", Value(int64_t(i))}}));
+  }
+  // Knows ring: person i knows persons i+1..i+ring_degree (mod n). The ring
+  // guarantees Knows cycles — the paper's inner-cycle structure — at scale.
+  for (size_t i = 0; i < options.num_persons; ++i) {
+    for (size_t d = 1; d <= options.ring_degree; ++d) {
+      MustAddEdge(b, persons[i],
+                  persons[(i + d) % options.num_persons], "Knows");
+    }
+  }
+  for (size_t i = 0; i < options.random_knows; ++i) {
+    size_t s = person_dist(rng), t = person_dist(rng);
+    if (s == t) t = (t + 1) % options.num_persons;
+    MustAddEdge(b, persons[s], persons[t], "Knows");
+  }
+  // Messages: each has one creator (Has_creator) and some likers (Likes).
+  // A person liking a message created by another person yields the
+  // Likes/Has_creator 2-step composition of the paper's outer cycle.
+  for (size_t i = 0; i < options.num_messages; ++i) {
+    NodeId msg = b.AddNode(
+        "Message", {{"content", Value("message" + std::to_string(i))},
+                    {"id", Value(int64_t(i))}});
+    MustAddEdge(b, msg, persons[person_dist(rng)], "Has_creator");
+    for (size_t l = 0; l < options.likes_per_message; ++l) {
+      MustAddEdge(b, persons[person_dist(rng)], msg, "Likes");
+    }
+  }
+  return b.Build();
+}
+
+}  // namespace pathalg

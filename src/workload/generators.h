@@ -1,0 +1,67 @@
+#ifndef PATHALG_WORKLOAD_GENERATORS_H_
+#define PATHALG_WORKLOAD_GENERATORS_H_
+
+/// \file generators.h
+/// Synthetic graph families used by tests (property/differential testing
+/// over many seeds) and benches (scaling sweeps). All generators are
+/// deterministic given their parameters and seed.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/property_graph.h"
+
+namespace pathalg {
+
+/// A directed cycle of `n` nodes whose edges all carry `label`. The
+/// canonical adversarial input for ϕWalk (infinite answer set).
+PropertyGraph MakeCycleGraph(size_t n, std::string_view label = "Knows");
+
+/// A directed chain of `n` nodes (n-1 edges), all labelled `label`. The
+/// canonical benign input (finite walks).
+PropertyGraph MakeChainGraph(size_t n, std::string_view label = "Knows");
+
+/// A "diamond chain": k diamonds in a row, where each diamond offers two
+/// parallel 2-edge routes. Shortest-path count doubles per diamond —
+/// exercises all-shortest enumeration blowup.
+PropertyGraph MakeDiamondChainGraph(size_t k,
+                                    std::string_view label = "Knows");
+
+/// A w×h grid with East and South edges (labels "E"/"S" or `uniform_label`
+/// for all edges if non-empty). Many shortest paths, no cycles.
+PropertyGraph MakeGridGraph(size_t w, size_t h,
+                            std::string_view uniform_label = "");
+
+/// An Erdős–Rényi-style random multigraph: `n` nodes, `m` edges with
+/// endpoints chosen uniformly, labels drawn uniformly from `labels`.
+/// Each node gets label "Node" and property {"id": i}.
+PropertyGraph MakeRandomGraph(size_t n, size_t m,
+                              const std::vector<std::string>& labels,
+                              uint64_t seed);
+
+/// Parameters for the LDBC-SNB-like social graph (see MakeSocialGraph).
+struct SocialGraphOptions {
+  size_t num_persons = 100;
+  size_t num_messages = 200;
+  /// Each person Knows the next `ring_degree` persons on a ring (guarantees
+  /// the inner Knows cycles of Figure 1 at scale) ...
+  size_t ring_degree = 2;
+  /// ... plus `random_knows` uniformly random Knows edges.
+  size_t random_knows = 100;
+  /// Each message has one Has_creator edge and `likes_per_message` incoming
+  /// Likes edges, closing (Likes/Has_creator)+ cycles like Figure 1's outer
+  /// cycle.
+  size_t likes_per_message = 2;
+  uint64_t seed = 42;
+};
+
+/// The paper substitutes for a real LDBC SNB dataset (Figure 1 is "drawn
+/// from" it): persons with Knows ring+chords, messages with Likes and
+/// Has_creator, names/contents as properties. Exercises exactly the label
+/// structure of the paper's queries at any scale.
+PropertyGraph MakeSocialGraph(const SocialGraphOptions& options);
+
+}  // namespace pathalg
+
+#endif  // PATHALG_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,117 @@
+// Tests for the footnote-1 condition built-ins: CONTAINS / STARTS WITH
+// (the substr family) and EXISTS (bound), through the C++ factories, the
+// WHERE parser, and end-to-end queries.
+
+#include <gtest/gtest.h>
+
+#include "gql/query.h"
+#include "workload/figure1.h"
+
+namespace pathalg {
+namespace {
+
+class BuiltinConditionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = MakeFigure1Graph(&ids_);
+    moe_ = Path::SingleNode(ids_.n1);
+    msg_ = Path::SingleNode(ids_.n5);  // content = "I am so smart, SMRT"
+  }
+  PropertyGraph g_;
+  Figure1Ids ids_;
+  Path moe_, msg_;
+};
+
+TEST_F(BuiltinConditionTest, Contains) {
+  EXPECT_TRUE(FirstPropContains("name", "oe")->Evaluate(g_, moe_));
+  EXPECT_TRUE(FirstPropContains("name", "Moe")->Evaluate(g_, moe_));
+  EXPECT_FALSE(FirstPropContains("name", "Apu")->Evaluate(g_, moe_));
+  EXPECT_TRUE(FirstPropContains("content", "SMRT")->Evaluate(g_, msg_));
+  // Missing property: false.
+  EXPECT_FALSE(FirstPropContains("age", "3")->Evaluate(g_, moe_));
+  // Non-string value vs CONTAINS: false, not a crash.
+  GraphBuilder b;
+  NodeId n = b.AddNode("X", {{"v", Value(42)}});
+  PropertyGraph g = b.Build();
+  EXPECT_FALSE(
+      FirstPropContains("v", "4")->Evaluate(g, Path::SingleNode(n)));
+}
+
+TEST_F(BuiltinConditionTest, StartsWith) {
+  auto starts = Condition::MakeSimple(AccessKind::kFirstProp, 0, "name",
+                                      CompareOp::kStartsWith, Value("Mo"));
+  EXPECT_TRUE(starts->Evaluate(g_, moe_));
+  auto not_start = Condition::MakeSimple(AccessKind::kFirstProp, 0, "name",
+                                         CompareOp::kStartsWith,
+                                         Value("oe"));
+  EXPECT_FALSE(not_start->Evaluate(g_, moe_));
+}
+
+TEST_F(BuiltinConditionTest, Exists) {
+  EXPECT_TRUE(FirstPropExists("name")->Evaluate(g_, moe_));
+  EXPECT_FALSE(FirstPropExists("age")->Evaluate(g_, moe_));
+  EXPECT_TRUE(FirstPropExists("content")->Evaluate(g_, msg_));
+  // NOT EXISTS works as "not bound".
+  EXPECT_TRUE(
+      Condition::Not(FirstPropExists("age"))->Evaluate(g_, moe_));
+  Path p({ids_.n1, ids_.n2}, {ids_.e1});
+  EXPECT_TRUE(LastPropExists("name")->Evaluate(g_, p));
+}
+
+TEST_F(BuiltinConditionTest, ToStringForms) {
+  EXPECT_EQ(FirstPropContains("name", "oe")->ToString(),
+            "first.name CONTAINS \"oe\"");
+  EXPECT_EQ(FirstPropExists("name")->ToString(), "first.name EXISTS");
+  auto sw = Condition::MakeSimple(AccessKind::kLastProp, 0, "name",
+                                  CompareOp::kStartsWith, Value("A"));
+  EXPECT_EQ(sw->ToString(), "last.name STARTS WITH \"A\"");
+}
+
+TEST_F(BuiltinConditionTest, ParserAcceptsBuiltins) {
+  auto q = ParseQuery(
+      "MATCH ALL TRAIL p = (x)-[:Knows+]->(y) "
+      "WHERE first.name CONTAINS \"o\" AND last.name EXISTS "
+      "AND NOT (first.name STARTS WITH \"A\")");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_NE(q->where, nullptr);
+  EXPECT_EQ(q->where->ToString(),
+            "((first.name CONTAINS \"o\" AND last.name EXISTS) AND "
+            "NOT (first.name STARTS WITH \"A\"))");
+}
+
+TEST_F(BuiltinConditionTest, EndToEndQueryWithBuiltins) {
+  // Persons whose name contains "o" knowing someone with a bound name:
+  // Moe and Homer qualify as sources.
+  auto r = ExecuteQuery(g_,
+                        "MATCH ALL WALK p = (x)-[:Knows]->(y) "
+                        "WHERE first.name CONTAINS \"o\" "
+                        "AND last.name EXISTS");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Knows edges from {Moe, Homer}: e1 (Moe→Homer), e2 (Homer→Lisa),
+  // e4 (Homer→Apu).
+  EXPECT_EQ(r->size(), 3u);
+  auto r2 = ExecuteQuery(g_,
+                         "MATCH ALL WALK p = (x)-[:Likes]->(y) "
+                         "WHERE last.content CONTAINS \"Moe\"");
+  ASSERT_TRUE(r2.ok());
+  // Likes edges into n6 ("Flaming Moe's tonight"): e8 only.
+  EXPECT_EQ(r2->size(), 1u);
+  auto r3 = ExecuteQuery(g_,
+                         "MATCH ALL WALK p = (x)-[:Knows]->(y) "
+                         "WHERE first.name STARTS WITH \"L\"");
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3->size(), 1u);  // Lisa knows Homer (e3)
+}
+
+TEST_F(BuiltinConditionTest, ParserErrorsOnMalformedBuiltins) {
+  EXPECT_TRUE(ParseQuery("MATCH p = (x)-[:a]->(y) WHERE first.name STARTS")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(
+      ParseQuery("MATCH p = (x)-[:a]->(y) WHERE first.name CONTAINS")
+          .status()
+          .IsParseError());
+}
+
+}  // namespace
+}  // namespace pathalg

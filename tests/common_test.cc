@@ -1,0 +1,172 @@
+// Unit tests for the common substrate: Status, Result<T>, string utilities
+// and hash combinators.
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/str_util.h"
+
+namespace pathalg {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad node id");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.message(), "bad node id");
+  EXPECT_EQ(st.ToString(), "Invalid argument: bad node id");
+}
+
+TEST(StatusTest, AllFactoriesMapToTheirCode) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, CopyAndMovePreserveState) {
+  Status st = Status::NotFound("gone");
+  Status copy = st;
+  EXPECT_TRUE(copy.IsNotFound());
+  EXPECT_EQ(copy.message(), "gone");
+  Status moved = std::move(st);
+  EXPECT_TRUE(moved.IsNotFound());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    PATHALG_RETURN_NOT_OK(Status::ParseError("inner"));
+    return Status::OK();
+  };
+  EXPECT_TRUE(fails().IsParseError());
+  auto succeeds = []() -> Status {
+    PATHALG_RETURN_NOT_OK(Status::OK());
+    return Status::NotFound("after");
+  };
+  EXPECT_TRUE(succeeds().IsNotFound());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+  EXPECT_EQ(r.value_or(-1), 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, OkStatusIsNormalizedToInternalError) {
+  Result<int> r(Status::OK());
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+TEST(ResultTest, AssignOrReturnUnwraps) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::InvalidArgument("no");
+    return 5;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    PATHALG_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(*outer(false), 6);
+  EXPECT_TRUE(outer(true).status().IsInvalidArgument());
+}
+
+TEST(StrUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StrUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y  "), "x y");
+  EXPECT_EQ(StripWhitespace("\t\n"), "");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+}
+
+TEST(StrUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StrUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("MATCH p", "MATCH"));
+  EXPECT_FALSE(StartsWith("MAT", "MATCH"));
+}
+
+TEST(StrUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("walk", "WALK"));
+  EXPECT_TRUE(EqualsIgnoreCase("TrAiL", "trail"));
+  EXPECT_FALSE(EqualsIgnoreCase("walk", "walks"));
+}
+
+TEST(StrUtilTest, ToUpperAndQuote) {
+  EXPECT_EQ(ToUpper("shortest k"), "SHORTEST K");
+  EXPECT_EQ(QuoteString("Moe"), "\"Moe\"");
+  EXPECT_EQ(QuoteString("a\"b\\c"), "\"a\\\"b\\\\c\"");
+}
+
+TEST(HashTest, HashRangeDiscriminates) {
+  std::vector<uint32_t> a{1, 2, 3}, b{1, 3, 2}, c{1, 2, 3};
+  EXPECT_EQ(HashRange(a.begin(), a.end()), HashRange(c.begin(), c.end()));
+  EXPECT_NE(HashRange(a.begin(), a.end()), HashRange(b.begin(), b.end()));
+}
+
+TEST(HashTest, ChainingIsAssociative) {
+  // HashRange chaining over split sequences equals hashing the whole
+  // sequence — Path::Hash relies on this being well-defined (the node/edge
+  // split point is implied by the sequence length, so no ambiguity).
+  std::vector<uint32_t> a1{1, 2}, a2{3}, whole{1, 2, 3};
+  size_t chained = HashRange(a2.begin(), a2.end(),
+                             HashRange(a1.begin(), a1.end(), 17));
+  EXPECT_EQ(chained, HashRange(whole.begin(), whole.end(), 17));
+}
+
+TEST(HashTest, SeedsDiscriminate) {
+  std::vector<uint32_t> v{1, 2, 3};
+  EXPECT_NE(HashRange(v.begin(), v.end(), 0),
+            HashRange(v.begin(), v.end(), 17));
+}
+
+TEST(StrUtilTest, SplitEscapedRoundTrip) {
+  EXPECT_EQ(SplitEscaped("a\\,b,c", ','),
+            (std::vector<std::string>{"a,b", "c"}));
+  EXPECT_EQ(SplitEscaped("x\\\\,y", ','),
+            (std::vector<std::string>{"x\\", "y"}));
+  EXPECT_EQ(EscapeSeparator("a,b\\c", ','), "a\\,b\\\\c");
+  for (std::string s : {"plain", "with,comma", "back\\slash,mix"}) {
+    EXPECT_EQ(SplitEscaped(EscapeSeparator(s, ','), ','),
+              std::vector<std::string>{s});
+  }
+}
+
+}  // namespace
+}  // namespace pathalg

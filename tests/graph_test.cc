@@ -1,0 +1,223 @@
+// Unit tests for the property graph substrate: Value, PropertyGraph,
+// GraphBuilder and the CSV loader (Definition 2.1 behaviours).
+
+#include <gtest/gtest.h>
+
+#include "graph/csv.h"
+#include "graph/property_graph.h"
+#include "graph/value.h"
+#include "workload/figure1.h"
+
+namespace pathalg {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(int64_t{3}).is_int());
+  EXPECT_TRUE(Value(2.5).is_double());
+  EXPECT_TRUE(Value("x").is_string());
+  EXPECT_EQ(Value("Moe").AsString(), "Moe");
+  EXPECT_EQ(Value(7).AsInt(), 7);
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_EQ(Value(int64_t{3}), Value(3.0));
+  EXPECT_NE(Value(int64_t{3}), Value(3.5));
+  EXPECT_NE(Value(int64_t{3}), Value("3"));
+  EXPECT_EQ(Value(), Value());
+  EXPECT_NE(Value(), Value(0));
+}
+
+TEST(ValueTest, TotalOrder) {
+  EXPECT_LT(Value(), Value(false));
+  EXPECT_LT(Value(false), Value(int64_t{0}));
+  EXPECT_LT(Value(int64_t{1}), Value(1.5));
+  EXPECT_LT(Value(1.5), Value(int64_t{2}));
+  EXPECT_LT(Value(int64_t{5}), Value("a"));
+  EXPECT_LT(Value("a"), Value("b"));
+  EXPECT_GE(Value("b"), Value("a"));
+}
+
+TEST(ValueTest, EqualValuesHashAlike) {
+  EXPECT_EQ(Value(int64_t{3}).Hash(), Value(3.0).Hash());
+  EXPECT_EQ(Value("Moe").Hash(), Value(std::string("Moe")).Hash());
+}
+
+TEST(ValueTest, ToStringQuotesStrings) {
+  EXPECT_EQ(Value("Moe").ToString(), "\"Moe\"");
+  EXPECT_EQ(Value(int64_t{3}).ToString(), "3");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  EXPECT_EQ(Value().ToString(), "null");
+}
+
+TEST(GraphBuilderTest, BuildsNodesAndEdges) {
+  GraphBuilder b;
+  NodeId a = b.AddNode("Person", {{"name", Value("Ann")}});
+  NodeId c = b.AddNode("Person", {{"name", Value("Bob")}});
+  Result<EdgeId> e = b.AddEdge(a, c, "Knows", {{"since", Value(2019)}});
+  ASSERT_TRUE(e.ok());
+  PropertyGraph g = b.Build();
+
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.Source(*e), a);
+  EXPECT_EQ(g.Target(*e), c);
+  EXPECT_EQ(g.NodeLabel(a), "Person");
+  EXPECT_EQ(g.EdgeLabel(*e), "Knows");
+  ASSERT_NE(g.NodeProperty(a, "name"), nullptr);
+  EXPECT_EQ(*g.NodeProperty(a, "name"), Value("Ann"));
+  ASSERT_NE(g.EdgeProperty(*e, "since"), nullptr);
+  EXPECT_EQ(*g.EdgeProperty(*e, "since"), Value(2019));
+}
+
+TEST(GraphBuilderTest, RejectsDanglingEdge) {
+  GraphBuilder b;
+  NodeId a = b.AddNode("Person");
+  Result<EdgeId> e = b.AddEdge(a, 999, "Knows");
+  EXPECT_FALSE(e.ok());
+  EXPECT_TRUE(e.status().IsInvalidArgument());
+}
+
+TEST(GraphBuilderTest, UnlabelledObjectsHaveEmptyLabel) {
+  GraphBuilder b;
+  NodeId a = b.AddNode();
+  NodeId c = b.AddNode();
+  Result<EdgeId> e = b.AddEdge(a, c);
+  ASSERT_TRUE(e.ok());
+  PropertyGraph g = b.Build();
+  EXPECT_EQ(g.NodeLabelId(a), kNoLabel);
+  EXPECT_EQ(g.NodeLabel(a), "");
+  EXPECT_EQ(g.EdgeLabel(*e), "");
+}
+
+TEST(GraphBuilderTest, DuplicatePropertyKeyLastWriterWins) {
+  GraphBuilder b;
+  NodeId a = b.AddNode("Person",
+                       {{"name", Value("first")}, {"name", Value("second")}});
+  PropertyGraph g = b.Build();
+  ASSERT_NE(g.NodeProperty(a, "name"), nullptr);
+  EXPECT_EQ(*g.NodeProperty(a, "name"), Value("second"));
+  EXPECT_EQ(g.NodeProperties(a).size(), 1u);
+}
+
+TEST(PropertyGraphTest, AdjacencyIndexes) {
+  Figure1Ids ids;
+  PropertyGraph g = MakeFigure1Graph(&ids);
+  // n2 has out-edges e2 (→n3), e4 (→n4), e5 (→n5).
+  EXPECT_EQ(g.OutEdges(ids.n2).size(), 3u);
+  // n2 has in-edges e1 (from n1) and e3 (from n3).
+  EXPECT_EQ(g.InEdges(ids.n2).size(), 2u);
+  // 4 Knows edges, 4 Likes, 3 Has_creator.
+  EXPECT_EQ(g.EdgesWithLabel(g.FindLabel("Knows")).size(), 4u);
+  EXPECT_EQ(g.EdgesWithLabel(g.FindLabel("Likes")).size(), 4u);
+  EXPECT_EQ(g.EdgesWithLabel(g.FindLabel("Has_creator")).size(), 3u);
+}
+
+TEST(PropertyGraphTest, LabelInterning) {
+  PropertyGraph g = MakeFigure1Graph();
+  LabelId knows = g.FindLabel("Knows");
+  ASSERT_NE(knows, kNoLabel);
+  EXPECT_EQ(g.LabelName(knows), "Knows");
+  EXPECT_EQ(g.FindLabel("NoSuchLabel"), kNoLabel);
+  EXPECT_TRUE(g.EdgesWithLabel(kNoLabel).empty());
+}
+
+TEST(PropertyGraphTest, FindNodeByNameAndProperty) {
+  Figure1Ids ids;
+  PropertyGraph g = MakeFigure1Graph(&ids);
+  EXPECT_EQ(g.FindNodeByName("n4"), ids.n4);
+  EXPECT_EQ(g.FindNodeByName("nope"), kInvalidId);
+  EXPECT_EQ(g.FindNodeByProperty("name", Value("Moe")), ids.n1);
+  EXPECT_EQ(g.FindNodeByProperty("name", Value("Nobody")), kInvalidId);
+  EXPECT_EQ(g.FindNodeByProperty("nokey", Value("Moe")), kInvalidId);
+}
+
+TEST(PropertyGraphTest, MissingPropertyIsNull) {
+  Figure1Ids ids;
+  PropertyGraph g = MakeFigure1Graph(&ids);
+  EXPECT_EQ(g.NodeProperty(ids.n1, "age"), nullptr);
+  EXPECT_EQ(g.EdgeProperty(ids.e1, "since"), nullptr);
+}
+
+TEST(Figure1Test, MatchesPaperStructure) {
+  Figure1Ids ids;
+  PropertyGraph g = MakeFigure1Graph(&ids);
+  EXPECT_EQ(g.num_nodes(), 7u);
+  EXPECT_EQ(g.num_edges(), 11u);
+  // Knows edges from Table 3: e1:(n1→n2), e2:(n2→n3), e3:(n3→n2), e4:(n2→n4).
+  EXPECT_EQ(g.Source(ids.e1), ids.n1);
+  EXPECT_EQ(g.Target(ids.e1), ids.n2);
+  EXPECT_EQ(g.Source(ids.e2), ids.n2);
+  EXPECT_EQ(g.Target(ids.e2), ids.n3);
+  EXPECT_EQ(g.Source(ids.e3), ids.n3);
+  EXPECT_EQ(g.Target(ids.e3), ids.n2);
+  EXPECT_EQ(g.Source(ids.e4), ids.n2);
+  EXPECT_EQ(g.Target(ids.e4), ids.n4);
+  // path2 of §1: (n1, e8, n6, e11, n3, e7, n7, e10, n4).
+  EXPECT_EQ(g.Source(ids.e8), ids.n1);
+  EXPECT_EQ(g.Target(ids.e8), ids.n6);
+  EXPECT_EQ(g.Source(ids.e11), ids.n6);
+  EXPECT_EQ(g.Target(ids.e11), ids.n3);
+  EXPECT_EQ(g.Source(ids.e7), ids.n3);
+  EXPECT_EQ(g.Target(ids.e7), ids.n7);
+  EXPECT_EQ(g.Source(ids.e10), ids.n7);
+  EXPECT_EQ(g.Target(ids.e10), ids.n4);
+  // Properties used by the paper's examples.
+  EXPECT_EQ(*g.NodeProperty(ids.n1, "name"), Value("Moe"));
+  EXPECT_EQ(*g.NodeProperty(ids.n4, "name"), Value("Apu"));
+  EXPECT_EQ(*g.NodeProperty(ids.n3, "name"), Value("Lisa"));
+  EXPECT_EQ(g.NodeLabel(ids.n1), "Person");
+  EXPECT_EQ(g.NodeLabel(ids.n6), "Message");
+}
+
+TEST(CsvTest, ValueSniffing) {
+  EXPECT_EQ(ParseValueText("true"), Value(true));
+  EXPECT_EQ(ParseValueText("false"), Value(false));
+  EXPECT_EQ(ParseValueText("null"), Value());
+  EXPECT_EQ(ParseValueText("42"), Value(42));
+  EXPECT_EQ(ParseValueText("-7"), Value(-7));
+  EXPECT_EQ(ParseValueText("2.5"), Value(2.5));
+  EXPECT_EQ(ParseValueText("Moe"), Value("Moe"));
+  EXPECT_EQ(ParseValueText("1.2.3"), Value("1.2.3"));
+}
+
+TEST(CsvTest, LoadsGraph) {
+  auto g = LoadGraphFromCsv(
+      "# comment\n"
+      "N,a,Person,name=Ann,age=30\n"
+      "N,b,Person,name=Bob\n"
+      "E,ab,a,b,Knows,since=2020\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 2u);
+  EXPECT_EQ(g->num_edges(), 1u);
+  NodeId a = g->FindNodeByName("a");
+  EXPECT_EQ(*g->NodeProperty(a, "age"), Value(30));
+  EXPECT_EQ(g->EdgeLabel(0), "Knows");
+}
+
+TEST(CsvTest, RejectsMalformedInput) {
+  EXPECT_TRUE(LoadGraphFromCsv("X,what\n").status().IsParseError());
+  EXPECT_TRUE(LoadGraphFromCsv("N,a\n").status().IsParseError());
+  EXPECT_TRUE(
+      LoadGraphFromCsv("N,a,P\nE,e,a,missing,L\n").status().IsParseError());
+  EXPECT_TRUE(
+      LoadGraphFromCsv("N,a,P\nN,a,P\n").status().IsParseError());
+  EXPECT_TRUE(LoadGraphFromCsv("E,e,a,b\n").status().IsParseError());
+}
+
+TEST(CsvTest, RoundTripsFigure1) {
+  PropertyGraph g = MakeFigure1Graph();
+  std::string text = DumpGraphToCsv(g);
+  auto g2 = LoadGraphFromCsv(text);
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g2->num_nodes(), g.num_nodes());
+  EXPECT_EQ(g2->num_edges(), g.num_edges());
+  EXPECT_EQ(DumpGraphToCsv(*g2), text);
+  NodeId moe = g2->FindNodeByProperty("name", Value("Moe"));
+  ASSERT_NE(moe, kInvalidId);
+  EXPECT_EQ(g2->NodeName(moe), "n1");
+}
+
+}  // namespace
+}  // namespace pathalg

@@ -1,0 +1,218 @@
+// Unit tests for the path data model (§2.2, §3.1): construction, the
+// 1-based path operators, concatenation ◦, the walk/trail/acyclic/simple
+// classification, PathSet semantics and the graph-aware accessors.
+
+#include <gtest/gtest.h>
+
+#include "path/path.h"
+#include "path/path_ops.h"
+#include "path/path_set.h"
+#include "workload/figure1.h"
+
+namespace pathalg {
+namespace {
+
+class PathTest : public ::testing::Test {
+ protected:
+  void SetUp() override { g_ = MakeFigure1Graph(&ids_); }
+  PropertyGraph g_;
+  Figure1Ids ids_;
+};
+
+TEST_F(PathTest, SingleNodeHasLengthZero) {
+  Path p = Path::SingleNode(ids_.n1);
+  EXPECT_EQ(p.Len(), 0u);
+  EXPECT_EQ(p.First(), ids_.n1);
+  EXPECT_EQ(p.Last(), ids_.n1);
+  EXPECT_EQ(p.NodeAt(1), ids_.n1);
+  EXPECT_EQ(p.EdgeAt(1), kInvalidId);
+}
+
+TEST_F(PathTest, EdgeOfBuildsLengthOnePath) {
+  Path p = Path::EdgeOf(g_, ids_.e1);
+  EXPECT_EQ(p.Len(), 1u);
+  EXPECT_EQ(p.First(), ids_.n1);
+  EXPECT_EQ(p.Last(), ids_.n2);
+  EXPECT_EQ(p.EdgeAt(1), ids_.e1);
+}
+
+TEST_F(PathTest, PositionsAreOneBased) {
+  // p = (n1, e1, n2, e2, n3): Node(p,2) = n2, Edge(p,1) = e1 (§3.1).
+  Path p({ids_.n1, ids_.n2, ids_.n3}, {ids_.e1, ids_.e2});
+  EXPECT_EQ(p.Len(), 2u);
+  EXPECT_EQ(p.NodeAt(1), ids_.n1);
+  EXPECT_EQ(p.NodeAt(2), ids_.n2);
+  EXPECT_EQ(p.NodeAt(3), ids_.n3);
+  EXPECT_EQ(p.NodeAt(4), kInvalidId);
+  EXPECT_EQ(p.NodeAt(0), kInvalidId);
+  EXPECT_EQ(p.EdgeAt(1), ids_.e1);
+  EXPECT_EQ(p.EdgeAt(2), ids_.e2);
+  EXPECT_EQ(p.EdgeAt(3), kInvalidId);
+}
+
+TEST_F(PathTest, ConcatMatchesPaperExample) {
+  // §3.1: p1 = (n1, e1, n2), p2 = (n2, e3, n3) → (n1, e1, n2, e3, n3).
+  // (Figure 1's e3 goes n3→n2, so use e2:(n2→n3) as the paper's "e3".)
+  Path p1 = Path::EdgeOf(g_, ids_.e1);
+  Path p2 = Path::EdgeOf(g_, ids_.e2);
+  Result<Path> r = Path::Concat(p1, p2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->Len(), 2u);
+  EXPECT_EQ(r->First(), ids_.n1);
+  EXPECT_EQ(r->Last(), ids_.n3);
+  EXPECT_EQ(r->ToString(g_), "(n1, e1, n2, e2, n3)");
+}
+
+TEST_F(PathTest, ConcatRequiresMatchingEndpoints) {
+  Path p1 = Path::EdgeOf(g_, ids_.e1);  // ends at n2
+  Path p2 = Path::EdgeOf(g_, ids_.e8);  // starts at n1
+  EXPECT_TRUE(Path::Concat(p1, p2).status().IsInvalidArgument());
+  EXPECT_TRUE(Path::Concat(Path(), p1).status().IsInvalidArgument());
+}
+
+TEST_F(PathTest, ConcatWithZeroLengthPathIsIdentity) {
+  Path p = Path::EdgeOf(g_, ids_.e1);
+  Path node = Path::SingleNode(ids_.n2);
+  Result<Path> right = Path::Concat(p, node);
+  ASSERT_TRUE(right.ok());
+  EXPECT_EQ(*right, p);
+  Result<Path> left = Path::Concat(Path::SingleNode(ids_.n1), p);
+  ASSERT_TRUE(left.ok());
+  EXPECT_EQ(*left, p);
+}
+
+TEST_F(PathTest, ClassificationOnPaperTable3Paths) {
+  // p2 of Table 3: (n1, e1, n2, e2, n3, e3, n2) — trail, not acyclic,
+  // not simple (n2 repeats and is not the first node).
+  Path p2({ids_.n1, ids_.n2, ids_.n3, ids_.n2}, {ids_.e1, ids_.e2, ids_.e3});
+  EXPECT_TRUE(p2.IsTrail());
+  EXPECT_FALSE(p2.IsAcyclic());
+  EXPECT_FALSE(p2.IsSimple());
+
+  // p4: (n1, e1, n2, e2, n3, e3, n2, e2, n3) — repeats e2: not a trail.
+  Path p4({ids_.n1, ids_.n2, ids_.n3, ids_.n2, ids_.n3},
+          {ids_.e1, ids_.e2, ids_.e3, ids_.e2});
+  EXPECT_FALSE(p4.IsTrail());
+  EXPECT_FALSE(p4.IsAcyclic());
+  EXPECT_FALSE(p4.IsSimple());
+
+  // p7: (n2, e2, n3, e3, n2) — a closed simple path (first == last).
+  Path p7({ids_.n2, ids_.n3, ids_.n2}, {ids_.e2, ids_.e3});
+  EXPECT_TRUE(p7.IsTrail());
+  EXPECT_FALSE(p7.IsAcyclic());
+  EXPECT_TRUE(p7.IsSimple());
+
+  // p5: (n1, e1, n2, e4, n4) — acyclic (hence simple and a trail).
+  Path p5({ids_.n1, ids_.n2, ids_.n4}, {ids_.e1, ids_.e4});
+  EXPECT_TRUE(p5.IsAcyclic());
+  EXPECT_TRUE(p5.IsSimple());
+  EXPECT_TRUE(p5.IsTrail());
+}
+
+TEST_F(PathTest, ClassificationContainments) {
+  // Acyclic ⊆ simple; zero-length paths are everything.
+  Path node = Path::SingleNode(ids_.n1);
+  EXPECT_TRUE(node.IsAcyclic());
+  EXPECT_TRUE(node.IsSimple());
+  EXPECT_TRUE(node.IsTrail());
+  // A closed walk visiting an interior node twice is not simple:
+  // (n2, e2, n3, e3, n2, e2, n3, e3, n2) — interior n3, n2 repeat.
+  Path closed({ids_.n2, ids_.n3, ids_.n2, ids_.n3, ids_.n2},
+              {ids_.e2, ids_.e3, ids_.e2, ids_.e3});
+  EXPECT_FALSE(closed.IsSimple());
+  EXPECT_FALSE(closed.IsTrail());
+}
+
+TEST_F(PathTest, ValidateChecksRho) {
+  Path good = Path::EdgeOf(g_, ids_.e1);
+  EXPECT_TRUE(good.Validate(g_).ok());
+  // e2 connects n2→n3, not n1→n2.
+  Path bad({ids_.n1, ids_.n2}, {ids_.e2});
+  EXPECT_TRUE(bad.Validate(g_).IsInvalidArgument());
+  Path unknown_edge({ids_.n1, ids_.n2}, {999});
+  EXPECT_TRUE(unknown_edge.Validate(g_).IsInvalidArgument());
+  Path unknown_node({999}, {});
+  EXPECT_TRUE(unknown_node.Validate(g_).IsInvalidArgument());
+  EXPECT_TRUE(Path().Validate(g_).IsInvalidArgument());
+}
+
+TEST_F(PathTest, CanonicalOrderIsLengthThenIds) {
+  Path a = Path::SingleNode(ids_.n1);
+  Path b = Path::EdgeOf(g_, ids_.e1);
+  Path c = Path::EdgeOf(g_, ids_.e2);
+  EXPECT_LT(a, b);  // shorter first
+  EXPECT_LT(b, c);  // then by node ids
+  EXPECT_FALSE(c < b);
+}
+
+TEST_F(PathTest, EqualityAndHash) {
+  Path a = Path::EdgeOf(g_, ids_.e1);
+  Path b = Path::SingleEdge(ids_.n1, ids_.e1, ids_.n2);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  Path c = Path::EdgeOf(g_, ids_.e2);
+  EXPECT_NE(a, c);
+}
+
+TEST_F(PathTest, PathSetDeduplicates) {
+  PathSet s;
+  EXPECT_TRUE(s.Insert(Path::EdgeOf(g_, ids_.e1)));
+  EXPECT_FALSE(s.Insert(Path::EdgeOf(g_, ids_.e1)));
+  EXPECT_TRUE(s.Insert(Path::EdgeOf(g_, ids_.e2)));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.Contains(Path::EdgeOf(g_, ids_.e1)));
+  EXPECT_FALSE(s.Contains(Path::SingleNode(ids_.n1)));
+}
+
+TEST_F(PathTest, PathSetEqualityIsOrderInsensitive) {
+  PathSet a, b;
+  a.Insert(Path::EdgeOf(g_, ids_.e1));
+  a.Insert(Path::EdgeOf(g_, ids_.e2));
+  b.Insert(Path::EdgeOf(g_, ids_.e2));
+  b.Insert(Path::EdgeOf(g_, ids_.e1));
+  EXPECT_EQ(a, b);
+  b.Insert(Path::EdgeOf(g_, ids_.e3));
+  EXPECT_NE(a, b);
+}
+
+TEST_F(PathTest, NodesOfAndEdgesOfAreTheAtoms) {
+  PathSet nodes = NodesOf(g_);
+  PathSet edges = EdgesOf(g_);
+  EXPECT_EQ(nodes.size(), 7u);
+  EXPECT_EQ(edges.size(), 11u);
+  for (const Path& p : nodes) EXPECT_EQ(p.Len(), 0u);
+  for (const Path& p : edges) EXPECT_EQ(p.Len(), 1u);
+}
+
+TEST_F(PathTest, GraphAwareAccessors) {
+  Path p({ids_.n1, ids_.n2, ids_.n3}, {ids_.e1, ids_.e2});
+  EXPECT_EQ(LabelOfNodeAt(g_, p, 1), "Person");
+  EXPECT_EQ(LabelOfEdgeAt(g_, p, 1), "Knows");
+  EXPECT_EQ(LabelOfEdgeAt(g_, p, 9), "");
+  const Value* name = PropOfNodeAt(g_, p, 1, "name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(*name, Value("Moe"));
+  EXPECT_EQ(PropOfNodeAt(g_, p, 1, "missing"), nullptr);
+  EXPECT_EQ(PropOfEdgeAt(g_, p, 1, "missing"), nullptr);
+  EXPECT_EQ(PropOfNodeAt(g_, p, 17, "name"), nullptr);
+}
+
+TEST_F(PathTest, PathWordConcatenatesEdgeLabels) {
+  // λ(p) for (n1)-Likes->(n6)-Has_creator->(n3) = "LikesHas_creator" (§2.2).
+  Path p({ids_.n1, ids_.n6, ids_.n3}, {ids_.e8, ids_.e11});
+  EXPECT_EQ(PathWord(g_, p), "LikesHas_creator");
+  EXPECT_EQ(PathWord(g_, Path::SingleNode(ids_.n1)), "");
+}
+
+TEST_F(PathTest, ToStringFormats) {
+  Path p({ids_.n1, ids_.n2}, {ids_.e1});
+  EXPECT_EQ(p.ToString(g_), "(n1, e1, n2)");
+  EXPECT_EQ(Path::SingleNode(ids_.n5).ToString(g_), "(n5)");
+  PathSet s;
+  s.Insert(Path::SingleNode(ids_.n1));
+  s.Insert(p);
+  EXPECT_EQ(s.ToString(g_), "{(n1), (n1, e1, n2)}");
+}
+
+}  // namespace
+}  // namespace pathalg

@@ -1,0 +1,204 @@
+// Tests for regular path expressions: AST, parser, printing, and the
+// regex→algebra compiler (Figures 2–4 shapes), evaluated on Figure 1.
+
+#include <gtest/gtest.h>
+
+#include "plan/evaluator.h"
+#include "regex/ast.h"
+#include "regex/compile.h"
+#include "regex/parser.h"
+#include "workload/figure1.h"
+
+namespace pathalg {
+namespace {
+
+RegexPtr MustParse(std::string_view text) {
+  auto r = ParseRegex(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : nullptr;
+}
+
+TEST(RegexAstTest, FactoriesAndAccessors) {
+  RegexPtr r = RegexNode::Plus(RegexNode::Label("Knows"));
+  EXPECT_EQ(r->kind(), RegexKind::kPlus);
+  EXPECT_EQ(r->left()->kind(), RegexKind::kLabel);
+  EXPECT_EQ(r->left()->label(), "Knows");
+}
+
+TEST(RegexAstTest, MatchesEmpty) {
+  EXPECT_FALSE(MustParse(":Knows")->MatchesEmpty());
+  EXPECT_FALSE(MustParse(":Knows+")->MatchesEmpty());
+  EXPECT_TRUE(MustParse(":Knows*")->MatchesEmpty());
+  EXPECT_TRUE(MustParse(":Knows?")->MatchesEmpty());
+  EXPECT_FALSE(MustParse(":a/:b*")->MatchesEmpty());
+  EXPECT_TRUE(MustParse(":a*/:b*")->MatchesEmpty());
+  EXPECT_TRUE(MustParse(":a|:b*")->MatchesEmpty());
+  EXPECT_FALSE(MustParse(":a|:b")->MatchesEmpty());
+  EXPECT_TRUE(MustParse("(:a/:b)*")->MatchesEmpty());
+}
+
+TEST(RegexParserTest, PrecedenceUnionBelowConcatBelowPostfix) {
+  // a|b/c+ parses as a | (b / (c+)).
+  RegexPtr r = MustParse(":a|:b/:c+");
+  ASSERT_EQ(r->kind(), RegexKind::kUnion);
+  EXPECT_EQ(r->left()->label(), "a");
+  ASSERT_EQ(r->right()->kind(), RegexKind::kConcat);
+  EXPECT_EQ(r->right()->left()->label(), "b");
+  EXPECT_EQ(r->right()->right()->kind(), RegexKind::kPlus);
+}
+
+TEST(RegexParserTest, ParensOverridePrecedence) {
+  RegexPtr r = MustParse("(:a|:b)/:c");
+  ASSERT_EQ(r->kind(), RegexKind::kConcat);
+  EXPECT_EQ(r->left()->kind(), RegexKind::kUnion);
+}
+
+TEST(RegexParserTest, PaperExamples) {
+  // The Figure 2 pattern.
+  RegexPtr r = MustParse("(:Knows+)|(:Likes/:Has_creator)+");
+  ASSERT_EQ(r->kind(), RegexKind::kUnion);
+  EXPECT_EQ(r->left()->kind(), RegexKind::kPlus);
+  ASSERT_EQ(r->right()->kind(), RegexKind::kPlus);
+  EXPECT_EQ(r->right()->left()->kind(), RegexKind::kConcat);
+  // The §3 example.
+  RegexPtr r2 = MustParse("Knows|(Knows/Knows)");
+  ASSERT_EQ(r2->kind(), RegexKind::kUnion);
+}
+
+TEST(RegexParserTest, ColonIsOptionalAndWhitespaceIgnored) {
+  EXPECT_TRUE(MustParse("Knows")->Equals(*MustParse(":Knows")));
+  EXPECT_TRUE(MustParse(" :a / :b ")->Equals(*MustParse(":a/:b")));
+}
+
+TEST(RegexParserTest, DoublePostfix) {
+  // (a+)* is legal: a plus under a star.
+  RegexPtr r = MustParse(":a+*");
+  ASSERT_EQ(r->kind(), RegexKind::kStar);
+  EXPECT_EQ(r->left()->kind(), RegexKind::kPlus);
+}
+
+TEST(RegexParserTest, Errors) {
+  EXPECT_TRUE(ParseRegex("").status().IsParseError());
+  EXPECT_TRUE(ParseRegex("(:a").status().IsParseError());
+  EXPECT_TRUE(ParseRegex(":a)").status().IsParseError());
+  EXPECT_TRUE(ParseRegex("+").status().IsParseError());
+  EXPECT_TRUE(ParseRegex(":a||:b").status().IsParseError());
+  EXPECT_TRUE(ParseRegex(":a/:").status().IsParseError());
+  EXPECT_TRUE(ParseRegex("123").status().IsParseError());
+}
+
+TEST(RegexParserTest, ToStringRoundTrips) {
+  for (std::string text :
+       {":Knows+", "(:Likes/:Has_creator)+", ":a|:b/:c+", "(:a|:b)*",
+        ":a?", "(:a/:b)*|:c"}) {
+    RegexPtr once = MustParse(text);
+    RegexPtr twice = MustParse(once->ToString());
+    EXPECT_TRUE(once->Equals(*twice)) << text << " -> " << once->ToString();
+  }
+}
+
+TEST(RegexAstTest, EqualsDiscriminates) {
+  EXPECT_FALSE(MustParse(":a/:b")->Equals(*MustParse(":b/:a")));
+  EXPECT_FALSE(MustParse(":a+")->Equals(*MustParse(":a*")));
+  EXPECT_FALSE(MustParse(":a")->Equals(*MustParse(":b")));
+}
+
+// ---------------------------------------------------------------------------
+// Compile shapes.
+// ---------------------------------------------------------------------------
+TEST(RegexCompileTest, LabelCompilesToSelectOverEdges) {
+  PlanPtr p = CompileRegex(MustParse(":Knows"));
+  ASSERT_EQ(p->kind(), PlanKind::kSelect);
+  EXPECT_EQ(p->child()->kind(), PlanKind::kEdgesScan);
+  EXPECT_TRUE(p->condition()->Equals(*EdgeLabelEq(1, "Knows")));
+}
+
+TEST(RegexCompileTest, StarCompilesToPhiUnionNodes) {
+  // Figure 4: (Likes/Has_creator)* = ϕ(σL(E) ⋈ σH(E)) ∪ Nodes(G).
+  CompileOptions opts;
+  opts.semantics = PathSemantics::kWalk;
+  PlanPtr p = CompileRegex(MustParse("(:Likes/:Has_creator)*"), opts);
+  ASSERT_EQ(p->kind(), PlanKind::kUnion);
+  ASSERT_EQ(p->child(0)->kind(), PlanKind::kRecursive);
+  EXPECT_EQ(p->child(0)->semantics(), PathSemantics::kWalk);
+  EXPECT_EQ(p->child(0)->child()->kind(), PlanKind::kJoin);
+  EXPECT_EQ(p->child(1)->kind(), PlanKind::kNodesScan);
+}
+
+TEST(RegexCompileTest, SemanticsAppliedToEveryPhi) {
+  CompileOptions opts;
+  opts.semantics = PathSemantics::kSimple;
+  PlanPtr p = CompileRegex(MustParse(":a+|:b+"), opts);
+  ASSERT_EQ(p->kind(), PlanKind::kUnion);
+  EXPECT_EQ(p->child(0)->semantics(), PathSemantics::kSimple);
+  EXPECT_EQ(p->child(1)->semantics(), PathSemantics::kSimple);
+}
+
+TEST(RegexCompileTest, OptionalCompilesToUnionWithNodes) {
+  PlanPtr p = CompileRegex(MustParse(":a?"));
+  ASSERT_EQ(p->kind(), PlanKind::kUnion);
+  EXPECT_EQ(p->child(0)->kind(), PlanKind::kSelect);
+  EXPECT_EQ(p->child(1)->kind(), PlanKind::kNodesScan);
+}
+
+// ---------------------------------------------------------------------------
+// Compile + evaluate on Figure 1.
+// ---------------------------------------------------------------------------
+class RegexEvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override { g_ = MakeFigure1Graph(&ids_); }
+  PropertyGraph g_;
+  Figure1Ids ids_;
+};
+
+TEST_F(RegexEvalTest, Figure2QueryViaRegexCompiler) {
+  // MATCH p = (?x {name:"Moe"})-[(:Knows+)|(:Likes/:Has_creator)+]->
+  //           (?y {name:"Apu"}) under SIMPLE → {path1, path2}.
+  CompileOptions opts;
+  opts.semantics = PathSemantics::kSimple;
+  PlanPtr plan = CompileRpq(
+      MustParse("(:Knows+)|(:Likes/:Has_creator)+"), opts,
+      Condition::And(FirstPropEq("name", Value("Moe")),
+                     LastPropEq("name", Value("Apu"))));
+  auto r = Evaluate(g_, plan);
+  ASSERT_TRUE(r.ok());
+  PathSet expected;
+  expected.Insert(Path({ids_.n1, ids_.n2, ids_.n4}, {ids_.e1, ids_.e4}));
+  expected.Insert(Path({ids_.n1, ids_.n6, ids_.n3, ids_.n7, ids_.n4},
+                       {ids_.e8, ids_.e11, ids_.e7, ids_.e10}));
+  EXPECT_EQ(*r, expected);
+}
+
+TEST_F(RegexEvalTest, FriendsOfFriendsViaRegexCompiler) {
+  // §3's MATCH p = (?x {name:"Moe"})-[Knows|(Knows/Knows)]->(y).
+  PlanPtr plan = CompileRpq(MustParse("Knows|(Knows/Knows)"), {},
+                            FirstPropEq("name", Value("Moe")));
+  auto r = Evaluate(g_, plan);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);
+  EXPECT_TRUE(r->Contains(Path({ids_.n1, ids_.n2}, {ids_.e1})));
+  EXPECT_TRUE(
+      r->Contains(Path({ids_.n1, ids_.n2, ids_.n3}, {ids_.e1, ids_.e2})));
+  EXPECT_TRUE(
+      r->Contains(Path({ids_.n1, ids_.n2, ids_.n4}, {ids_.e1, ids_.e4})));
+}
+
+TEST_F(RegexEvalTest, StarIncludesZeroLengthPaths) {
+  PlanPtr plan = CompileRegex(MustParse(":Knows*"),
+                              {.semantics = PathSemantics::kAcyclic});
+  auto r = Evaluate(g_, plan);
+  ASSERT_TRUE(r.ok());
+  // 7 single-node paths + the 7 acyclic Knows+ paths.
+  EXPECT_EQ(r->size(), 14u);
+}
+
+TEST_F(RegexEvalTest, UnknownLabelYieldsEmpty) {
+  PlanPtr plan = CompileRegex(MustParse(":NoSuchLabel+"),
+                              {.semantics = PathSemantics::kTrail});
+  auto r = Evaluate(g_, plan);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+}  // namespace
+}  // namespace pathalg

@@ -1,0 +1,357 @@
+// Tests for the Extended Path Algebra (§5): solution spaces, γψ (Table 4),
+// τθ (Table 6), π (Algorithm 1), and the paper's worked example — Table 5
+// and the Figure 5 pipeline (ANY SHORTEST TRAIL).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algebra/core_ops.h"
+#include "algebra/recursive.h"
+#include "algebra/solution_space.h"
+#include "path/path_ops.h"
+#include "workload/figure1.h"
+
+namespace pathalg {
+namespace {
+
+class SolutionSpaceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = MakeFigure1Graph(&ids_);
+    auto& i = ids_;
+    p1_ = Path({i.n1, i.n2}, {i.e1});
+    p2_ = Path({i.n1, i.n2, i.n3, i.n2}, {i.e1, i.e2, i.e3});
+    p3_ = Path({i.n1, i.n2, i.n3}, {i.e1, i.e2});
+    p5_ = Path({i.n1, i.n2, i.n4}, {i.e1, i.e4});
+    p6_ = Path({i.n1, i.n2, i.n3, i.n2, i.n4}, {i.e1, i.e2, i.e3, i.e4});
+    p7_ = Path({i.n2, i.n3, i.n2}, {i.e2, i.e3});
+    p9_ = Path({i.n2, i.n3}, {i.e2});
+    p11_ = Path({i.n2, i.n4}, {i.e4});
+    p12_ = Path({i.n2, i.n3, i.n2, i.n4}, {i.e2, i.e3, i.e4});
+    p13_ = Path({i.n3, i.n2, i.n4}, {i.e3, i.e4});
+    // The paper's Table 5 input: the trails of Table 3 (column T).
+    for (const Path& p :
+         {p1_, p2_, p3_, p5_, p6_, p7_, p9_, p11_, p12_, p13_}) {
+      trails_.Insert(p);
+    }
+  }
+
+  PropertyGraph g_;
+  Figure1Ids ids_;
+  Path p1_, p2_, p3_, p5_, p6_, p7_, p9_, p11_, p12_, p13_;
+  PathSet trails_;
+};
+
+// ---------------------------------------------------------------------------
+// Table 4: the solution-space organization induced by each γψ.
+// ---------------------------------------------------------------------------
+TEST_F(SolutionSpaceTest, Table4NoneIsOnePartitionOneGroup) {
+  SolutionSpace ss = GroupBy(trails_, GroupKey::kNone);
+  EXPECT_EQ(ss.num_partitions(), 1u);
+  EXPECT_EQ(ss.num_groups(), 1u);
+  EXPECT_EQ(ss.num_paths(), 10u);
+}
+
+TEST_F(SolutionSpaceTest, Table4SourcePartitions) {
+  // Sources among the 10 trails: n1, n2, n3 → 3 partitions, 1 group each.
+  SolutionSpace ss = GroupBy(trails_, GroupKey::kS);
+  EXPECT_EQ(ss.num_partitions(), 3u);
+  EXPECT_EQ(ss.num_groups(), 3u);
+  for (size_t p = 0; p < ss.num_partitions(); ++p) {
+    EXPECT_EQ(ss.GroupsOfPartition(p).size(), 1u);
+  }
+  // Every path in a partition's group shares its First().
+  for (size_t grp = 0; grp < ss.num_groups(); ++grp) {
+    const auto& member_ixs = ss.PathsOfGroup(grp);
+    ASSERT_FALSE(member_ixs.empty());
+    NodeId source = ss.path(member_ixs[0]).First();
+    for (uint32_t ix : member_ixs) {
+      EXPECT_EQ(ss.path(ix).First(), source);
+    }
+  }
+}
+
+TEST_F(SolutionSpaceTest, Table4TargetPartitions) {
+  // Targets: n2, n3, n4 → 3 partitions, 1 group per partition.
+  SolutionSpace ss = GroupBy(trails_, GroupKey::kT);
+  EXPECT_EQ(ss.num_partitions(), 3u);
+  EXPECT_EQ(ss.num_groups(), 3u);
+}
+
+TEST_F(SolutionSpaceTest, Table4LengthGroups) {
+  // Lengths 1..4 → 1 partition, 4 groups.
+  SolutionSpace ss = GroupBy(trails_, GroupKey::kL);
+  EXPECT_EQ(ss.num_partitions(), 1u);
+  EXPECT_EQ(ss.num_groups(), 4u);
+  EXPECT_EQ(ss.GroupsOfPartition(0).size(), 4u);
+}
+
+TEST_F(SolutionSpaceTest, Table4CompositeKeys) {
+  EXPECT_EQ(GroupBy(trails_, GroupKey::kST).num_partitions(), 7u);
+  EXPECT_EQ(GroupBy(trails_, GroupKey::kST).num_groups(), 7u);
+  SolutionSpace sl = GroupBy(trails_, GroupKey::kSL);
+  EXPECT_EQ(sl.num_partitions(), 3u);
+  EXPECT_EQ(sl.num_groups(), 8u);  // n1:{1,2,3,4} n2:{1,2,3} n3:{2}
+  SolutionSpace tl = GroupBy(trails_, GroupKey::kTL);
+  EXPECT_EQ(tl.num_partitions(), 3u);
+  EXPECT_EQ(tl.num_groups(), 9u);  // n2:{1,2,3} n3:{1,2} n4:{1,2,3,4}
+  SolutionSpace stl = GroupBy(trails_, GroupKey::kSTL);
+  EXPECT_EQ(stl.num_partitions(), 7u);
+  EXPECT_EQ(stl.num_groups(), 10u);
+}
+
+TEST_F(SolutionSpaceTest, GroupByInitializesAllRanksToOne) {
+  SolutionSpace ss = GroupBy(trails_, GroupKey::kSTL);
+  for (size_t i = 0; i < ss.num_paths(); ++i) EXPECT_EQ(ss.PathRank(i), 1u);
+  for (size_t grp = 0; grp < ss.num_groups(); ++grp) {
+    EXPECT_EQ(ss.GroupRank(grp), 1u);
+  }
+  for (size_t p = 0; p < ss.num_partitions(); ++p) {
+    EXPECT_EQ(ss.PartitionRank(p), 1u);
+  }
+}
+
+TEST_F(SolutionSpaceTest, GroupByOfEmptySetIsEmptySpace) {
+  SolutionSpace ss = GroupBy(PathSet(), GroupKey::kNone);
+  EXPECT_EQ(ss.num_paths(), 0u);
+  EXPECT_EQ(ss.num_groups(), 0u);
+  EXPECT_EQ(ss.num_partitions(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Table 5: the worked solution space γST over the Table 3 trails.
+// ---------------------------------------------------------------------------
+TEST_F(SolutionSpaceTest, Table5SolutionSpace) {
+  SolutionSpace ss = GroupBy(trails_, GroupKey::kST);
+  ASSERT_EQ(ss.num_partitions(), 7u);
+
+  // Expected partitions keyed by (source, target) → {paths, MinL(P)}.
+  struct Row {
+    NodeId s, t;
+    std::set<size_t> lens;
+    size_t min_l;
+  };
+  std::vector<Row> expect = {
+      {ids_.n1, ids_.n2, {1, 3}, 1},  // part1: p1, p2
+      {ids_.n1, ids_.n3, {2}, 2},     // part2: p3
+      {ids_.n1, ids_.n4, {2, 4}, 2},  // part3: p5, p6
+      {ids_.n2, ids_.n2, {2}, 2},     // part4: p7
+      {ids_.n2, ids_.n3, {1}, 1},     // part5: p9
+      {ids_.n2, ids_.n4, {1, 3}, 1},  // part6: p11, p12
+      {ids_.n3, ids_.n4, {2}, 2},     // part7: p13
+  };
+  // Note: the paper's Table 5 lists MinL(part3) = 1; the paths it shows for
+  // part3 (p5 len 2, p6 len 4) give MinL = 2 — we follow the definition.
+  for (const Row& row : expect) {
+    bool found = false;
+    for (size_t p = 0; p < ss.num_partitions(); ++p) {
+      const auto& groups = ss.GroupsOfPartition(p);
+      ASSERT_EQ(groups.size(), 1u);
+      const auto& paths = ss.PathsOfGroup(groups[0]);
+      ASSERT_FALSE(paths.empty());
+      const Path& first = ss.path(paths[0]);
+      if (first.First() != row.s || first.Last() != row.t) continue;
+      found = true;
+      std::set<size_t> lens;
+      for (uint32_t ix : paths) {
+        EXPECT_EQ(ss.path(ix).First(), row.s);
+        EXPECT_EQ(ss.path(ix).Last(), row.t);
+        lens.insert(ss.path(ix).Len());
+      }
+      EXPECT_EQ(lens, row.lens);
+      EXPECT_EQ(ss.MinLenOfPartition(p), row.min_l);
+      EXPECT_EQ(ss.MinLenOfGroup(groups[0]), row.min_l);
+    }
+    EXPECT_TRUE(found) << "partition (" << row.s << "," << row.t << ")";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Table 6: τθ rank assignments.
+// ---------------------------------------------------------------------------
+TEST_F(SolutionSpaceTest, Table6OrderByPathOnly) {
+  SolutionSpace ss = OrderBy(GroupBy(trails_, GroupKey::kST), OrderKey::kA);
+  for (size_t i = 0; i < ss.num_paths(); ++i) {
+    EXPECT_EQ(ss.PathRank(i), ss.path(i).Len());  // Δ′(p) = Len(p)
+  }
+  for (size_t grp = 0; grp < ss.num_groups(); ++grp) {
+    EXPECT_EQ(ss.GroupRank(grp), 1u);  // Δ′(G) = Δ(G)
+  }
+  for (size_t p = 0; p < ss.num_partitions(); ++p) {
+    EXPECT_EQ(ss.PartitionRank(p), 1u);  // Δ′(P) = Δ(P)
+  }
+}
+
+TEST_F(SolutionSpaceTest, Table6OrderByGroupOnly) {
+  SolutionSpace ss = OrderBy(GroupBy(trails_, GroupKey::kSTL), OrderKey::kG);
+  for (size_t grp = 0; grp < ss.num_groups(); ++grp) {
+    EXPECT_EQ(ss.GroupRank(grp), ss.MinLenOfGroup(grp));
+  }
+  for (size_t i = 0; i < ss.num_paths(); ++i) {
+    EXPECT_EQ(ss.PathRank(i), 1u);
+  }
+}
+
+TEST_F(SolutionSpaceTest, Table6OrderByPartitionOnly) {
+  SolutionSpace ss = OrderBy(GroupBy(trails_, GroupKey::kST), OrderKey::kP);
+  for (size_t p = 0; p < ss.num_partitions(); ++p) {
+    EXPECT_EQ(ss.PartitionRank(p), ss.MinLenOfPartition(p));
+  }
+  for (size_t i = 0; i < ss.num_paths(); ++i) {
+    EXPECT_EQ(ss.PathRank(i), 1u);
+  }
+}
+
+TEST_F(SolutionSpaceTest, Table6CompositeOrderings) {
+  SolutionSpace pga =
+      OrderBy(GroupBy(trails_, GroupKey::kSTL), OrderKey::kPGA);
+  for (size_t p = 0; p < pga.num_partitions(); ++p) {
+    EXPECT_EQ(pga.PartitionRank(p), pga.MinLenOfPartition(p));
+  }
+  for (size_t grp = 0; grp < pga.num_groups(); ++grp) {
+    EXPECT_EQ(pga.GroupRank(grp), pga.MinLenOfGroup(grp));
+  }
+  for (size_t i = 0; i < pga.num_paths(); ++i) {
+    EXPECT_EQ(pga.PathRank(i), pga.path(i).Len());
+  }
+  SolutionSpace pa = OrderBy(GroupBy(trails_, GroupKey::kST), OrderKey::kPA);
+  for (size_t grp = 0; grp < pa.num_groups(); ++grp) {
+    EXPECT_EQ(pa.GroupRank(grp), 1u);  // G untouched by PA
+  }
+}
+
+TEST_F(SolutionSpaceTest, OrderByDoesNotMutateInput) {
+  SolutionSpace base = GroupBy(trails_, GroupKey::kST);
+  SolutionSpace ordered = OrderBy(base, OrderKey::kA);
+  (void)ordered;
+  for (size_t i = 0; i < base.num_paths(); ++i) {
+    EXPECT_EQ(base.PathRank(i), 1u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 1 (projection).
+// ---------------------------------------------------------------------------
+TEST_F(SolutionSpaceTest, ProjectAllIsIdentityOnPathSet) {
+  SolutionSpace ss = GroupBy(trails_, GroupKey::kST);
+  auto r = Project(ss, {std::nullopt, std::nullopt, std::nullopt});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, trails_);
+}
+
+TEST_F(SolutionSpaceTest, Figure5PipelineAnyShortestTrail) {
+  // π(*,*,1)(τA(γST(ϕTrail(σ_{Knows}(Edges))))) over the Table 3 trails.
+  SolutionSpace ss =
+      OrderBy(GroupBy(trails_, GroupKey::kST), OrderKey::kA);
+  auto r = Project(ss, {std::nullopt, std::nullopt, 1});
+  ASSERT_TRUE(r.ok());
+  PathSet expected;
+  for (const Path& p : {p1_, p3_, p5_, p7_, p9_, p11_, p13_}) {
+    expected.Insert(p);
+  }
+  EXPECT_EQ(*r, expected);  // §5 Step 6's exact answer
+}
+
+TEST_F(SolutionSpaceTest, ProjectWithoutOrderByPicksCanonicalSmallest) {
+  // Without τ, Δ ≡ 1 and path-level ties resolve canonically (shortest,
+  // then smallest ids) — the deterministic stand-in for the paper's
+  // non-deterministic ANY.
+  SolutionSpace ss = GroupBy(trails_, GroupKey::kST);
+  auto r = Project(ss, {std::nullopt, std::nullopt, 1});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 7u);
+  EXPECT_TRUE(r->Contains(p1_));  // first inserted path of part1
+}
+
+TEST_F(SolutionSpaceTest, ProjectLimitsPartitionsAndGroups) {
+  // γL + τG orders length-groups 1,2,3,4; π(*,2,*) keeps lengths {1,2}.
+  SolutionSpace ss = OrderBy(GroupBy(trails_, GroupKey::kL), OrderKey::kG);
+  auto r = Project(ss, {std::nullopt, 2, std::nullopt});
+  ASSERT_TRUE(r.ok());
+  for (const Path& p : *r) EXPECT_LE(p.Len(), 2u);
+  EXPECT_EQ(r->size(), 7u);  // length 1: p1,p9,p11; length 2: p3,p5,p7,p13
+}
+
+TEST_F(SolutionSpaceTest, ProjectKShortestPerPartition) {
+  // SHORTEST 2 WALK-style: π(*,*,2)(τA(γST(...))).
+  SolutionSpace ss = OrderBy(GroupBy(trails_, GroupKey::kST), OrderKey::kA);
+  auto r = Project(ss, {std::nullopt, std::nullopt, 2});
+  ASSERT_TRUE(r.ok());
+  // Each of the 7 partitions has ≤ 2 paths here, so all 10 come back.
+  EXPECT_EQ(*r, trails_);
+}
+
+TEST_F(SolutionSpaceTest, ProjectRejectsZeroCounts) {
+  SolutionSpace ss = GroupBy(trails_, GroupKey::kST);
+  EXPECT_TRUE(Project(ss, {0, std::nullopt, std::nullopt})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(Project(ss, {std::nullopt, 0, std::nullopt})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(Project(ss, {std::nullopt, std::nullopt, 0})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(SolutionSpaceTest, ProjectClampsOversizedCounts) {
+  SolutionSpace ss = GroupBy(trails_, GroupKey::kST);
+  auto r = Project(ss, {100, 100, 100});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, trails_);
+}
+
+TEST_F(SolutionSpaceTest, PartitionOrderingBeforeProjection) {
+  // τP then π(1,*,*): keeps only the partition with the globally shortest
+  // path. Two partitions tie at MinL = 1 … the stable order keeps the
+  // first-occurring one, (n1→n2) = {p1, p2}.
+  SolutionSpace ss = OrderBy(GroupBy(trails_, GroupKey::kST), OrderKey::kP);
+  auto r = Project(ss, {1, std::nullopt, std::nullopt});
+  ASSERT_TRUE(r.ok());
+  PathSet expected;
+  expected.Insert(p1_);
+  expected.Insert(p2_);
+  EXPECT_EQ(*r, expected);
+}
+
+TEST_F(SolutionSpaceTest, EndToEndFromRecursiveOperator) {
+  // Full-stack sanity: the complete ϕTrail answer (12 paths — Table 3 plus
+  // the two paths it omits) flows through γ/τ/π. ALL SHORTEST per pair =
+  // π(*,1,*)(τG(γSTL(...))) — compare against KeepShortestPerEndpointPair.
+  PathSet knows = Select(g_, EdgesOf(g_), *EdgeLabelEq(1, "Knows"));
+  auto trails = Recursive(knows, PathSemantics::kTrail);
+  ASSERT_TRUE(trails.ok());
+  ASSERT_EQ(trails->size(), 12u);
+  SolutionSpace ss =
+      OrderBy(GroupBy(*trails, GroupKey::kSTL), OrderKey::kG);
+  auto r = Project(ss, {std::nullopt, 1, std::nullopt});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, KeepShortestPerEndpointPair(*trails));
+}
+
+TEST_F(SolutionSpaceTest, ToTableStringMentionsEveryPath) {
+  SolutionSpace ss = GroupBy(trails_, GroupKey::kST);
+  std::string table = ss.ToTableString(g_);
+  EXPECT_NE(table.find("part7"), std::string::npos);
+  EXPECT_NE(table.find("(n1, e1, n2)"), std::string::npos);
+  EXPECT_NE(table.find("MinL(P)"), std::string::npos);
+}
+
+TEST_F(SolutionSpaceTest, KeyPredicateHelpers) {
+  EXPECT_TRUE(GroupKeyUsesSource(GroupKey::kSL));
+  EXPECT_FALSE(GroupKeyUsesSource(GroupKey::kTL));
+  EXPECT_TRUE(GroupKeyUsesTarget(GroupKey::kSTL));
+  EXPECT_TRUE(GroupKeyUsesLength(GroupKey::kL));
+  EXPECT_FALSE(GroupKeyUsesLength(GroupKey::kST));
+  EXPECT_TRUE(OrderKeyOrdersPartitions(OrderKey::kPA));
+  EXPECT_FALSE(OrderKeyOrdersPartitions(OrderKey::kGA));
+  EXPECT_TRUE(OrderKeyOrdersGroups(OrderKey::kGA));
+  EXPECT_TRUE(OrderKeyOrdersPaths(OrderKey::kPGA));
+  EXPECT_FALSE(OrderKeyOrdersPaths(OrderKey::kPG));
+  EXPECT_STREQ(GroupKeyToString(GroupKey::kSTL), "STL");
+  EXPECT_STREQ(OrderKeyToString(OrderKey::kPGA), "PGA");
+}
+
+}  // namespace
+}  // namespace pathalg
