@@ -156,9 +156,5 @@ BENCHMARK(BM_AutomatonTrailAllPairs)->Arg(16)->Arg(32);
 }  // namespace pathalg
 
 int main(int argc, char** argv) {
-  pathalg::PrintComparison();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return pathalg::bench::BenchMain(argc, argv, pathalg::PrintComparison);
 }

@@ -5,8 +5,11 @@
 /// prints the paper artifact it regenerates (table rows / plan / result
 /// set), asserts the pinned facts, and then runs google-benchmark timings.
 
+#include <benchmark/benchmark.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "algebra/condition.h"
@@ -69,6 +72,40 @@ inline void PrintHeader(const char* what) {
   std::printf("================================================================\n");
   std::printf("  Reproducing %s\n", what);
   std::printf("================================================================\n");
+}
+
+/// Strips `--verify_only` out of argv. When present the caller should exit
+/// right after the artifact assertions, skipping timings — this is how CI
+/// smokes all 17 benches in seconds instead of minutes.
+inline bool StripVerifyOnly(int* argc, char** argv) {
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--verify_only") == 0) {
+      for (int j = i; j + 1 < *argc; ++j) argv[j] = argv[j + 1];
+      --*argc;
+      argv[*argc] = nullptr;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// The shared tail of every bench main(): hand the remaining flags to
+/// google-benchmark and run the timings.
+inline int RunTimings(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+/// The whole bench main(): regenerate and assert the paper artifact, then
+/// (unless --verify_only) run the timings.
+inline int BenchMain(int argc, char** argv, void (*print_artifact)()) {
+  const bool verify_only = StripVerifyOnly(&argc, argv);
+  print_artifact();
+  if (verify_only) return 0;
+  return RunTimings(argc, argv);
 }
 
 }  // namespace bench

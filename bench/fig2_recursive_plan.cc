@@ -93,9 +93,5 @@ BENCHMARK(BM_Figure2PlanScaling)->Arg(12)->Arg(16)->Arg(24);
 }  // namespace pathalg
 
 int main(int argc, char** argv) {
-  pathalg::PrintFigure2();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return pathalg::bench::BenchMain(argc, argv, pathalg::PrintFigure2);
 }

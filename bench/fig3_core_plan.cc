@@ -91,9 +91,5 @@ BENCHMARK(BM_Figure3Composed)->Arg(64)->Arg(256)->Arg(1024);
 }  // namespace pathalg
 
 int main(int argc, char** argv) {
-  pathalg::PrintFigure3();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return pathalg::bench::BenchMain(argc, argv, pathalg::PrintFigure3);
 }

@@ -85,9 +85,5 @@ BENCHMARK(BM_StarVsPlus)->Arg(0)->Arg(1);
 }  // namespace pathalg
 
 int main(int argc, char** argv) {
-  pathalg::PrintFigure4();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return pathalg::bench::BenchMain(argc, argv, pathalg::PrintFigure4);
 }

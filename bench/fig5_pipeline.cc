@@ -144,9 +144,5 @@ BENCHMARK(BM_WholePipeline)->Arg(16)->Arg(32)->Arg(64);
 }  // namespace pathalg
 
 int main(int argc, char** argv) {
-  pathalg::PrintFigure5();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return pathalg::bench::BenchMain(argc, argv, pathalg::PrintFigure5);
 }

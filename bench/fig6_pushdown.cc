@@ -80,9 +80,5 @@ BENCHMARK(BM_OptimizerItself);
 }  // namespace pathalg
 
 int main(int argc, char** argv) {
-  pathalg::PrintFigure6();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return pathalg::bench::BenchMain(argc, argv, pathalg::PrintFigure6);
 }

@@ -151,9 +151,5 @@ BENCHMARK(BM_WorkloadSingleRuleOff)->DenseRange(0, 3);
 }  // namespace pathalg
 
 int main(int argc, char** argv) {
-  pathalg::PrintAblation();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return pathalg::bench::BenchMain(argc, argv, pathalg::PrintAblation);
 }

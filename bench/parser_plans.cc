@@ -79,9 +79,5 @@ BENCHMARK(BM_PlanTextGeneration);
 }  // namespace pathalg
 
 int main(int argc, char** argv) {
-  pathalg::PrintParserOutput();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return pathalg::bench::BenchMain(argc, argv, pathalg::PrintParserOutput);
 }

@@ -76,9 +76,5 @@ BENCHMARK(BM_ShortestEngineScaling)
 }  // namespace pathalg
 
 int main(int argc, char** argv) {
-  pathalg::PrintAblation();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return pathalg::bench::BenchMain(argc, argv, pathalg::PrintAblation);
 }

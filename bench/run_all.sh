@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Runs every bench binary with --benchmark_format json output and
+# aggregates the per-bench results into one machine-readable file,
+# seeding the repo's perf trajectory (BENCH_baseline.json, then
+# BENCH_<change>.json for future PRs to diff against).
+#
+# Usage: bench/run_all.sh [BUILD_DIR] [OUT_FILE]
+#   BUILD_DIR  directory holding the bench_* binaries (default: build/bench)
+#   OUT_FILE   aggregated JSON output (default: BENCH_new.json — never the
+#              committed baseline, so `diff BENCH_baseline.json BENCH_new.json`
+#              style comparisons have something to compare against)
+# Env:
+#   BENCH_MIN_TIME  forwarded as --benchmark_min_time; a plain double in
+#                   seconds (e.g. 0.05) — benchmark 1.7 rejects "0.05s"
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build/bench}"
+OUT_FILE="${2:-${REPO_ROOT}/BENCH_new.json}"
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "${TMP_DIR}"' EXIT
+
+EXTRA_ARGS=()
+if [[ -n "${BENCH_MIN_TIME:-}" ]]; then
+  EXTRA_ARGS+=("--benchmark_min_time=${BENCH_MIN_TIME}")
+fi
+
+benches=("${BUILD_DIR}"/bench_*)
+if [[ ! -e "${benches[0]}" ]]; then
+  echo "no bench_* binaries in ${BUILD_DIR}; build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+for bin in "${benches[@]}"; do
+  [[ -x "${bin}" ]] || continue
+  name="$(basename "${bin}")"
+  echo "== ${name}" >&2
+  # Artifact assertions print to stdout; the JSON goes to its own file so
+  # the two streams can't mix. Wall time is the whole binary run
+  # (assertions + all benchmark cases), measured here rather than summed
+  # from per-iteration means. `date +%s%N` needs GNU coreutils.
+  start_ns="$(date +%s%N)"
+  "${bin}" --benchmark_out="${TMP_DIR}/${name}.json" \
+           --benchmark_out_format=json \
+           ${EXTRA_ARGS[@]+"${EXTRA_ARGS[@]}"} >/dev/null
+  end_ns="$(date +%s%N)"
+  echo $(( (end_ns - start_ns) / 1000000 )) > "${TMP_DIR}/${name}.wall"
+done
+
+# Merge {bench name -> google-benchmark report} plus two per-bench
+# rollups — measured wall time of the whole run, and the sum of
+# per-iteration mean times across cases (a load-independent signal for
+# regression diffs). jq is in the base image; no extra deps.
+jq -n \
+  --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+  '{schema: "pathalg-bench-v1", generated: $date, benches: {},
+    wall_time_ms: {}, sum_iteration_time_ms: {}}' \
+  > "${TMP_DIR}/agg.json"
+
+for f in "${TMP_DIR}"/bench_*.json; do
+  name="$(basename "${f}" .json)"
+  jq --arg name "${name}" --argjson wall "$(cat "${TMP_DIR}/${name}.wall")" \
+     --slurpfile report "${f}" \
+     '.benches[$name] = $report[0]
+      | .wall_time_ms[$name] = $wall
+      | .sum_iteration_time_ms[$name] =
+          ([$report[0].benchmarks[]? | select(.run_type != "aggregate")
+            | .real_time * (if .time_unit == "ns" then 1e-6
+                            elif .time_unit == "us" then 1e-3
+                            elif .time_unit == "ms" then 1
+                            else 1e3 end)] | add // 0)' \
+     "${TMP_DIR}/agg.json" > "${TMP_DIR}/agg.next.json"
+  mv "${TMP_DIR}/agg.next.json" "${TMP_DIR}/agg.json"
+done
+
+mv "${TMP_DIR}/agg.json" "${OUT_FILE}"
+echo "wrote ${OUT_FILE} ($(jq '.benches | length' "${OUT_FILE}") benches)" >&2

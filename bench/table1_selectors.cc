@@ -113,9 +113,5 @@ BENCHMARK(BM_Selector)->DenseRange(0, 6);
 }  // namespace pathalg
 
 int main(int argc, char** argv) {
-  pathalg::PrintTable1();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return pathalg::bench::BenchMain(argc, argv, pathalg::PrintTable1);
 }

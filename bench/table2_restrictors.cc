@@ -78,9 +78,5 @@ BENCHMARK(BM_RestrictorScaling)->Arg(16)->Arg(32)->Arg(64);
 }  // namespace pathalg
 
 int main(int argc, char** argv) {
-  pathalg::PrintTable2();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return pathalg::bench::BenchMain(argc, argv, pathalg::PrintTable2);
 }

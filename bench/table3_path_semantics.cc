@@ -114,9 +114,5 @@ BENCHMARK(BM_PhiOnSocialGraph)->DenseRange(0, 4);
 }  // namespace pathalg
 
 int main(int argc, char** argv) {
-  pathalg::PrintTable3();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return pathalg::bench::BenchMain(argc, argv, pathalg::PrintTable3);
 }

@@ -73,9 +73,5 @@ BENCHMARK(BM_GroupByScaling)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
 }  // namespace pathalg
 
 int main(int argc, char** argv) {
-  pathalg::PrintTable4();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return pathalg::bench::BenchMain(argc, argv, pathalg::PrintTable4);
 }

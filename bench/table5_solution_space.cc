@@ -76,9 +76,5 @@ BENCHMARK(BM_FullSelectorPipeline)->Arg(16)->Arg(32)->Arg(64);
 }  // namespace pathalg
 
 int main(int argc, char** argv) {
-  pathalg::PrintTable5();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return pathalg::bench::BenchMain(argc, argv, pathalg::PrintTable5);
 }

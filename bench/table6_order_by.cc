@@ -68,9 +68,5 @@ BENCHMARK(BM_OrderBy)->DenseRange(0, 6);
 }  // namespace pathalg
 
 int main(int argc, char** argv) {
-  pathalg::PrintTable6();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return pathalg::bench::BenchMain(argc, argv, pathalg::PrintTable6);
 }

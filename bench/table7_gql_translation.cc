@@ -96,9 +96,5 @@ BENCHMARK(BM_ParseOnly);
 }  // namespace pathalg
 
 int main(int argc, char** argv) {
-  pathalg::PrintTable7();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return pathalg::bench::BenchMain(argc, argv, pathalg::PrintTable7);
 }

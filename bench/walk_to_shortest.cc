@@ -100,9 +100,5 @@ BENCHMARK(BM_ShortestPlanScaling)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
 }  // namespace pathalg
 
 int main(int argc, char** argv) {
-  pathalg::PrintSection73();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return pathalg::bench::BenchMain(argc, argv, pathalg::PrintSection73);
 }
