@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Diff two pathalg bench/replay JSON files (ROADMAP "bench trajectory
+tooling").
+
+Works on any pair of files carrying the shared rollup maps — the
+`bench/run_all.sh` aggregates (BENCH_*.json, schema pathalg-bench-v1) and
+the `engine::ReplayWorkload` reports (schema pathalg-replay-v1) both emit
+`wall_time_ms` and `sum_iteration_time_ms` keyed by bench/query name.
+
+Usage:
+  bench/compare.py BENCH_baseline.json BENCH_new.json
+  bench/compare.py --metric wall_time_ms old.json new.json
+  bench/compare.py --max-regression 25 BENCH_baseline.json BENCH_new.json
+
+Unreadable files or files missing the rollup maps exit 2 (usage error)
+in any mode. Beyond that, without --max-regression the diff is
+informational and exits 0. With it, exits 1 when any bench present in
+BOTH files regressed by more than the given percentage on the chosen
+metric (new benches and removed benches are reported but never gate). The default metric is
+sum_iteration_time_ms — the per-iteration signal, which unlike wall time
+does not grow with --benchmark_min_time or machine load spikes.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rollup(path: str, metric: str) -> dict:
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"compare.py: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    rollup = data.get(metric)
+    if not isinstance(rollup, dict) or not rollup:
+        print(
+            f"compare.py: {path} has no '{metric}' map "
+            f"(schema: {data.get('schema', '<missing>')})",
+            file=sys.stderr,
+        )
+        sys.exit(2)
+    return {k: float(v) for k, v in rollup.items()}
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="old JSON (e.g. BENCH_baseline.json)")
+    ap.add_argument("new", help="new JSON (e.g. BENCH_new.json)")
+    ap.add_argument(
+        "--metric",
+        default="sum_iteration_time_ms",
+        choices=["sum_iteration_time_ms", "wall_time_ms"],
+        help="rollup map to diff (default: %(default)s)",
+    )
+    ap.add_argument(
+        "--max-regression",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="exit 1 when any common bench slows down by more than PCT%%",
+    )
+    ap.add_argument(
+        "--min-ms",
+        type=float,
+        default=1.0,
+        metavar="MS",
+        help="ignore regressions on benches faster than MS in the baseline "
+        "(noise floor, default %(default)s)",
+    )
+    args = ap.parse_args()
+
+    base = load_rollup(args.baseline, args.metric)
+    new = load_rollup(args.new, args.metric)
+
+    common = sorted(set(base) & set(new))
+    added = sorted(set(new) - set(base))
+    removed = sorted(set(base) - set(new))
+
+    width = max((len(n) for n in common + added + removed), default=10)
+    print(f"metric: {args.metric}")
+    print(f"{'bench':<{width}} {'old ms':>12} {'new ms':>12} "
+          f"{'delta ms':>12} {'delta %':>9}")
+    regressions = []
+    for name in common:
+        old_ms, new_ms = base[name], new[name]
+        delta = new_ms - old_ms
+        pct = (delta / old_ms * 100.0) if old_ms > 0 else float("inf")
+        flag = ""
+        if (
+            args.max_regression is not None
+            and pct > args.max_regression
+            and old_ms >= args.min_ms
+        ):
+            regressions.append((name, pct))
+            flag = "  << REGRESSION"
+        print(f"{name:<{width}} {old_ms:>12.3f} {new_ms:>12.3f} "
+              f"{delta:>+12.3f} {pct:>+8.1f}%{flag}")
+    for name in added:
+        print(f"{name:<{width}} {'-':>12} {new[name]:>12.3f}   (new bench)")
+    for name in removed:
+        print(f"{name:<{width}} {base[name]:>12.3f} {'-':>12}   (removed)")
+
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} bench(es) regressed more than "
+            f"{args.max_regression:.1f}% "
+            f"({', '.join(f'{n} +{p:.1f}%' for n, p in regressions)})"
+        )
+        return 1
+    if args.max_regression is not None:
+        print(f"\nOK: no bench regressed more than {args.max_regression:.1f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

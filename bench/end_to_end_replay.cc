@@ -1,0 +1,198 @@
+// End-to-end workload replay: the first bench that measures the *whole*
+// pipeline — normalize → plan-cache → parse → optimize → evaluate — the
+// way a served system pays for it, rather than operator microcosts. The
+// artifact phase replays a committed `.gqlw` workload twice through one
+// engine session and asserts (a) zero errors and every pinned expected
+// cardinality, (b) plan-cache hits > 0 (pass 2 must be all hits), and
+// (c) identical cardinalities across passes. It then prints the replay
+// report as compare.py-compatible JSON (see bench/compare.py).
+//
+// Flags (besides google-benchmark's):
+//   --verify_only        artifact assertions only (CI smoke)
+//   --workload <file>    replay a different .gqlw file
+//   --json <file>        also write the JSON report to <file>
+//   --passes <n>         replay passes in the artifact phase (default 2)
+
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "bench_util.h"
+#include "engine/replay.h"
+
+namespace pathalg {
+namespace bench {
+namespace {
+
+#ifndef PATHALG_WORKLOAD_DIR
+#define PATHALG_WORKLOAD_DIR "bench/workloads"
+#endif
+
+std::string g_workload_path = PATHALG_WORKLOAD_DIR "/social_mixed.gqlw";
+std::string g_json_path;
+size_t g_passes = 2;
+
+engine::Workload LoadWorkloadOrDie(const std::string& path) {
+  Result<engine::Workload> w = engine::LoadWorkloadFile(path);
+  if (!w.ok()) {
+    std::fprintf(stderr, "FATAL: %s\n", w.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(w).value();
+}
+
+void PrintArtifact() {
+  PrintHeader("end-to-end workload replay (engine::ReplayWorkload)");
+  std::printf("workload: %s\n", g_workload_path.c_str());
+  engine::Workload w = LoadWorkloadOrDie(g_workload_path);
+  Check(!w.entries.empty(), "workload has no queries");
+
+  Result<PropertyGraph> g = engine::BuildWorkloadGraph(w.graph_spec);
+  Check(g.ok(), "workload graph spec failed to build");
+  engine::QueryEngine eng(std::move(g).value());
+  std::printf("graph: %s (%zu nodes, %zu edges)\n\n",
+              w.graph_spec.empty() ? "figure1" : w.graph_spec.c_str(),
+              eng.graph().num_nodes(), eng.graph().num_edges());
+
+  engine::ReplayOptions opts;
+  opts.passes = g_passes;
+  Result<engine::ReplayReport> report = engine::ReplayWorkload(eng, w, opts);
+  Check(report.ok(), "replay failed to run");
+  std::printf("%s\n", engine::ReplayReportToTable(*report).c_str());
+
+  Check(report->errors == 0, "replay produced query errors");
+  Check(report->expect_failures == 0,
+        "expected-cardinality or cross-pass stability check failed");
+  Check(report->cache_hits > 0, "plan cache produced no hits");
+  // Pass 2 replays the identical workload: every run must hit the cache
+  // (distinct normalized queries <= cache capacity here).
+  size_t runs_per_pass = 0;
+  for (const engine::WorkloadEntry& e : w.entries) runs_per_pass += e.repeat;
+  Check(report->cache_misses < runs_per_pass + 1,
+        "pass 2 was not served from the plan cache");
+
+  std::string json = engine::ReplayReportToJson(*report);
+  std::printf("-- JSON report --------------------------------------\n%s",
+              json.c_str());
+  if (!g_json_path.empty()) {
+    std::ofstream out(g_json_path);
+    out << json;
+    std::printf("(wrote %s)\n", g_json_path.c_str());
+  }
+}
+
+/// Strips "--flag value" pairs that google-benchmark would reject.
+/// A flag missing its value is a hard error here — leaving it in argv
+/// would surface as a confusing google-benchmark diagnostic instead.
+void StripFlags(int* argc, char** argv) {
+  for (int i = 1; i < *argc;) {
+    auto take_value = [&](std::string* dst) {
+      if (i + 1 >= *argc) {
+        std::fprintf(stderr, "FATAL: %s needs a value\n", argv[i]);
+        std::exit(1);
+      }
+      *dst = argv[i + 1];
+      for (int j = i; j + 2 < *argc; ++j) argv[j] = argv[j + 2];
+      *argc -= 2;
+      argv[*argc] = nullptr;
+      return true;
+    };
+    std::string value;
+    if (std::strcmp(argv[i], "--workload") == 0 && take_value(&value)) {
+      g_workload_path = value;
+    } else if (std::strcmp(argv[i], "--json") == 0 && take_value(&value)) {
+      g_json_path = value;
+    } else if (std::strcmp(argv[i], "--passes") == 0 && take_value(&value)) {
+      g_passes = static_cast<size_t>(std::stoull(value));
+      if (g_passes == 0) g_passes = 1;
+    } else {
+      ++i;
+    }
+  }
+}
+
+// Benchmark state shared across timing cases: workload + graph built once.
+struct ReplayFixture {
+  engine::Workload workload;
+  PropertyGraph graph;
+  static const ReplayFixture& Get() {
+    static ReplayFixture* f = [] {
+      auto* fx = new ReplayFixture();
+      fx->workload = LoadWorkloadOrDie(g_workload_path);
+      fx->graph =
+          engine::BuildWorkloadGraph(fx->workload.graph_spec).value();
+      return fx;
+    }();
+    return *f;
+  }
+};
+
+/// Cold session: every iteration pays parse + optimize for each query
+/// (fresh plan cache), the "first request" latency of a served system.
+void BM_ReplayColdSession(benchmark::State& state) {
+  const ReplayFixture& fx = ReplayFixture::Get();
+  for (auto _ : state) {
+    // Engine construction copies the graph — keep it out of the timing.
+    state.PauseTiming();
+    engine::QueryEngine eng(fx.graph);
+    state.ResumeTiming();
+    auto report = engine::ReplayWorkload(eng, fx.workload);
+    Check(report.ok() && report->ok(), "cold replay failed");
+    benchmark::DoNotOptimize(report->total_runs);
+  }
+  state.SetLabel("fresh engine per pass: all cache misses");
+}
+BENCHMARK(BM_ReplayColdSession)->Unit(benchmark::kMillisecond);
+
+/// Warm session: the plan cache absorbs parse + optimize, the steady-state
+/// cost of serving a repeating workload.
+void BM_ReplayWarmSession(benchmark::State& state) {
+  const ReplayFixture& fx = ReplayFixture::Get();
+  engine::QueryEngine eng(fx.graph);
+  {
+    auto warmup = engine::ReplayWorkload(eng, fx.workload);
+    Check(warmup.ok() && warmup->ok(), "warmup replay failed");
+  }
+  for (auto _ : state) {
+    auto report = engine::ReplayWorkload(eng, fx.workload);
+    Check(report.ok() && report->ok(), "warm replay failed");
+    benchmark::DoNotOptimize(report->total_runs);
+  }
+  state.SetLabel("shared engine: plan-cache hits");
+}
+BENCHMARK(BM_ReplayWarmSession)->Unit(benchmark::kMillisecond);
+
+/// Prepare-path microcosts: a plan-cache hit vs a full parse + optimize.
+void BM_PrepareHit(benchmark::State& state) {
+  const ReplayFixture& fx = ReplayFixture::Get();
+  engine::QueryEngine eng(fx.graph);
+  const std::string& text = fx.workload.entries.front().query;
+  (void)eng.Prepare(text);
+  for (auto _ : state) {
+    auto prepared = eng.Prepare(text);
+    benchmark::DoNotOptimize(prepared);
+  }
+}
+BENCHMARK(BM_PrepareHit);
+
+void BM_PrepareMiss(benchmark::State& state) {
+  const ReplayFixture& fx = ReplayFixture::Get();
+  engine::QueryEngine eng(fx.graph);
+  const std::string& text = fx.workload.entries.front().query;
+  for (auto _ : state) {
+    eng.cache().Clear();
+    auto prepared = eng.Prepare(text);
+    benchmark::DoNotOptimize(prepared);
+  }
+}
+BENCHMARK(BM_PrepareMiss);
+
+}  // namespace
+}  // namespace bench
+}  // namespace pathalg
+
+int main(int argc, char** argv) {
+  pathalg::bench::StripFlags(&argc, argv);
+  return pathalg::bench::BenchMain(argc, argv,
+                                   pathalg::bench::PrintArtifact);
+}

@@ -1,0 +1,25 @@
+#ifndef PATHALG_COMMON_TIMING_H_
+#define PATHALG_COMMON_TIMING_H_
+
+/// \file timing.h
+/// The one clock used for all instrumentation (plan/evaluator.h,
+/// src/engine): monotonic, reported in integer microseconds.
+
+#include <chrono>
+#include <cstdint>
+
+namespace pathalg {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// Wall-clock microseconds elapsed since `start`.
+inline uint64_t MicrosSince(SteadyClock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          SteadyClock::now() - start)
+          .count());
+}
+
+}  // namespace pathalg
+
+#endif  // PATHALG_COMMON_TIMING_H_

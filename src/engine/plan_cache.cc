@@ -1,0 +1,41 @@
+#include "engine/plan_cache.h"
+
+namespace pathalg {
+namespace engine {
+
+PreparedQueryPtr PlanCache::Get(const std::string& key) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
+  ++stats_.hits;
+  return it->second->second;
+}
+
+void PlanCache::Put(const std::string& key, PreparedQueryPtr prepared) {
+  if (capacity_ == 0) return;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->second = std::move(prepared);
+    return;
+  }
+  lru_.emplace_front(key, std::move(prepared));
+  index_.emplace(key, lru_.begin());
+  ++stats_.insertions;
+  while (index_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void PlanCache::Clear() {
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace engine
+}  // namespace pathalg

@@ -1,0 +1,111 @@
+#ifndef PATHALG_ENGINE_QUERY_ENGINE_H_
+#define PATHALG_ENGINE_QUERY_ENGINE_H_
+
+/// \file query_engine.h
+/// The session layer: the first component that treats the algebra as a
+/// *served system* rather than a library. A QueryEngine owns a
+/// PropertyGraph plus the session's QueryOptions, and runs query text
+/// end-to-end — normalize → plan-cache lookup → (parse → optimize on a
+/// miss) → evaluate — collecting per-stage wall timings for every call.
+/// The replay driver (engine/replay.h), the line-protocol server
+/// (engine/serve.h) and examples/query_shell all sit on this class, so
+/// end-to-end latency is measured the same way everywhere.
+///
+/// Not thread-safe: one QueryEngine per session/thread (the graph is
+/// immutable and cheap to share; the cache and counters are not).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "engine/plan_cache.h"
+#include "gql/query.h"
+#include "graph/property_graph.h"
+
+namespace pathalg {
+namespace engine {
+
+struct EngineOptions {
+  /// Evaluation + optimizer knobs applied to every query in the session.
+  QueryOptions query;
+  /// Plan-cache capacity in entries; 0 disables plan caching.
+  size_t plan_cache_capacity = 128;
+};
+
+/// Per-call instrumentation, filled by Execute/Prepare when requested.
+struct ExecStats {
+  /// Cache key actually used (NormalizeQueryText of the input).
+  std::string normalized;
+  bool cache_hit = false;
+  /// Zero on a cache hit (the prepared entry carries its one-time costs).
+  uint64_t parse_us = 0;
+  uint64_t optimize_us = 0;
+  uint64_t eval_us = 0;
+  /// Whole Execute call, including normalization and cache probing.
+  uint64_t total_us = 0;
+  size_t result_paths = 0;
+  /// Per-operator breakdown of the evaluation (plan/evaluator.h).
+  EvalStats eval;
+};
+
+/// Session-lifetime aggregates.
+struct SessionStats {
+  uint64_t queries = 0;  // Execute calls
+  uint64_t errors = 0;   // Execute calls that returned a non-OK status
+  uint64_t parse_us = 0;
+  uint64_t optimize_us = 0;
+  uint64_t eval_us = 0;
+  uint64_t total_us = 0;
+  uint64_t paths_produced = 0;
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(PropertyGraph graph, EngineOptions options = {})
+      : graph_(std::move(graph)),
+        options_(std::move(options)),
+        cache_(options_.plan_cache_capacity) {}
+
+  const PropertyGraph& graph() const { return graph_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Swaps in a new graph. Plans only reference the graph at evaluation
+  /// time, so cached plans stay *valid* — but cost-based optimizer choices
+  /// may have been made for the old graph, so the cache is cleared.
+  void ResetGraph(PropertyGraph graph);
+
+  /// Normalize → cache lookup → parse+optimize on miss (inserting into the
+  /// cache). Returns the shared prepared entry; `stats`, when non-null,
+  /// receives normalization/caching/parse/optimize numbers (eval fields
+  /// stay zero).
+  Result<PreparedQueryPtr> Prepare(std::string_view text,
+                                   ExecStats* stats = nullptr);
+
+  /// Prepare + evaluate. On error the stats still describe the attempt
+  /// (e.g. parse_us for a parse error, eval_us for an eval error).
+  Result<PathSet> Execute(std::string_view text, ExecStats* stats = nullptr);
+
+  /// Evaluates an already-prepared query (shared, possibly evicted entry).
+  /// Fills only the evaluation fields of `stats` (eval_us, result_paths,
+  /// eval), leaving the prepare-phase fields untouched so Execute can
+  /// layer the two. Does not update session_stats().
+  Result<PathSet> ExecutePrepared(const PreparedQuery& prepared,
+                                  ExecStats* stats = nullptr);
+
+  PlanCache& cache() { return cache_; }
+  const PlanCache& cache() const { return cache_; }
+  const SessionStats& session_stats() const { return session_; }
+
+ private:
+  PropertyGraph graph_;
+  EngineOptions options_;
+  PlanCache cache_;
+  SessionStats session_;
+};
+
+}  // namespace engine
+}  // namespace pathalg
+
+#endif  // PATHALG_ENGINE_QUERY_ENGINE_H_

@@ -1,0 +1,50 @@
+#ifndef PATHALG_ENGINE_SERVE_H_
+#define PATHALG_ENGINE_SERVE_H_
+
+/// \file serve.h
+/// The line protocol behind `pathalg_serve`: one request per line in, one
+/// response line out, so throughput can be driven by anything that can
+/// write lines — a pipe, netcat against the TCP front-end, or a load
+/// generator. Responses:
+///
+///   query line  ->  OK <n> paths <hit|miss> parse=<us>us opt=<us>us
+///                   eval=<us>us total=<us>us
+///   error       ->  ERR <code>: <message>            (always one line)
+///   !command    ->  one or more lines, last one "OK ..." or "ERR ..."
+///
+/// Commands: `!help`, `!stats` (session aggregates + plan-cache counters),
+/// `!graph <spec>` (swap the session graph; clears the plan cache),
+/// `!cache clear`, `!quit`. The protocol is intentionally dumb —
+/// stateless, textual, no framing — so a smoke test is `printf ... |
+/// pathalg_serve`.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+#include "engine/query_engine.h"
+
+namespace pathalg {
+namespace engine {
+
+struct ServeResult {
+  size_t requests = 0;  // non-empty lines handled
+  size_t ok = 0;        // responses that began with "OK"
+  size_t errors = 0;    // responses that began with "ERR"
+};
+
+/// Handles one request line (no trailing newline), appending one or more
+/// response lines (each '\n'-terminated) to `out`. Returns false when the
+/// session should end (`!quit`). Empty/whitespace lines are ignored.
+bool HandleRequestLine(QueryEngine& engine, const std::string& line,
+                       std::string* out, ServeResult* result);
+
+/// Serves `in` until EOF or `!quit`, writing responses to `out` (flushed
+/// per line, so piped clients see answers promptly).
+ServeResult ServeLines(QueryEngine& engine, std::istream& in,
+                       std::ostream& out);
+
+}  // namespace engine
+}  // namespace pathalg
+
+#endif  // PATHALG_ENGINE_SERVE_H_

@@ -1,0 +1,337 @@
+#include "engine/workload_file.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "common/str_util.h"
+#include "workload/figure1.h"
+#include "workload/generators.h"
+
+namespace pathalg {
+namespace engine {
+
+namespace {
+
+Status DirectiveError(size_t line, const std::string& msg) {
+  return Status::ParseError("workload line " + std::to_string(line) + ": " +
+                            msg);
+}
+
+/// Splits on runs of ASCII whitespace, dropping empty fields.
+std::vector<std::string_view> SplitWs(std::string_view s) {
+  std::vector<std::string_view> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+    if (i > start) out.push_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+Result<size_t> ParseSize(std::string_view s) {
+  size_t value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return Status::ParseError("expected a non-negative integer, got '" +
+                              std::string(s) + "'");
+  }
+  return value;
+}
+
+/// A parsed `# graph` spec: generator kind plus key=value parameters.
+struct GraphSpec {
+  std::string kind;
+  std::vector<std::pair<std::string, std::string>> kv;
+
+  /// The value of `key` as an integer, or `fallback` when absent.
+  Result<size_t> Int(std::string_view key, size_t fallback) const {
+    for (const auto& [k, v] : kv) {
+      if (k == key) return ParseSize(v);
+    }
+    return fallback;
+  }
+  std::string Str(std::string_view key, std::string fallback) const {
+    for (const auto& [k, v] : kv) {
+      if (k == key) return v;
+    }
+    return fallback;
+  }
+};
+
+/// Per-kind allowed parameter keys; shared by validation and building so
+/// the two can never drift apart.
+const std::vector<std::string>* AllowedKeys(std::string_view kind) {
+  static const std::vector<std::string> kNone = {};
+  static const std::vector<std::string> kSocial = {
+      "persons", "messages", "ring", "chords", "likes", "seed"};
+  static const std::vector<std::string> kSkewed = {"persons", "knows",
+                                                   "follows", "seed"};
+  static const std::vector<std::string> kCycleChain = {"n", "label"};
+  static const std::vector<std::string> kDiamond = {"k"};
+  static const std::vector<std::string> kGrid = {"w", "h"};
+  static const std::vector<std::string> kRandom = {"n", "m", "seed",
+                                                   "labels"};
+  if (kind == "figure1") return &kNone;
+  if (kind == "social") return &kSocial;
+  if (kind == "skewed") return &kSkewed;
+  if (kind == "cycle" || kind == "chain") return &kCycleChain;
+  if (kind == "diamond") return &kDiamond;
+  if (kind == "grid") return &kGrid;
+  if (kind == "random") return &kRandom;
+  return nullptr;
+}
+
+/// Parses and fully validates a graph spec (known kind, known keys,
+/// integer values where required) without building the graph, so workload
+/// loading can reject a bad spec up front.
+Result<GraphSpec> ParseGraphSpec(std::string_view spec) {
+  std::vector<std::string_view> words = SplitWs(spec);
+  if (words.empty()) {
+    return Status::ParseError("empty graph spec");
+  }
+  GraphSpec parsed;
+  parsed.kind = std::string(words[0]);
+  const std::vector<std::string>* allowed = AllowedKeys(parsed.kind);
+  if (allowed == nullptr) {
+    return Status::ParseError(
+        "unknown graph kind '" + parsed.kind +
+        "' (expected figure1, social, skewed, cycle, chain, diamond, grid "
+        "or random)");
+  }
+  for (size_t i = 1; i < words.size(); ++i) {
+    size_t eq = words[i].find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::ParseError("expected key=value, got '" +
+                                std::string(words[i]) + "'");
+    }
+    std::string key(words[i].substr(0, eq));
+    std::string value(words[i].substr(eq + 1));
+    if (std::find(allowed->begin(), allowed->end(), key) == allowed->end()) {
+      return Status::ParseError("unknown parameter '" + key + "' for graph '" +
+                                parsed.kind + "'");
+    }
+    if (key != "label" && key != "labels") {
+      PATHALG_ASSIGN_OR_RETURN(size_t unused, ParseSize(value));
+      (void)unused;
+    }
+    parsed.kv.emplace_back(std::move(key), std::move(value));
+  }
+  return parsed;
+}
+
+}  // namespace
+
+Result<Workload> ParseWorkload(std::string_view text) {
+  Workload w;
+  size_t sticky_repeat = 1;
+  std::optional<size_t> pending_expect;
+  std::string pending_name;
+  size_t pending_meta_line = 0;  // line of the oldest unconsumed expect/name
+
+  size_t line_no = 0;
+  for (std::string_view raw : Split(text, '\n')) {
+    ++line_no;
+    std::string_view line = StripWhitespace(raw);
+    if (line.empty()) continue;
+    if (StartsWith(line, "##")) continue;  // free-text comment
+    if (line[0] == '#') {
+      std::vector<std::string_view> words = SplitWs(line.substr(1));
+      if (words.empty()) continue;  // a bare '#' reads as an empty comment
+      std::string_view directive = words[0];
+      if (directive == "graph") {
+        if (!w.graph_spec.empty()) {
+          return DirectiveError(line_no, "duplicate '# graph' directive");
+        }
+        if (!w.entries.empty()) {
+          return DirectiveError(line_no,
+                                "'# graph' must precede the first query");
+        }
+        // The spec is everything after the (first) word "graph".
+        std::string_view spec =
+            StripWhitespace(line.substr(line.find("graph") + 5));
+        if (spec.empty()) {
+          return DirectiveError(line_no, "'# graph' needs a spec");
+        }
+        Result<GraphSpec> parsed = ParseGraphSpec(spec);
+        if (!parsed.ok()) {
+          return DirectiveError(line_no, parsed.status().message());
+        }
+        w.graph_spec = std::string(spec);
+      } else if (directive == "repeat") {
+        if (words.size() != 2) {
+          return DirectiveError(line_no, "'# repeat' takes one integer");
+        }
+        Result<size_t> n = ParseSize(words[1]);
+        if (!n.ok()) return DirectiveError(line_no, n.status().message());
+        if (*n == 0) {
+          return DirectiveError(line_no, "'# repeat' must be >= 1");
+        }
+        sticky_repeat = *n;
+      } else if (directive == "expect") {
+        if (words.size() != 2) {
+          return DirectiveError(line_no, "'# expect' takes one integer");
+        }
+        if (pending_expect.has_value()) {
+          return DirectiveError(line_no,
+                                "duplicate '# expect' before a query");
+        }
+        Result<size_t> n = ParseSize(words[1]);
+        if (!n.ok()) return DirectiveError(line_no, n.status().message());
+        if (pending_name.empty()) pending_meta_line = line_no;
+        pending_expect = *n;
+      } else if (directive == "name") {
+        if (words.size() != 2) {
+          return DirectiveError(line_no, "'# name' takes one word");
+        }
+        if (!pending_name.empty()) {
+          return DirectiveError(line_no, "duplicate '# name' before a query");
+        }
+        if (!pending_expect.has_value()) pending_meta_line = line_no;
+        pending_name = std::string(words[1]);
+      } else {
+        return DirectiveError(
+            line_no, "unknown directive '# " + std::string(directive) +
+                         "' (known: graph, repeat, expect, name; use '##' "
+                         "for comments)");
+      }
+      continue;
+    }
+    WorkloadEntry entry;
+    entry.name = pending_name.empty()
+                     ? "q" + std::to_string(w.entries.size() + 1)
+                     : pending_name;
+    // Names key the replay JSON rollups; a duplicate would silently
+    // shadow the earlier query's numbers in every downstream diff.
+    for (const WorkloadEntry& prev : w.entries) {
+      if (prev.name == entry.name) {
+        return DirectiveError(line_no, "duplicate query name '" +
+                                           entry.name + "' (first used on "
+                                           "line " +
+                                           std::to_string(prev.line) + ")");
+      }
+    }
+    entry.query = std::string(line);
+    entry.repeat = sticky_repeat;
+    entry.expect = pending_expect;
+    entry.line = line_no;
+    w.entries.push_back(std::move(entry));
+    pending_expect.reset();
+    pending_name.clear();
+  }
+  if (pending_expect.has_value() || !pending_name.empty()) {
+    return DirectiveError(pending_meta_line,
+                          "'# expect'/'# name' with no following query");
+  }
+  return w;
+}
+
+Result<Workload> LoadWorkloadFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot open workload file '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  Result<Workload> w = ParseWorkload(buffer.str());
+  if (!w.ok()) {
+    return Status(w.status().code(), path + ": " + w.status().message());
+  }
+  return w;
+}
+
+std::string FormatWorkload(const Workload& workload) {
+  std::string out;
+  if (!workload.graph_spec.empty()) {
+    out += "# graph " + workload.graph_spec + "\n";
+  }
+  size_t sticky_repeat = 1;
+  for (size_t i = 0; i < workload.entries.size(); ++i) {
+    const WorkloadEntry& e = workload.entries[i];
+    if (e.repeat != sticky_repeat) {
+      out += "# repeat " + std::to_string(e.repeat) + "\n";
+      sticky_repeat = e.repeat;
+    }
+    if (e.name != "q" + std::to_string(i + 1)) {
+      out += "# name " + e.name + "\n";
+    }
+    if (e.expect.has_value()) {
+      out += "# expect " + std::to_string(*e.expect) + "\n";
+    }
+    out += e.query + "\n";
+  }
+  return out;
+}
+
+Result<PropertyGraph> BuildWorkloadGraph(std::string_view spec) {
+  if (StripWhitespace(spec).empty()) return MakeFigure1Graph();
+  PATHALG_ASSIGN_OR_RETURN(GraphSpec parsed, ParseGraphSpec(spec));
+
+  if (parsed.kind == "figure1") {
+    return MakeFigure1Graph();
+  }
+  if (parsed.kind == "social") {
+    SocialGraphOptions o;
+    PATHALG_ASSIGN_OR_RETURN(o.num_persons, parsed.Int("persons", 100));
+    PATHALG_ASSIGN_OR_RETURN(o.num_messages, parsed.Int("messages", 200));
+    PATHALG_ASSIGN_OR_RETURN(o.ring_degree, parsed.Int("ring", 2));
+    PATHALG_ASSIGN_OR_RETURN(o.random_knows, parsed.Int("chords", 100));
+    PATHALG_ASSIGN_OR_RETURN(o.likes_per_message, parsed.Int("likes", 2));
+    PATHALG_ASSIGN_OR_RETURN(o.seed, parsed.Int("seed", 42));
+    if (o.num_persons < 2) {
+      return Status::InvalidArgument("social graph needs persons >= 2");
+    }
+    return MakeSocialGraph(o);
+  }
+  if (parsed.kind == "skewed") {
+    SkewedSocialGraphOptions o;
+    PATHALG_ASSIGN_OR_RETURN(o.num_persons, parsed.Int("persons", 200));
+    PATHALG_ASSIGN_OR_RETURN(o.knows_per_person, parsed.Int("knows", 4));
+    PATHALG_ASSIGN_OR_RETURN(o.follows_per_person, parsed.Int("follows", 2));
+    PATHALG_ASSIGN_OR_RETURN(o.seed, parsed.Int("seed", 42));
+    if (o.num_persons < 2) {
+      return Status::InvalidArgument("skewed graph needs persons >= 2");
+    }
+    return MakeSkewedSocialGraph(o);
+  }
+  if (parsed.kind == "cycle" || parsed.kind == "chain") {
+    PATHALG_ASSIGN_OR_RETURN(size_t n, parsed.Int("n", 16));
+    std::string label = parsed.Str("label", "Knows");
+    return parsed.kind == "cycle" ? MakeCycleGraph(n, label)
+                                  : MakeChainGraph(n, label);
+  }
+  if (parsed.kind == "diamond") {
+    PATHALG_ASSIGN_OR_RETURN(size_t k, parsed.Int("k", 8));
+    return MakeDiamondChainGraph(k);
+  }
+  if (parsed.kind == "grid") {
+    PATHALG_ASSIGN_OR_RETURN(size_t width, parsed.Int("w", 8));
+    PATHALG_ASSIGN_OR_RETURN(size_t height, parsed.Int("h", 8));
+    return MakeGridGraph(width, height);
+  }
+  if (parsed.kind == "random") {
+    PATHALG_ASSIGN_OR_RETURN(size_t n, parsed.Int("n", 64));
+    PATHALG_ASSIGN_OR_RETURN(size_t m, parsed.Int("m", 256));
+    PATHALG_ASSIGN_OR_RETURN(size_t seed, parsed.Int("seed", 42));
+    std::vector<std::string> labels;
+    for (const std::string& l : Split(parsed.Str("labels", "Knows"), ',')) {
+      if (!l.empty()) labels.push_back(l);
+    }
+    if (n == 0 || labels.empty()) {
+      return Status::InvalidArgument("random graph needs n >= 1 and labels");
+    }
+    return MakeRandomGraph(n, m, labels, seed);
+  }
+  return Status::Internal("unhandled graph kind '" + parsed.kind + "'");
+}
+
+}  // namespace engine
+}  // namespace pathalg

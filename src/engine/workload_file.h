@@ -1,0 +1,86 @@
+#ifndef PATHALG_ENGINE_WORKLOAD_FILE_H_
+#define PATHALG_ENGINE_WORKLOAD_FILE_H_
+
+/// \file workload_file.h
+/// The `.gqlw` recorded-workload format: a replayable list of queries with
+/// enough metadata to pick the graph, weight the queries, and check
+/// results. One query per line; `#` lines are directives:
+///
+///   # graph social persons=100 seed=7   graph to replay on (at most one,
+///                                       before the first query)
+///   # repeat 5                          sticky: following queries run 5x
+///   # expect 42                         next query must yield 42 paths
+///   # name two_hop                      next query's label (stats/JSON key)
+///   ## free-text comment                ignored
+///
+/// Graph specs (first word selects the workload/generators.h family):
+///   figure1
+///   social  persons= messages= ring= chords= likes= seed=
+///   skewed  persons= knows= follows= seed=
+///   cycle   n= label=      chain n= label=      diamond k=
+///   grid    w= h=          random n= m= seed= labels=a,b,c
+///
+/// Unknown directives, malformed key=value pairs and misplaced metadata
+/// are hard errors with line numbers — a workload that silently drops a
+/// directive would report wrong numbers forever.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/property_graph.h"
+
+namespace pathalg {
+namespace engine {
+
+struct WorkloadEntry {
+  /// Stats/JSON key; defaults to "q<1-based index>".
+  std::string name;
+  /// Query text, exactly as written.
+  std::string query;
+  /// Times to run the query per replay pass (>= 1).
+  size_t repeat = 1;
+  /// Expected result cardinality; checked by the replay driver when set.
+  std::optional<size_t> expect;
+  /// 1-based source line of the query (diagnostics).
+  size_t line = 0;
+
+  bool operator==(const WorkloadEntry& o) const {
+    return name == o.name && query == o.query && repeat == o.repeat &&
+           expect == o.expect;
+  }
+};
+
+struct Workload {
+  /// Graph spec from the `# graph` directive; empty means the caller
+  /// supplies the graph (BuildWorkloadGraph defaults to figure1).
+  std::string graph_spec;
+  std::vector<WorkloadEntry> entries;
+
+  bool operator==(const Workload& o) const {
+    return graph_spec == o.graph_spec && entries == o.entries;
+  }
+};
+
+/// Parses `.gqlw` text. Queries are not parsed as GQL here — a workload
+/// may legitimately record queries that error, to measure error paths.
+Result<Workload> ParseWorkload(std::string_view text);
+
+/// Reads and parses a `.gqlw` file; errors are prefixed with `path`.
+Result<Workload> LoadWorkloadFile(const std::string& path);
+
+/// Renders a workload back to `.gqlw` text such that
+/// ParseWorkload(FormatWorkload(w)) == w (round-trip).
+std::string FormatWorkload(const Workload& workload);
+
+/// Instantiates the graph named by a `# graph` spec (see file comment).
+/// An empty spec yields the paper's Figure 1 graph.
+Result<PropertyGraph> BuildWorkloadGraph(std::string_view spec);
+
+}  // namespace engine
+}  // namespace pathalg
+
+#endif  // PATHALG_ENGINE_WORKLOAD_FILE_H_

@@ -1,5 +1,8 @@
 #include "gql/query.h"
 
+#include "common/str_util.h"
+#include "gql/lexer.h"
+
 namespace pathalg {
 
 Result<Query> Query::Parse(std::string_view text) {
@@ -37,6 +40,33 @@ Result<PathSet> ExecuteQuery(const PropertyGraph& g, std::string_view text,
 PathSet ApplyWholePathRestrictor(const PathSet& paths,
                                  PathSemantics semantics) {
   return RestrictPaths(paths, semantics);
+}
+
+std::string NormalizeQueryText(std::string_view text) {
+  Result<std::vector<Token>> tokens = Tokenize(text);
+  if (!tokens.ok()) {
+    // Unlexable text: strip surrounding whitespace only and let the
+    // parser (which owns the diagnostics) report the lex error. Failed
+    // parses are never cached, so this key is only ever probed.
+    return std::string(StripWhitespace(text));
+  }
+  // Single-space token join. The regex between `-[` and `]->` is re-sliced
+  // from this text when the normalized form is parsed; regex/parser.h
+  // skips whitespace between all its tokens, so the join is safe there
+  // too. Strings re-quote canonically ('x' and "x" coincide); idents,
+  // numbers and symbols keep their spelling.
+  std::string out;
+  out.reserve(text.size());
+  for (const Token& tok : *tokens) {
+    if (tok.kind == TokKind::kEnd) break;
+    if (!out.empty()) out.push_back(' ');
+    if (tok.kind == TokKind::kString) {
+      out += QuoteString(tok.text);
+    } else {
+      out += tok.text;
+    }
+  }
+  return out;
 }
 
 }  // namespace pathalg

@@ -54,6 +54,17 @@ class Query {
 Result<PathSet> ExecuteQuery(const PropertyGraph& g, std::string_view text,
                              const QueryOptions& options = {});
 
+/// Canonicalizes query text for use as a plan-cache key (src/engine):
+/// re-lexes and re-joins the token stream so spelling differences that
+/// cannot change the parse — surrounding/internal whitespace, string-quote
+/// escapes, numeric spellings — map to one key. Deliberately conservative:
+/// identifier case is preserved (labels and property keys are
+/// case-sensitive, and keywords cannot be told apart from identifiers at
+/// the lexer level), so `match` vs `MATCH` are distinct keys — a cache
+/// miss, never a wrong hit. Unlexable text normalizes to itself stripped,
+/// so errors still reach the parser (which owns the diagnostics).
+std::string NormalizeQueryText(std::string_view text);
+
 /// Re-filters `paths` with the whole-path reading of a restrictor: drops
 /// paths violating trail/acyclic/simple, keeps per-pair minima for
 /// shortest, and is the identity for walk.

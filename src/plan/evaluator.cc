@@ -1,16 +1,56 @@
 #include "plan/evaluator.h"
 
+#include <algorithm>
 #include <variant>
 
 #include "algebra/core_ops.h"
+#include "common/timing.h"
 #include "path/path_ops.h"
 
 namespace pathalg {
+
+void EvalStats::Merge(const EvalStats& other) {
+  wall_us += other.wall_us;
+  nodes_evaluated += other.nodes_evaluated;
+  peak_intermediate_paths =
+      std::max(peak_intermediate_paths, other.peak_intermediate_paths);
+  for (size_t i = 0; i < kNumPlanKinds; ++i) {
+    op_us[i] += other.op_us[i];
+    op_count[i] += other.op_count[i];
+  }
+}
 
 namespace {
 
 using EvalValue = std::variant<PathSet, SolutionSpace>;
 
+/// Records one operator application into `stats` (null = no-op): own wall
+/// time (children excluded — the caller passes the instant its own work
+/// began) plus the intermediate-cardinality high-water mark.
+void RecordOp(EvalStats* stats, const PlanNode& node,
+              SteadyClock::time_point own_start, const EvalValue& out) {
+  if (stats == nullptr) return;
+  const size_t k = static_cast<size_t>(node.kind());
+  stats->op_us[k] += MicrosSince(own_start);
+  stats->op_count[k] += 1;
+  stats->nodes_evaluated += 1;
+  if (const PathSet* ps = std::get_if<PathSet>(&out)) {
+    stats->peak_intermediate_paths =
+        std::max(stats->peak_intermediate_paths, ps->size());
+  }
+}
+
+Result<EvalValue> ApplyOp(const PropertyGraph& g, const PlanNode& node,
+                          std::vector<EvalValue>& inputs,
+                          const EvalOptions& options);
+
+// GCC 12 flags the Result<variant<...>> moves in Eval/ApplyOp returns as
+// maybe-uninitialized (a known std::variant false positive); every path
+// that reaches those returns has fully constructed the value.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
 Result<EvalValue> Eval(const PropertyGraph& g, const PlanNode& node,
                        const EvalOptions& options) {
   // Evaluate children first (all operators are strict).
@@ -20,6 +60,16 @@ Result<EvalValue> Eval(const PropertyGraph& g, const PlanNode& node,
     PATHALG_ASSIGN_OR_RETURN(EvalValue v, Eval(g, *c, options));
     inputs.push_back(std::move(v));
   }
+  const SteadyClock::time_point own_start = SteadyClock::now();
+  PATHALG_ASSIGN_OR_RETURN(EvalValue out, ApplyOp(g, node, inputs, options));
+  RecordOp(options.stats, node, own_start, out);
+  return EvalValue(std::move(out));
+}
+
+/// Applies one operator to its already-evaluated inputs.
+Result<EvalValue> ApplyOp(const PropertyGraph& g, const PlanNode& node,
+                          std::vector<EvalValue>& inputs,
+                          const EvalOptions& options) {
   auto paths = [&](size_t i) -> PathSet& {
     return std::get<PathSet>(inputs[i]);
   };
@@ -60,33 +110,52 @@ Result<EvalValue> Eval(const PropertyGraph& g, const PlanNode& node,
   }
   return Status::Internal("unknown plan kind");
 }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+/// Shared prologue/epilogue of the two public entry points: resets the
+/// stats collector, runs `body`, and stamps total wall time (errors
+/// included, so failed evaluations still report their cost).
+template <typename T, typename Body>
+Result<T> Timed(const EvalOptions& options, Body body) {
+  if (options.stats != nullptr) *options.stats = EvalStats();
+  const SteadyClock::time_point start = SteadyClock::now();
+  Result<T> r = body();
+  if (options.stats != nullptr) options.stats->wall_us = MicrosSince(start);
+  return r;
+}
 
 }  // namespace
 
 Result<PathSet> Evaluate(const PropertyGraph& g, const PlanPtr& plan,
                          const EvalOptions& options) {
-  if (plan == nullptr) return Status::InvalidArgument("null plan");
-  PATHALG_RETURN_NOT_OK(plan->Validate());
-  if (plan->ProducesSpace()) {
-    return Status::InvalidArgument(
-        "plan root produces a solution space; use EvaluateToSpace or add a "
-        "Project");
-  }
-  PATHALG_ASSIGN_OR_RETURN(EvalValue v, Eval(g, *plan, options));
-  return std::get<PathSet>(std::move(v));
+  return Timed<PathSet>(options, [&]() -> Result<PathSet> {
+    if (plan == nullptr) return Status::InvalidArgument("null plan");
+    PATHALG_RETURN_NOT_OK(plan->Validate());
+    if (plan->ProducesSpace()) {
+      return Status::InvalidArgument(
+          "plan root produces a solution space; use EvaluateToSpace or add "
+          "a Project");
+    }
+    PATHALG_ASSIGN_OR_RETURN(EvalValue v, Eval(g, *plan, options));
+    return std::get<PathSet>(std::move(v));
+  });
 }
 
 Result<SolutionSpace> EvaluateToSpace(const PropertyGraph& g,
                                       const PlanPtr& plan,
                                       const EvalOptions& options) {
-  if (plan == nullptr) return Status::InvalidArgument("null plan");
-  PATHALG_RETURN_NOT_OK(plan->Validate());
-  if (!plan->ProducesSpace()) {
-    return Status::InvalidArgument(
-        "plan root produces a set of paths; use Evaluate");
-  }
-  PATHALG_ASSIGN_OR_RETURN(EvalValue v, Eval(g, *plan, options));
-  return std::get<SolutionSpace>(std::move(v));
+  return Timed<SolutionSpace>(options, [&]() -> Result<SolutionSpace> {
+    if (plan == nullptr) return Status::InvalidArgument("null plan");
+    PATHALG_RETURN_NOT_OK(plan->Validate());
+    if (!plan->ProducesSpace()) {
+      return Status::InvalidArgument(
+          "plan root produces a set of paths; use Evaluate");
+    }
+    PATHALG_ASSIGN_OR_RETURN(EvalValue v, Eval(g, *plan, options));
+    return std::get<SolutionSpace>(std::move(v));
+  });
 }
 
 }  // namespace pathalg

@@ -7,6 +7,9 @@
 /// of the algebra" (§7.2). Each plan node maps 1:1 onto the algebra
 /// implementations in src/algebra.
 
+#include <array>
+#include <cstdint>
+
 #include "algebra/recursive.h"
 #include "common/result.h"
 #include "graph/property_graph.h"
@@ -15,10 +18,34 @@
 
 namespace pathalg {
 
+/// Per-evaluation instrumentation, filled in by Evaluate when
+/// EvalOptions::stats is set. All timings are wall-clock microseconds;
+/// per-operator entries are indexed by `static_cast<size_t>(PlanKind)` and
+/// exclude time spent in the operator's children, so they sum (up to clock
+/// granularity) to `wall_us`. The engine layer (src/engine) aggregates
+/// these into per-query replay reports.
+struct EvalStats {
+  uint64_t wall_us = 0;
+  /// Plan nodes visited (= operator applications; a node evaluated once).
+  size_t nodes_evaluated = 0;
+  /// Cardinality of the largest intermediate path set produced by any
+  /// operator — the evaluation's memory high-water proxy.
+  size_t peak_intermediate_paths = 0;
+  std::array<uint64_t, kNumPlanKinds> op_us{};
+  std::array<size_t, kNumPlanKinds> op_count{};
+
+  /// Accumulates `other` into this (for multi-query aggregation).
+  void Merge(const EvalStats& other);
+};
+
 /// Evaluation knobs threaded through every ϕ in the plan.
 struct EvalOptions {
   EvalLimits limits;
   PhiEngine engine = PhiEngine::kOptimized;
+  /// Optional stats collector (not owned; may be null). When set, Evaluate
+  /// resets and fills it — including on error, so callers can attribute the
+  /// cost of failed evaluations.
+  EvalStats* stats = nullptr;
 };
 
 /// Evaluates a path-typed plan (root must not be γ/τ). Validates first.

@@ -44,6 +44,10 @@ enum class PlanKind {
   kProject,     // π_(#P,#G,#A)
 };
 
+/// Number of PlanKind enumerators; sizes per-operator stats arrays.
+inline constexpr size_t kNumPlanKinds =
+    static_cast<size_t>(PlanKind::kProject) + 1;
+
 const char* PlanKindToString(PlanKind k);
 
 class PlanNode;

@@ -1,5 +1,6 @@
 #include "workload/generators.h"
 
+#include <algorithm>
 #include <cassert>
 #include <random>
 
@@ -138,6 +139,46 @@ PropertyGraph MakeSocialGraph(const SocialGraphOptions& options) {
     MustAddEdge(b, msg, persons[person_dist(rng)], "Has_creator");
     for (size_t l = 0; l < options.likes_per_message; ++l) {
       MustAddEdge(b, persons[person_dist(rng)], msg, "Likes");
+    }
+  }
+  return b.Build();
+}
+
+PropertyGraph MakeSkewedSocialGraph(const SkewedSocialGraphOptions& options) {
+  assert(options.num_persons >= 2);
+  std::mt19937_64 rng(options.seed);
+  GraphBuilder b;
+  std::vector<NodeId> persons;
+  persons.reserve(options.num_persons);
+  for (size_t i = 0; i < options.num_persons; ++i) {
+    persons.push_back(
+        b.AddNode("Person", {{"name", Value("person" + std::to_string(i))},
+                             {"id", Value(int64_t(i))}}));
+  }
+  // Preferential attachment over one shared endpoint pool: every time a
+  // node is the target of an edge its index is appended, so drawing
+  // uniformly from the pool picks targets with probability proportional to
+  // in-degree + 1 (the +1 from seeding the pool with every person once,
+  // which also keeps isolated nodes reachable as targets).
+  std::vector<size_t> pool;
+  pool.reserve(options.num_persons * (1 + options.knows_per_person +
+                                      options.follows_per_person));
+  for (size_t i = 0; i < options.num_persons; ++i) pool.push_back(i);
+  auto attach = [&](size_t src, std::string_view label) {
+    std::uniform_int_distribution<size_t> dist(0, pool.size() - 1);
+    size_t dst = pool[dist(rng)];
+    if (dst == src) dst = (dst + 1) % options.num_persons;  // no self-loops
+    MustAddEdge(b, persons[src], persons[dst], label);
+    pool.push_back(dst);
+  };
+  // Interleave persons' edges (rather than all of person 0's first) so
+  // early edges do not anchor the skew on the lowest ids alone.
+  const size_t rounds =
+      std::max(options.knows_per_person, options.follows_per_person);
+  for (size_t round = 0; round < rounds; ++round) {
+    for (size_t i = 0; i < options.num_persons; ++i) {
+      if (round < options.knows_per_person) attach(i, "Knows");
+      if (round < options.follows_per_person) attach(i, "Follows");
     }
   }
   return b.Build();

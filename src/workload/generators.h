@@ -62,6 +62,27 @@ struct SocialGraphOptions {
 /// structure of the paper's queries at any scale.
 PropertyGraph MakeSocialGraph(const SocialGraphOptions& options);
 
+/// Parameters for the skewed-degree social graph (see
+/// MakeSkewedSocialGraph).
+struct SkewedSocialGraphOptions {
+  size_t num_persons = 200;
+  /// Knows out-edges per person (preferential attachment).
+  size_t knows_per_person = 4;
+  /// Follows out-edges per person (preferential attachment, same degree
+  /// pool — celebrities attract both).
+  size_t follows_per_person = 2;
+  uint64_t seed = 42;
+};
+
+/// A preferential-attachment (Barabási–Albert-style) social graph:
+/// Person nodes, Knows and Follows edges whose targets are drawn with
+/// probability proportional to current in-degree, yielding the heavy-tail
+/// degree skew of real social networks — a few hub "celebrities" and many
+/// low-degree members. Replay workloads over this topology stress the
+/// engine the way uniform MakeRandomGraph cannot: recursive expansion
+/// through hubs dominates cost. Deterministic given `seed`.
+PropertyGraph MakeSkewedSocialGraph(const SkewedSocialGraphOptions& options);
+
 }  // namespace pathalg
 
 #endif  // PATHALG_WORKLOAD_GENERATORS_H_
