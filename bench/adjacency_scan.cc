@@ -1,0 +1,245 @@
+// Microbenchmark for the CSR adjacency migration: neighbor expansion and
+// label lookups on a skewed (preferential-attachment) social graph, the
+// degree distribution where adjacency layout matters most. Three layouts
+// compete on the same access patterns:
+//   csr    — flat offsets/edge_id arrays (contiguous range scans)
+//   legacy — the pre-CSR vector-of-vectors (pointer chase per node)
+//   full   — no index at all: scan the whole edge list per lookup (what
+//            EdgesWithLabel-style queries cost before any adjacency index)
+// The --verify_only artifact pins the structural facts: CSR and legacy
+// hold identical edge sets, and degree sums equal the edge count.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace pathalg {
+namespace {
+
+using bench::Check;
+
+PropertyGraph SkewedGraph(size_t persons) {
+  SkewedSocialGraphOptions opts;
+  opts.num_persons = persons;
+  opts.knows_per_person = 6;
+  opts.follows_per_person = 3;
+  opts.seed = 17;
+  return MakeSkewedSocialGraph(opts);
+}
+
+/// A deterministic uniform sample of nodes to expand, standing in for a
+/// recursive frontier.
+std::vector<NodeId> SampleFrontier(const PropertyGraph& g, size_t k) {
+  std::mt19937_64 rng(99);
+  std::vector<NodeId> frontier;
+  frontier.reserve(k);
+  std::uniform_int_distribution<NodeId> dist(
+      0, static_cast<NodeId>(g.num_nodes() - 1));
+  for (size_t i = 0; i < k; ++i) frontier.push_back(dist(rng));
+  return frontier;
+}
+
+void PrintAdjacencyArtifact() {
+  bench::PrintHeader(
+      "CSR adjacency vs legacy vectors vs full edge scans (skewed graph)");
+  PropertyGraph g = SkewedGraph(500);
+  Check(g.num_edges() == 500 * 9, "skewed graph has persons*9 edges");
+
+  size_t out_sum = 0, in_sum = 0;
+  size_t max_in = 0;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    out_sum += g.OutDegree(n);
+    in_sum += g.InDegree(n);
+    max_in = std::max(max_in, g.InDegree(n));
+  }
+  Check(out_sum == g.num_edges(), "CSR out-degree sum == num_edges");
+  Check(in_sum == g.num_edges(), "CSR in-degree sum == num_edges");
+
+  LabelId knows = g.FindLabel("Knows");
+  LabelId follows = g.FindLabel("Follows");
+  Check(g.EdgesWithLabel(knows).size() == 500 * 6,
+        "label CSR covers every Knows edge");
+  Check(g.EdgesWithLabel(follows).size() == 500 * 3,
+        "label CSR covers every Follows edge");
+  Check(g.EdgesWithLabel(kNoLabel).empty(),
+        "kNoLabel gets the canonical empty range");
+
+#if PATHALG_LEGACY_ADJACENCY
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    NeighborRange csr = g.OutEdges(n);
+    std::vector<EdgeId> a(csr.begin(), csr.end());
+    std::vector<EdgeId> b = g.LegacyOutEdges(n);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    Check(a == b, "CSR out runs hold exactly the legacy edge sets");
+  }
+  std::printf("legacy adjacency compiled in; differential checks ran\n");
+#endif
+  // Preferential attachment skews *in*-degree (targets are drawn by
+  // popularity); out-degree is uniform at knows+follows per person.
+  Check(max_in > 3 * (g.num_edges() / g.num_nodes()),
+        "in-degree is hub-skewed (max >> mean)");
+  std::printf(
+      "persons=500 edges=%zu max_in_degree=%zu (hub skew; mean %0.1f)\n\n",
+      g.num_edges(), max_in, double(g.num_edges()) / double(g.num_nodes()));
+}
+
+// --- Frontier expansion: visit the out-edges of 256 sampled nodes --------
+
+void BM_FrontierExpandCsr(benchmark::State& state) {
+  PropertyGraph g = SkewedGraph(static_cast<size_t>(state.range(0)));
+  std::vector<NodeId> frontier = SampleFrontier(g, 256);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (NodeId n : frontier) {
+      for (EdgeId e : g.OutEdges(n)) sum += e;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_FrontierExpandCsr)->Arg(500)->Arg(2000)->Arg(8000);
+
+#if PATHALG_LEGACY_ADJACENCY
+void BM_FrontierExpandLegacy(benchmark::State& state) {
+  PropertyGraph g = SkewedGraph(static_cast<size_t>(state.range(0)));
+  std::vector<NodeId> frontier = SampleFrontier(g, 256);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (NodeId n : frontier) {
+      for (EdgeId e : g.LegacyOutEdges(n)) sum += e;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_FrontierExpandLegacy)->Arg(500)->Arg(2000)->Arg(8000);
+#endif
+
+void BM_FrontierExpandFullScan(benchmark::State& state) {
+  PropertyGraph g = SkewedGraph(static_cast<size_t>(state.range(0)));
+  std::vector<NodeId> frontier = SampleFrontier(g, 256);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (NodeId n : frontier) {
+      for (EdgeId e = 0; e < g.num_edges(); ++e) {
+        if (g.Source(e) == n) sum += e;
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_FrontierExpandFullScan)->Arg(500)->Arg(2000);
+
+// --- Hub expansion: in-edges, where preferential attachment piles up -----
+
+void BM_HubInExpandCsr(benchmark::State& state) {
+  PropertyGraph g = SkewedGraph(static_cast<size_t>(state.range(0)));
+  std::vector<NodeId> frontier = SampleFrontier(g, 256);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (NodeId n : frontier) {
+      for (EdgeId e : g.InEdges(n)) sum += e;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_HubInExpandCsr)->Arg(500)->Arg(2000)->Arg(8000);
+
+#if PATHALG_LEGACY_ADJACENCY
+void BM_HubInExpandLegacy(benchmark::State& state) {
+  PropertyGraph g = SkewedGraph(static_cast<size_t>(state.range(0)));
+  std::vector<NodeId> frontier = SampleFrontier(g, 256);
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (NodeId n : frontier) {
+      for (EdgeId e : g.LegacyInEdges(n)) sum += e;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_HubInExpandLegacy)->Arg(500)->Arg(2000)->Arg(8000);
+#endif
+
+// --- Label lookup: all edges carrying "Knows" ----------------------------
+
+void BM_LabelScanCsr(benchmark::State& state) {
+  PropertyGraph g = SkewedGraph(static_cast<size_t>(state.range(0)));
+  LabelId knows = g.FindLabel("Knows");
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (EdgeId e : g.EdgesWithLabel(knows)) sum += e;
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_LabelScanCsr)->Arg(2000)->Arg(8000);
+
+#if PATHALG_LEGACY_ADJACENCY
+void BM_LabelScanLegacy(benchmark::State& state) {
+  PropertyGraph g = SkewedGraph(static_cast<size_t>(state.range(0)));
+  LabelId knows = g.FindLabel("Knows");
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (EdgeId e : g.LegacyEdgesWithLabel(knows)) sum += e;
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_LabelScanLegacy)->Arg(2000)->Arg(8000);
+#endif
+
+void BM_LabelScanFull(benchmark::State& state) {
+  PropertyGraph g = SkewedGraph(static_cast<size_t>(state.range(0)));
+  LabelId knows = g.FindLabel("Knows");
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (g.EdgeLabelId(e) == knows) sum += e;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_LabelScanFull)->Arg(2000)->Arg(8000);
+
+// --- Per-(node,label) slices: the α-closure expansion primitive ----------
+
+void BM_NodeLabelSliceCsr(benchmark::State& state) {
+  PropertyGraph g = SkewedGraph(static_cast<size_t>(state.range(0)));
+  std::vector<NodeId> frontier = SampleFrontier(g, 256);
+  LabelId knows = g.FindLabel("Knows");
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (NodeId n : frontier) {
+      for (EdgeId e : g.OutEdgesWithLabel(n, knows)) sum += e;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_NodeLabelSliceCsr)->Arg(500)->Arg(2000)->Arg(8000);
+
+#if PATHALG_LEGACY_ADJACENCY
+void BM_NodeLabelSliceLegacy(benchmark::State& state) {
+  PropertyGraph g = SkewedGraph(static_cast<size_t>(state.range(0)));
+  std::vector<NodeId> frontier = SampleFrontier(g, 256);
+  LabelId knows = g.FindLabel("Knows");
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (NodeId n : frontier) {
+      for (EdgeId e : g.LegacyOutEdges(n)) {
+        if (g.EdgeLabelId(e) == knows) sum += e;
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_NodeLabelSliceLegacy)->Arg(500)->Arg(2000)->Arg(8000);
+#endif
+
+}  // namespace
+}  // namespace pathalg
+
+int main(int argc, char** argv) {
+  return pathalg::bench::BenchMain(argc, argv,
+                                   pathalg::PrintAdjacencyArtifact);
+}

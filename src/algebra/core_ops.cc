@@ -1,7 +1,6 @@
 #include "algebra/core_ops.h"
 
-#include <unordered_map>
-#include <vector>
+#include "path/path_index.h"
 
 namespace pathalg {
 
@@ -15,17 +14,12 @@ PathSet Select(const PropertyGraph& g, const PathSet& s,
 }
 
 PathSet Join(const PathSet& s1, const PathSet& s2) {
-  // Index the right side by First(p2).
-  std::unordered_map<NodeId, std::vector<const Path*>> by_first;
-  by_first.reserve(s2.size());
-  for (const Path& p2 : s2) {
-    by_first[p2.First()].push_back(&p2);
-  }
+  // CSR-style dense index of the right side by First(p2): node ids are
+  // dense, so the per-p1 probe is an array index, not a hash lookup.
+  PathFirstIndex by_first(s2);
   PathSet out;
   for (const Path& p1 : s1) {
-    auto it = by_first.find(p1.Last());
-    if (it == by_first.end()) continue;
-    for (const Path* p2 : it->second) {
+    for (const Path* p2 : by_first.ForFirst(p1.Last())) {
       out.Insert(Path::ConcatUnchecked(p1, *p2));
     }
   }

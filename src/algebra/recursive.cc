@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/hash.h"
+#include "path/path_index.h"
 
 namespace pathalg {
 
@@ -53,15 +54,6 @@ struct PairHash {
 using BestMap =
     std::unordered_map<std::pair<NodeId, NodeId>, size_t, PairHash>;
 
-/// Index of the base set by First(p) for endpoint joins.
-std::unordered_map<NodeId, std::vector<const Path*>> IndexByFirst(
-    const PathSet& base) {
-  std::unordered_map<NodeId, std::vector<const Path*>> idx;
-  idx.reserve(base.size());
-  for (const Path& p : base) idx[p.First()].push_back(&p);
-  return idx;
-}
-
 Status ExhaustedError(const char* what) {
   return Status::ResourceExhausted(
       std::string("phi evaluation exceeded budget (") + what +
@@ -101,17 +93,14 @@ Result<PathSet> RecursiveNaive(const PathSet& base, PathSemantics semantics,
   // Copy it out: `acc` grows during the fixpoint and would invalidate
   // pointers into its storage.
   std::vector<Path> base_paths(acc.begin(), acc.end());
-  std::unordered_map<NodeId, std::vector<const Path*>> index;
-  for (const Path& p : base_paths) index[p.First()].push_back(&p);
+  PathFirstIndex index(base_paths);
 
   for (size_t iter = 0; iter < limits.max_iterations; ++iter) {
     // Join the full accumulated set with ϕ0 (this is what makes the naive
     // engine quadratic: older paths are re-joined every round).
     std::vector<Path> generated;
     for (const Path& p1 : acc) {
-      auto it = index.find(p1.Last());
-      if (it == index.end()) continue;
-      for (const Path* p2 : it->second) {
+      for (const Path* p2 : index.ForFirst(p1.Last())) {
         Path q = Path::ConcatUnchecked(p1, *p2);
         if (q.Len() > limits.max_path_length) {
           dropped = true;
@@ -172,8 +161,9 @@ Result<PathSet> RecursiveSemiNaive(const PathSet& base,
     if (acc.Insert(p)) frontier.push_back(p);
   }
   std::vector<Path> base_paths(acc.begin(), acc.end());
-  std::unordered_map<NodeId, std::vector<const Path*>> index;
-  for (const Path& p : base_paths) index[p.First()].push_back(&p);
+  // CSR-style dense index of ϕ0 by First(p): the frontier loop probes it
+  // once per frontier path, so an array index beats a hash lookup.
+  PathFirstIndex index(base_paths);
 
   size_t iterations = 0;
   while (!frontier.empty()) {
@@ -188,9 +178,7 @@ Result<PathSet> RecursiveSemiNaive(const PathSet& base,
           p1.First() == p1.Last()) {
         continue;
       }
-      auto it = index.find(p1.Last());
-      if (it == index.end()) continue;
-      for (const Path* p2 : it->second) {
+      for (const Path* p2 : index.ForFirst(p1.Last())) {
         Path q = Path::ConcatUnchecked(p1, *p2);
         if (q.Len() > limits.max_path_length) {
           dropped = true;
@@ -226,8 +214,7 @@ Result<PathSet> RecursiveShortestDijkstra(const PathSet& base,
     return b < a;
   };
   std::priority_queue<Path, std::vector<Path>, decltype(cmp)> heap(cmp);
-  std::unordered_map<NodeId, std::vector<const Path*>> index =
-      IndexByFirst(base);
+  PathFirstIndex index(base);
 
   for (const Path& p : base) {
     if (p.empty()) continue;
@@ -257,9 +244,7 @@ Result<PathSet> RecursiveShortestDijkstra(const PathSet& base,
     }
     out.Insert(p);
     // Expand: optimal p extended by every base path.
-    auto adj = index.find(p.Last());
-    if (adj == index.end()) continue;
-    for (const Path* b : adj->second) {
+    for (const Path* b : index.ForFirst(p.Last())) {
       if (b->Len() == 0) continue;  // identity extension, no progress
       Path q = Path::ConcatUnchecked(p, *b);
       if (q.Len() > limits.max_path_length) continue;

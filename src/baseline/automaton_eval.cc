@@ -43,6 +43,12 @@ class AutomatonEvaluator {
         index_(g, nfa_) {}
 
   Result<PathSet> Run() {
+#if !PATHALG_LEGACY_ADJACENCY
+    if (options_.use_legacy_adjacency) {
+      return Status::InvalidArgument(
+          "use_legacy_adjacency requires PATHALG_LEGACY_ADJACENCY=1");
+    }
+#endif
     std::vector<NodeId> sources;
     if (options_.source.has_value()) {
       if (!g_.IsValidNode(*options_.source)) {
@@ -96,6 +102,55 @@ class AutomatonEvaluator {
     return Status::OK();
   }
 
+  /// One product step of the DFS: edge `e` under the automaton transitions
+  /// `next_states` (all carrying λ(e)).
+  Status DfsStep(EdgeId e, const std::vector<uint32_t>& next_states) {
+    NodeId next = g_.Target(e);
+
+    bool closes_cycle = false;  // simple: next == first, path becomes closed
+    switch (options_.semantics) {
+      case PathSemantics::kWalk:
+        break;
+      case PathSemantics::kTrail:
+        if (used_edges_.count(e) != 0) return Status::OK();
+        break;
+      case PathSemantics::kAcyclic:
+        if (visited_nodes_.count(next) != 0) return Status::OK();
+        break;
+      case PathSemantics::kSimple:
+        if (visited_nodes_.count(next) != 0) {
+          if (next != nodes_.front()) return Status::OK();
+          closes_cycle = true;
+        }
+        break;
+      case PathSemantics::kShortest:
+        return Status::Internal("shortest uses BFS, not DFS");
+    }
+
+    nodes_.push_back(next);
+    edges_.push_back(e);
+    used_edges_.insert(e);
+    bool newly_visited = visited_nodes_.insert(next).second;
+
+    Status st = Status::OK();
+    for (uint32_t next_state : next_states) {
+      if (nfa_.IsAccepting(next_state) && TargetOk(next)) {
+        st = Emit(Path(nodes_, edges_));
+        if (!st.ok()) break;
+      }
+      if (!closes_cycle) {
+        st = Dfs(next, next_state);
+        if (!st.ok()) break;
+      }
+    }
+
+    nodes_.pop_back();
+    edges_.pop_back();
+    used_edges_.erase(e);
+    if (newly_visited) visited_nodes_.erase(next);
+    return st;
+  }
+
   Status Dfs(NodeId node, uint32_t state) {
     if (edges_.size() >= options_.limits.max_path_length) {
       // Only WALK can actually grow without bound, but the cap applies to
@@ -104,51 +159,25 @@ class AutomatonEvaluator {
       return Status::OK();
     }
     const auto& by_label = index_.forward[state];
-    for (EdgeId e : g_.OutEdges(node)) {
-      LabelId l = g_.EdgeLabelId(e);
-      if (l == kNoLabel) continue;
-      auto it = by_label.find(l);
-      if (it == by_label.end()) continue;
-      NodeId next = g_.Target(e);
-
-      bool closes_cycle = false;  // simple: next == first, path becomes closed
-      switch (options_.semantics) {
-        case PathSemantics::kWalk:
-          break;
-        case PathSemantics::kTrail:
-          if (used_edges_.count(e) != 0) continue;
-          break;
-        case PathSemantics::kAcyclic:
-          if (visited_nodes_.count(next) != 0) continue;
-          break;
-        case PathSemantics::kSimple:
-          if (visited_nodes_.count(next) != 0) {
-            if (next != nodes_.front()) continue;
-            closes_cycle = true;
-          }
-          break;
-        case PathSemantics::kShortest:
-          return Status::Internal("shortest uses BFS, not DFS");
+#if PATHALG_LEGACY_ADJACENCY
+    if (options_.use_legacy_adjacency) {
+      // Pre-CSR expansion: scan every out-edge, probe the NFA per edge.
+      for (EdgeId e : g_.LegacyOutEdges(node)) {
+        LabelId l = g_.EdgeLabelId(e);
+        if (l == kNoLabel) continue;
+        auto it = by_label.find(l);
+        if (it == by_label.end()) continue;
+        PATHALG_RETURN_NOT_OK(DfsStep(e, it->second));
       }
-
-      nodes_.push_back(next);
-      edges_.push_back(e);
-      used_edges_.insert(e);
-      bool newly_visited = visited_nodes_.insert(next).second;
-
-      for (uint32_t next_state : it->second) {
-        if (nfa_.IsAccepting(next_state) && TargetOk(next)) {
-          PATHALG_RETURN_NOT_OK(Emit(Path(nodes_, edges_)));
-        }
-        if (!closes_cycle) {
-          PATHALG_RETURN_NOT_OK(Dfs(next, next_state));
-        }
+      return Status::OK();
+    }
+#endif
+    // Label-partitioned expansion: one CSR slice per live NFA label, each a
+    // contiguous range scan — no per-edge hash probe.
+    for (const auto& [label, next_states] : by_label) {
+      for (EdgeId e : g_.OutEdgesWithLabel(node, label)) {
+        PATHALG_RETURN_NOT_OK(DfsStep(e, next_states));
       }
-
-      nodes_.pop_back();
-      edges_.pop_back();
-      used_edges_.erase(e);
-      if (newly_visited) visited_nodes_.erase(next);
     }
     return Status::OK();
   }
@@ -169,17 +198,30 @@ class AutomatonEvaluator {
       size_t d = dist[key(node, state)];
       if (d >= options_.limits.max_path_length) continue;
       const auto& by_label = index_.forward[state];
-      for (EdgeId e : g_.OutEdges(node)) {
-        LabelId l = g_.EdgeLabelId(e);
-        if (l == kNoLabel) continue;
-        auto it = by_label.find(l);
-        if (it == by_label.end()) continue;
+      auto relax = [&](EdgeId e, const std::vector<uint32_t>& states) {
         NodeId next = g_.Target(e);
-        for (uint32_t ns : it->second) {
+        for (uint32_t ns : states) {
           if (dist[key(next, ns)] == kInf) {
             dist[key(next, ns)] = d + 1;
             queue.push({next, ns});
           }
+        }
+      };
+#if PATHALG_LEGACY_ADJACENCY
+      if (options_.use_legacy_adjacency) {
+        for (EdgeId e : g_.LegacyOutEdges(node)) {
+          LabelId l = g_.EdgeLabelId(e);
+          if (l == kNoLabel) continue;
+          auto it = by_label.find(l);
+          if (it == by_label.end()) continue;
+          relax(e, it->second);
+        }
+        continue;
+      }
+#endif
+      for (const auto& [label, states] : by_label) {
+        for (EdgeId e : g_.OutEdgesWithLabel(node, label)) {
+          relax(e, states);
         }
       }
     }
@@ -224,13 +266,10 @@ class AutomatonEvaluator {
       return Status::OK();
     }
     const auto& by_label = index_.backward[state];
-    for (EdgeId e : g_.InEdges(node)) {
-      LabelId l = g_.EdgeLabelId(e);
-      if (l == kNoLabel) continue;
-      auto it = by_label.find(l);
-      if (it == by_label.end()) continue;
+    auto step = [&](EdgeId e,
+                    const std::vector<uint32_t>& prev_states) -> Status {
       NodeId prev = g_.Source(e);
-      for (uint32_t ps : it->second) {
+      for (uint32_t ps : prev_states) {
         if (dist[key(prev, ps)] != d - 1) continue;
         nodes_suffix_.push_back(prev);
         edges_suffix_.push_back(e);
@@ -238,6 +277,24 @@ class AutomatonEvaluator {
             Backtrack(source, prev, ps, d - 1, dist, num_states));
         nodes_suffix_.pop_back();
         edges_suffix_.pop_back();
+      }
+      return Status::OK();
+    };
+#if PATHALG_LEGACY_ADJACENCY
+    if (options_.use_legacy_adjacency) {
+      for (EdgeId e : g_.LegacyInEdges(node)) {
+        LabelId l = g_.EdgeLabelId(e);
+        if (l == kNoLabel) continue;
+        auto it = by_label.find(l);
+        if (it == by_label.end()) continue;
+        PATHALG_RETURN_NOT_OK(step(e, it->second));
+      }
+      return Status::OK();
+    }
+#endif
+    for (const auto& [label, prev_states] : by_label) {
+      for (EdgeId e : g_.InEdgesWithLabel(node, label)) {
+        PATHALG_RETURN_NOT_OK(step(e, prev_states));
       }
     }
     return Status::OK();

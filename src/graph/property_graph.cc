@@ -47,12 +47,45 @@ const Value* PropertyGraph::EdgeProperty(EdgeId e,
   return EdgeProperty(e, FindPropKey(key));
 }
 
-const std::vector<EdgeId>& PropertyGraph::EdgesWithLabel(
+NeighborRange PropertyGraph::EdgesWithLabel(LabelId label) const {
+  // kNoLabel (== UINT32_MAX) and never-interned ids both fall out of the
+  // offsets range and get the canonical empty range — "no label" is not a
+  // label and must not alias any bucket.
+  return CsrSlice(label_offsets_, label_edges_, label);
+}
+
+NeighborRange PropertyGraph::LabelSlice(const std::vector<uint32_t>& offsets,
+                                        const std::vector<EdgeId>& edges,
+                                        const std::vector<LabelId>& labels,
+                                        uint32_t key, LabelId label) {
+  if (size_t{key} + 1 >= offsets.size() || label == kNoLabel) {
+    return NeighborRange();
+  }
+  const LabelId* lo = labels.data() + offsets[key];
+  const LabelId* hi = labels.data() + offsets[key + 1];
+  const LabelId* first = std::lower_bound(lo, hi, label);
+  const LabelId* last = std::upper_bound(first, hi, label);
+  const EdgeId* base = edges.data() + (first - labels.data());
+  return NeighborRange(base, base + (last - first));
+}
+
+NeighborRange PropertyGraph::OutEdgesWithLabel(NodeId n, LabelId label) const {
+  return LabelSlice(csr_out_offsets_, csr_out_edges_, csr_out_labels_, n,
+                    label);
+}
+
+NeighborRange PropertyGraph::InEdgesWithLabel(NodeId n, LabelId label) const {
+  return LabelSlice(csr_in_offsets_, csr_in_edges_, csr_in_labels_, n, label);
+}
+
+#if PATHALG_LEGACY_ADJACENCY
+const std::vector<EdgeId>& PropertyGraph::LegacyEdgesWithLabel(
     LabelId label) const {
   static const std::vector<EdgeId> kEmpty;
   if (label >= edges_by_label_.size()) return kEmpty;
   return edges_by_label_[label];
 }
+#endif
 
 NodeId PropertyGraph::FindNodeByName(std::string_view name) const {
   auto it = node_name_index_.find(std::string(name));
@@ -114,19 +147,87 @@ Result<EdgeId> GraphBuilder::AddNamedEdge(
   return id;
 }
 
+namespace {
+
+/// Counting-sorts edge ids into one CSR direction: bucket by `key(e)` over
+/// `num_keys` buckets (ascending edge id within each bucket), then sorts
+/// each bucket by label so per-(node,label) lookups are contiguous runs.
+/// `labels` comes out parallel to `edges`, carrying each edge's label for
+/// the binary-searched slice lookups.
+template <typename KeyFn>
+void BuildCsrDirection(size_t num_keys, size_t num_edges, KeyFn key,
+                       const std::vector<LabelId>& edge_labels,
+                       std::vector<uint32_t>& offsets,
+                       std::vector<EdgeId>& edges,
+                       std::vector<LabelId>& labels) {
+  offsets.assign(num_keys + 1, 0);
+  for (EdgeId e = 0; e < num_edges; ++e) offsets[key(e) + 1]++;
+  for (size_t k = 0; k < num_keys; ++k) offsets[k + 1] += offsets[k];
+  edges.assign(num_edges, 0);
+  std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (EdgeId e = 0; e < num_edges; ++e) edges[cursor[key(e)]++] = e;
+  // Per-bucket (label, edge id) order. stable_sort preserves the ascending
+  // edge-id order within equal labels from the counting pass.
+  for (size_t k = 0; k < num_keys; ++k) {
+    std::stable_sort(edges.begin() + offsets[k],
+                     edges.begin() + offsets[k + 1],
+                     [&](EdgeId a, EdgeId b) {
+                       return edge_labels[a] < edge_labels[b];
+                     });
+  }
+  labels.assign(num_edges, kNoLabel);
+  for (size_t i = 0; i < num_edges; ++i) {
+    labels[i] = edge_labels[edges[i]];
+  }
+}
+
+}  // namespace
+
 PropertyGraph GraphBuilder::Build() {
   PropertyGraph g = std::move(graph_);
   graph_ = PropertyGraph();
+  const size_t num_edges = g.num_edges();
+
+  BuildCsrDirection(
+      g.num_nodes(), num_edges, [&](EdgeId e) { return g.edge_src_[e]; },
+      g.edge_labels_, g.csr_out_offsets_, g.csr_out_edges_,
+      g.csr_out_labels_);
+  BuildCsrDirection(
+      g.num_nodes(), num_edges, [&](EdgeId e) { return g.edge_dst_[e]; },
+      g.edge_labels_, g.csr_in_offsets_, g.csr_in_edges_,
+      g.csr_in_labels_);
+
+  // Global label CSR over labelled edges only; kNoLabel edges (key ==
+  // UINT32_MAX) have no bucket by construction.
+  const size_t num_labels = g.labels_.size();
+  g.label_offsets_.assign(num_labels + 1, 0);
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    if (g.edge_labels_[e] != kNoLabel) g.label_offsets_[g.edge_labels_[e] + 1]++;
+  }
+  for (size_t l = 0; l < num_labels; ++l) {
+    g.label_offsets_[l + 1] += g.label_offsets_[l];
+  }
+  g.label_edges_.assign(g.label_offsets_[num_labels], 0);
+  std::vector<uint32_t> cursor(g.label_offsets_.begin(),
+                               g.label_offsets_.end() - 1);
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    if (g.edge_labels_[e] != kNoLabel) {
+      g.label_edges_[cursor[g.edge_labels_[e]]++] = e;
+    }
+  }
+
+#if PATHALG_LEGACY_ADJACENCY
   g.out_.assign(g.num_nodes(), {});
   g.in_.assign(g.num_nodes(), {});
   g.edges_by_label_.assign(g.labels_.size(), {});
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+  for (EdgeId e = 0; e < num_edges; ++e) {
     g.out_[g.edge_src_[e]].push_back(e);
     g.in_[g.edge_dst_[e]].push_back(e);
     if (g.edge_labels_[e] != kNoLabel) {
       g.edges_by_label_[g.edge_labels_[e]].push_back(e);
     }
   }
+#endif
   return g;
 }
 

@@ -10,6 +10,21 @@
 /// Identifiers are dense 32-bit indexes assigned by `GraphBuilder`; labels
 /// and property keys are interned per graph so that operator inner loops
 /// compare integers, never strings. The graph is immutable once built.
+///
+/// Adjacency is a compressed-sparse-row (CSR) index built once in
+/// `GraphBuilder::Build()`:
+///
+///   csr_out_offsets_ : [o0, o1, ..., oN]          (N+1 entries)
+///   csr_out_edges_   : [ e ... | e ... | ... ]    (E entries)
+///                        node0   node1
+///
+/// Node n's out-edges are the contiguous run csr_out_edges_[o_n, o_{n+1});
+/// within a run edges are sorted by (label, edge id), so every per-(node,
+/// label) lookup is a binary search plus a contiguous scan. In-edges mirror
+/// the layout keyed by target; `label_offsets_`/`label_edges_` is the same
+/// scheme keyed by label alone (EdgesWithLabel). The pre-CSR
+/// vector-of-vectors survives behind PATHALG_LEGACY_ADJACENCY for
+/// differential testing and is scheduled for removal.
 
 #include <cstdint>
 #include <limits>
@@ -24,6 +39,14 @@
 #include "common/status.h"
 #include "graph/value.h"
 
+/// Build-time compatibility switch: while the CSR migration settles, the
+/// pre-CSR vector-of-vectors adjacency stays available (Legacy* accessors)
+/// so the differential tests can compare layouts. Configure with
+/// -DPATHALG_LEGACY_ADJACENCY=0 to compile it out and drop the memory.
+#ifndef PATHALG_LEGACY_ADJACENCY
+#define PATHALG_LEGACY_ADJACENCY 1
+#endif
+
 namespace pathalg {
 
 using NodeId = uint32_t;
@@ -37,6 +60,28 @@ inline constexpr uint32_t kInvalidId = std::numeric_limits<uint32_t>::max();
 
 /// A sorted-by-key list of (property, value) pairs for one object.
 using PropertyList = std::vector<std::pair<PropKeyId, Value>>;
+
+/// Zero-copy view of one contiguous run of edge ids inside a CSR array.
+/// Cheap to copy (two pointers); valid as long as the owning graph lives.
+class NeighborRange {
+ public:
+  constexpr NeighborRange() = default;
+  constexpr NeighborRange(const EdgeId* first, const EdgeId* last)
+      : begin_(first), end_(last) {}
+
+  const EdgeId* begin() const { return begin_; }
+  const EdgeId* end() const { return end_; }
+  const EdgeId* data() const { return begin_; }
+  size_t size() const { return static_cast<size_t>(end_ - begin_); }
+  bool empty() const { return begin_ == end_; }
+  EdgeId operator[](size_t i) const { return begin_[i]; }
+  EdgeId front() const { return *begin_; }
+  EdgeId back() const { return *(end_ - 1); }
+
+ private:
+  const EdgeId* begin_ = nullptr;
+  const EdgeId* end_ = nullptr;
+};
 
 /// Immutable property graph. Construct via GraphBuilder.
 class PropertyGraph {
@@ -90,12 +135,41 @@ class PropertyGraph {
     return edge_props_[e];
   }
 
-  /// Adjacency indexes: edges leaving / entering a node.
-  const std::vector<EdgeId>& OutEdges(NodeId n) const { return out_[n]; }
-  const std::vector<EdgeId>& InEdges(NodeId n) const { return in_[n]; }
+  /// CSR adjacency: edges leaving / entering a node as contiguous runs.
+  /// Within a run edges are sorted by (label id, edge id); unlabelled edges
+  /// (kNoLabel) sort last.
+  NeighborRange OutEdges(NodeId n) const {
+    return CsrSlice(csr_out_offsets_, csr_out_edges_, n);
+  }
+  NeighborRange InEdges(NodeId n) const {
+    return CsrSlice(csr_in_offsets_, csr_in_edges_, n);
+  }
 
-  /// All edges carrying `label` (empty for unknown labels).
-  const std::vector<EdgeId>& EdgesWithLabel(LabelId label) const;
+  /// Label-partitioned CSR slices: the out-/in-edges of `n` carrying
+  /// `label`. Canonical empty range for unknown labels and kNoLabel —
+  /// unlabelled edges are reachable only through the full OutEdges/InEdges
+  /// runs (λ is partial; "no label" is not a label).
+  NeighborRange OutEdgesWithLabel(NodeId n, LabelId label) const;
+  NeighborRange InEdgesWithLabel(NodeId n, LabelId label) const;
+
+  /// All edges carrying `label`, sorted by edge id. Canonical empty range
+  /// for unknown labels and kNoLabel.
+  NeighborRange EdgesWithLabel(LabelId label) const;
+
+  /// Out-degree / in-degree of `n` (sizes of the CSR runs).
+  size_t OutDegree(NodeId n) const { return OutEdges(n).size(); }
+  size_t InDegree(NodeId n) const { return InEdges(n).size(); }
+
+#if PATHALG_LEGACY_ADJACENCY
+  /// Pre-CSR adjacency, kept during the migration so tests can compare the
+  /// two layouts edge-for-edge. Edge ids appear in insertion (ascending id)
+  /// order. Compiled out with -DPATHALG_LEGACY_ADJACENCY=0.
+  const std::vector<EdgeId>& LegacyOutEdges(NodeId n) const {
+    return out_[n];
+  }
+  const std::vector<EdgeId>& LegacyInEdges(NodeId n) const { return in_[n]; }
+  const std::vector<EdgeId>& LegacyEdgesWithLabel(LabelId label) const;
+#endif
 
   /// Display names ("n1", "e7", ...) used by printers and tests. Builder
   /// assigns "n{i+1}"/"e{i+1}" unless the caller provided explicit names.
@@ -109,6 +183,22 @@ class PropertyGraph {
 
  private:
   friend class GraphBuilder;
+
+  static NeighborRange CsrSlice(const std::vector<uint32_t>& offsets,
+                                const std::vector<EdgeId>& edges,
+                                uint32_t key) {
+    // size_t arithmetic: key + 1 must not wrap for key == kNoLabel.
+    if (size_t{key} + 1 >= offsets.size()) return NeighborRange();
+    const EdgeId* base = edges.data();
+    return NeighborRange(base + offsets[key], base + offsets[key + 1]);
+  }
+
+  /// Binary-searches the (label-sorted) CSR run of `key` for the sub-run
+  /// carrying `label`. `labels` is parallel to `edges`.
+  static NeighborRange LabelSlice(const std::vector<uint32_t>& offsets,
+                                  const std::vector<EdgeId>& edges,
+                                  const std::vector<LabelId>& labels,
+                                  uint32_t key, LabelId label);
 
   std::vector<LabelId> node_labels_;
   std::vector<PropertyList> node_props_;
@@ -125,9 +215,23 @@ class PropertyGraph {
   std::vector<std::string> prop_keys_;
   std::unordered_map<std::string, PropKeyId> prop_key_index_;
 
+  // CSR adjacency (see file comment for the layout). The *_labels_ arrays
+  // are parallel to the *_edges_ arrays and carry each edge's label so
+  // per-(node,label) binary searches never chase edge_labels_ indirection.
+  std::vector<uint32_t> csr_out_offsets_;
+  std::vector<EdgeId> csr_out_edges_;
+  std::vector<LabelId> csr_out_labels_;
+  std::vector<uint32_t> csr_in_offsets_;
+  std::vector<EdgeId> csr_in_edges_;
+  std::vector<LabelId> csr_in_labels_;
+  std::vector<uint32_t> label_offsets_;
+  std::vector<EdgeId> label_edges_;
+
+#if PATHALG_LEGACY_ADJACENCY
   std::vector<std::vector<EdgeId>> out_;
   std::vector<std::vector<EdgeId>> in_;
   std::vector<std::vector<EdgeId>> edges_by_label_;
+#endif
 
   std::unordered_map<std::string, NodeId> node_name_index_;
 };

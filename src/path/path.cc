@@ -35,32 +35,64 @@ Path Path::ConcatUnchecked(const Path& p1, const Path& p2) {
   return Path(std::move(nodes), std::move(edges));
 }
 
-bool Path::IsAcyclic() const {
-  std::unordered_set<NodeId> seen;
-  for (NodeId n : nodes_) {
-    if (!seen.insert(n).second) return false;
+namespace {
+
+// These classification checks run once per candidate inside ϕ's frontier
+// loop, so their constant factor is hot. Below the cutoff an O(L²)
+// pairwise scan with zero allocations beats building an unordered_set per
+// call by a wide margin; past it (rare — recursion budgets keep paths
+// short) the hash set's O(L) takes over.
+constexpr size_t kDistinctScanCutoff = 24;
+
+/// True iff xs[0, limit) are pairwise distinct (small-size scan).
+template <typename T>
+bool PrefixDistinctSmall(const std::vector<T>& xs, size_t limit) {
+  for (size_t i = 1; i < limit; ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      if (xs[i] == xs[j]) return false;
+    }
   }
   return true;
+}
+
+template <typename T>
+bool PrefixDistinctHashed(const std::vector<T>& xs, size_t limit) {
+  std::unordered_set<T> seen;
+  seen.reserve(limit);
+  for (size_t i = 0; i < limit; ++i) {
+    if (!seen.insert(xs[i]).second) return false;
+  }
+  return true;
+}
+
+template <typename T>
+bool PrefixDistinct(const std::vector<T>& xs, size_t limit) {
+  return limit <= kDistinctScanCutoff ? PrefixDistinctSmall(xs, limit)
+                                      : PrefixDistinctHashed(xs, limit);
+}
+
+}  // namespace
+
+bool Path::IsAcyclic() const {
+  return PrefixDistinct(nodes_, nodes_.size());
 }
 
 bool Path::IsSimple() const {
   if (nodes_.size() <= 1) return true;
   // All nodes but the last must be pairwise distinct; the last may repeat
   // only the first (closed simple path / cycle).
-  std::unordered_set<NodeId> seen;
-  for (size_t i = 0; i + 1 < nodes_.size(); ++i) {
-    if (!seen.insert(nodes_[i]).second) return false;
-  }
+  const size_t prefix = nodes_.size() - 1;
+  if (!PrefixDistinct(nodes_, prefix)) return false;
   NodeId last = nodes_.back();
-  return seen.count(last) == 0 || last == nodes_.front();
+  if (last == nodes_.front()) return true;
+  for (size_t i = 1; i < prefix; ++i) {
+    if (nodes_[i] == last) return false;
+  }
+  return true;
 }
 
 bool Path::IsTrail() const {
-  std::unordered_set<EdgeId> seen;
-  for (EdgeId e : edges_) {
-    if (!seen.insert(e).second) return false;
-  }
-  return true;
+  return PrefixDistinct(edges_, edges_.size());
 }
 
 Status Path::Validate(const PropertyGraph& g) const {

@@ -1,0 +1,38 @@
+#include "path/path_index.h"
+
+#include <algorithm>
+
+namespace pathalg {
+
+void PathFirstIndex::BuildFrom(const std::vector<Path>& paths) {
+  NodeId max_first = 0;
+  bool any = false;
+  for (const Path& p : paths) {
+    if (p.empty()) continue;
+    max_first = any ? std::max(max_first, p.First()) : p.First();
+    any = true;
+  }
+  if (!any) return;
+
+  // Counting sort by First(p); input order within each bucket (mirrors the
+  // insertion-order buckets of the old hash index, so operators stay
+  // deterministic).
+  offsets_.assign(size_t{max_first} + 2, 0);
+  size_t indexed = 0;
+  for (const Path& p : paths) {
+    if (p.empty()) continue;
+    offsets_[size_t{p.First()} + 1]++;
+    ++indexed;
+  }
+  for (size_t n = 0; n + 1 < offsets_.size(); ++n) {
+    offsets_[n + 1] += offsets_[n];
+  }
+  slots_.assign(indexed, nullptr);
+  std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Path& p : paths) {
+    if (p.empty()) continue;
+    slots_[cursor[p.First()]++] = &p;
+  }
+}
+
+}  // namespace pathalg

@@ -1,0 +1,69 @@
+#ifndef PATHALG_PATH_PATH_INDEX_H_
+#define PATHALG_PATH_PATH_INDEX_H_
+
+/// \file path_index.h
+/// CSR-style index of a path collection by First(p), the access pattern of
+/// every endpoint join (⋈, ϕ expansion): node ids are dense, so a flat
+/// offsets/slots layout replaces the unordered_map<NodeId, vector<Path*>>
+/// the operators used before — bucket lookup becomes one array index and a
+/// contiguous scan instead of a hash probe per frontier path.
+
+#include <cstdint>
+#include <vector>
+
+#include "path/path.h"
+#include "path/path_set.h"
+
+namespace pathalg {
+
+/// Immutable index over paths owned elsewhere. The indexed container must
+/// outlive the index and must not reallocate while the index is in use
+/// (PathSet and std::vector<Path> are stable as long as nothing inserts).
+class PathFirstIndex {
+ public:
+  /// A contiguous run of pointers to paths sharing First(p).
+  class Bucket {
+   public:
+    constexpr Bucket() = default;
+    constexpr Bucket(const Path* const* first, const Path* const* last)
+        : begin_(first), end_(last) {}
+    const Path* const* begin() const { return begin_; }
+    const Path* const* end() const { return end_; }
+    size_t size() const { return static_cast<size_t>(end_ - begin_); }
+    bool empty() const { return begin_ == end_; }
+
+   private:
+    const Path* const* begin_ = nullptr;
+    const Path* const* end_ = nullptr;
+  };
+
+  PathFirstIndex() = default;
+  explicit PathFirstIndex(const PathSet& paths) {
+    BuildFrom(paths.paths());
+  }
+  explicit PathFirstIndex(const std::vector<Path>& paths) {
+    BuildFrom(paths);
+  }
+
+  /// Paths whose First() == n; empty bucket when none (or n out of range).
+  Bucket ForFirst(NodeId n) const {
+    if (size_t{n} + 1 >= offsets_.size()) return Bucket();
+    const Path* const* base = slots_.data();
+    return Bucket(base + offsets_[n], base + offsets_[n + 1]);
+  }
+
+  size_t size() const { return slots_.size(); }
+  bool empty() const { return slots_.empty(); }
+
+ private:
+  void BuildFrom(const std::vector<Path>& paths);
+
+  // offsets_ has max(First)+2 entries; slots_[offsets_[n], offsets_[n+1])
+  // are the paths starting at node n, in input order.
+  std::vector<uint32_t> offsets_;
+  std::vector<const Path*> slots_;
+};
+
+}  // namespace pathalg
+
+#endif  // PATHALG_PATH_PATH_INDEX_H_

@@ -18,6 +18,14 @@ PathSet EdgesOf(const PropertyGraph& g) {
   return out;
 }
 
+PathSet EdgesWithLabelOf(const PropertyGraph& g, LabelId label) {
+  PathSet out;
+  for (EdgeId e : g.EdgesWithLabel(label)) {
+    out.Insert(Path::EdgeOf(g, e));
+  }
+  return out;
+}
+
 std::string_view LabelOfNodeAt(const PropertyGraph& g, const Path& p,
                                size_t i) {
   NodeId n = p.NodeAt(i);

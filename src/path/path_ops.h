@@ -21,6 +21,11 @@ PathSet NodesOf(const PropertyGraph& g);
 /// Edges(G): all paths of length one.
 PathSet EdgesOf(const PropertyGraph& g);
 
+/// σ_{label(edge(1))=label}(Edges(G)) straight off the label-partitioned
+/// CSR slice: the length-one paths of every edge carrying `label`, without
+/// materializing the full edge scan. Empty for kNoLabel / unknown labels.
+PathSet EdgesWithLabelOf(const PropertyGraph& g, LabelId label);
+
 /// Label(Node(p, i)); empty when i is out of range or the node unlabelled.
 std::string_view LabelOfNodeAt(const PropertyGraph& g, const Path& p,
                                size_t i);

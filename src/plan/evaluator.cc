@@ -18,6 +18,7 @@ void EvalStats::Merge(const EvalStats& other) {
     op_us[i] += other.op_us[i];
     op_count[i] += other.op_count[i];
   }
+  label_scan_hits += other.label_scan_hits;
 }
 
 namespace {
@@ -44,6 +45,26 @@ Result<EvalValue> ApplyOp(const PropertyGraph& g, const PlanNode& node,
                           std::vector<EvalValue>& inputs,
                           const EvalOptions& options);
 
+/// Matches σ_{label(edge(1))="L"}(Edges(G)) — the shape every compiled
+/// regex label atom takes. Such subtrees are answered directly from the
+/// graph's label CSR slice: same result as scan-then-filter (a missing
+/// label matches nothing either way), but only |edges with L| paths are
+/// ever materialized. Returns the matched condition, or nullptr.
+const Condition* MatchEdgeLabelScan(const PlanNode& node) {
+  if (node.kind() != PlanKind::kSelect) return nullptr;
+  if (node.children().size() != 1 ||
+      node.child()->kind() != PlanKind::kEdgesScan) {
+    return nullptr;
+  }
+  const Condition* c = node.condition().get();
+  if (c == nullptr || c->kind() != Condition::Kind::kSimple) return nullptr;
+  if (c->access() != AccessKind::kEdgeLabel || c->position() != 1) {
+    return nullptr;
+  }
+  if (c->op() != CompareOp::kEq || !c->constant().is_string()) return nullptr;
+  return c;
+}
+
 // GCC 12 flags the Result<variant<...>> moves in Eval/ApplyOp returns as
 // maybe-uninitialized (a known std::variant false positive); every path
 // that reaches those returns has fully constructed the value.
@@ -53,6 +74,20 @@ Result<EvalValue> ApplyOp(const PropertyGraph& g, const PlanNode& node,
 #endif
 Result<EvalValue> Eval(const PropertyGraph& g, const PlanNode& node,
                        const EvalOptions& options) {
+  if (const Condition* c = MatchEdgeLabelScan(node)) {
+    const SteadyClock::time_point own_start = SteadyClock::now();
+    EvalValue out(
+        EdgesWithLabelOf(g, g.FindLabel(c->constant().AsString())));
+    if (options.stats != nullptr) {
+      // Book both collapsed operators so op_count matches the slow path;
+      // the scan's time is attributed to the Select.
+      options.stats->op_count[static_cast<size_t>(PlanKind::kEdgesScan)] += 1;
+      options.stats->nodes_evaluated += 1;
+      options.stats->label_scan_hits += 1;
+    }
+    RecordOp(options.stats, node, own_start, out);
+    return out;
+  }
   // Evaluate children first (all operators are strict).
   std::vector<EvalValue> inputs;
   inputs.reserve(node.children().size());

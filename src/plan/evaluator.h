@@ -33,6 +33,11 @@ struct EvalStats {
   size_t peak_intermediate_paths = 0;
   std::array<uint64_t, kNumPlanKinds> op_us{};
   std::array<size_t, kNumPlanKinds> op_count{};
+  /// σ_{label(edge(1))=L}(Edges(G)) subtrees answered from the graph's
+  /// label-partitioned CSR slice instead of a full edge scan + filter. The
+  /// fast path still books both operators into op_count/op_us, so these
+  /// hits are a subset of op_count[kSelect].
+  size_t label_scan_hits = 0;
 
   /// Accumulates `other` into this (for multi-query aggregation).
   void Merge(const EvalStats& other);

@@ -103,6 +103,40 @@ PropertyGraph MakeRandomGraph(size_t n, size_t m,
   return b.Build();
 }
 
+PropertyGraph MakeUniformMultigraph(const UniformMultigraphOptions& options) {
+  assert(options.num_nodes > 0);
+  assert(!options.acyclic || options.num_nodes > 1);
+  std::mt19937_64 rng(options.seed);
+  std::uniform_int_distribution<size_t> node_dist(0, options.num_nodes - 1);
+  std::uniform_int_distribution<uint32_t> percent_dist(0, 99);
+  GraphBuilder b;
+  std::vector<NodeId> nodes;
+  nodes.reserve(options.num_nodes);
+  for (size_t i = 0; i < options.num_nodes; ++i) {
+    nodes.push_back(b.AddNode("Node", {{"id", Value(int64_t(i))}}));
+  }
+  for (size_t i = 0; i < options.num_edges; ++i) {
+    size_t s = node_dist(rng);
+    size_t t = node_dist(rng);
+    if (options.acyclic) {
+      // Lower→higher id only: redraw equal endpoints, then orient.
+      while (s == t) t = node_dist(rng);
+      if (s > t) std::swap(s, t);
+    }
+    const bool unlabeled = !options.labels.empty()
+                               ? percent_dist(rng) < options.unlabeled_percent
+                               : true;
+    std::string_view label;
+    if (!unlabeled) {
+      std::uniform_int_distribution<size_t> label_dist(
+          0, options.labels.size() - 1);
+      label = options.labels[label_dist(rng)];
+    }
+    MustAddEdge(b, nodes[s], nodes[t], label);
+  }
+  return b.Build();
+}
+
 PropertyGraph MakeSocialGraph(const SocialGraphOptions& options) {
   assert(options.num_persons >= 2);
   std::mt19937_64 rng(options.seed);

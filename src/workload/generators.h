@@ -40,6 +40,26 @@ PropertyGraph MakeRandomGraph(size_t n, size_t m,
                               const std::vector<std::string>& labels,
                               uint64_t seed);
 
+/// Parameters for MakeUniformMultigraph.
+struct UniformMultigraphOptions {
+  size_t num_nodes = 6;
+  size_t num_edges = 10;
+  std::vector<std::string> labels = {"a", "b", "c"};
+  /// Per-edge chance (percent, 0-100) of carrying no label at all —
+  /// exercises the λ-partial corner every adjacency layout must get right.
+  uint32_t unlabeled_percent = 0;
+  /// When true edges only run from lower to higher node id (a random DAG,
+  /// so even WALK semantics terminates); when false self-loops and cycles
+  /// are fair game.
+  bool acyclic = false;
+  uint64_t seed = 1;
+};
+
+/// The differential-fuzz workhorse: a uniform random directed multigraph
+/// where parallel edges, self-loops (unless `acyclic`) and unlabelled
+/// edges all occur naturally. Deterministic given the options.
+PropertyGraph MakeUniformMultigraph(const UniformMultigraphOptions& options);
+
 /// Parameters for the LDBC-SNB-like social graph (see MakeSocialGraph).
 struct SocialGraphOptions {
   size_t num_persons = 100;

@@ -1,0 +1,155 @@
+// The randomized differential harness that guards the CSR adjacency
+// migration: seeded random multigraphs (parallel edges, self-loops,
+// unlabelled edges) × random top-closure regexes, evaluated three ways —
+// CSR-backed algebra plans, the CSR-backed NFA automaton, and the
+// legacy vector-of-vectors automaton — which must agree path-for-path
+// under every semantics. All seeds are fixed, so CTest runs are
+// deterministic; failing trials echo their seed and regex.
+//
+// Trial budget: ≥200 graph×query trials per semantics (walk runs on
+// random DAGs, where its answer sets are finite).
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "algebra/core_ops.h"
+#include "fuzz_util.h"
+#include "path/path_index.h"
+#include "path/path_ops.h"
+#include "plan/evaluator.h"
+#include "workload/generators.h"
+
+namespace pathalg {
+namespace {
+
+// The regex label pool deliberately includes "d", which the graph
+// generator never uses — absent labels must match nothing in every layout.
+const std::vector<std::string> kRegexLabels = {"a", "b", "c", "d"};
+const std::vector<std::string> kGraphLabels = {"a", "b", "c"};
+
+constexpr size_t kTrialsPerSemantics = 220;
+
+PropertyGraph TrialGraph(std::mt19937_64& rng, bool acyclic) {
+  UniformMultigraphOptions opts;
+  opts.num_nodes = 4 + rng() % 5;   // 4..8
+  opts.num_edges = 6 + rng() % 9;   // 6..14
+  opts.labels = kGraphLabels;
+  opts.unlabeled_percent = 15;
+  opts.acyclic = acyclic;
+  opts.seed = rng();
+  return MakeUniformMultigraph(opts);
+}
+
+void RunFuzzLoop(PathSemantics semantics, bool acyclic_graphs) {
+  for (uint64_t trial = 1; trial <= kTrialsPerSemantics; ++trial) {
+    // Everything about the trial derives from this one seed.
+    const uint64_t seed =
+        trial * 2654435761u + static_cast<uint64_t>(semantics);
+    std::mt19937_64 rng(seed);
+    PropertyGraph g = TrialGraph(rng, acyclic_graphs);
+    std::string regex = fuzz::RandomTopClosureRegex(rng, kRegexLabels);
+    EXPECT_TRUE(fuzz::RunDifferentialTrial(
+        g, regex, semantics,
+        "trial " + std::to_string(trial) + " seed " + std::to_string(seed)));
+    if (::testing::Test::HasFailure()) break;  // one repro is enough
+  }
+}
+
+TEST(CsrDifferentialFuzz, Trail) { RunFuzzLoop(PathSemantics::kTrail, false); }
+
+TEST(CsrDifferentialFuzz, Acyclic) {
+  RunFuzzLoop(PathSemantics::kAcyclic, false);
+}
+
+TEST(CsrDifferentialFuzz, Simple) {
+  RunFuzzLoop(PathSemantics::kSimple, false);
+}
+
+TEST(CsrDifferentialFuzz, Shortest) {
+  RunFuzzLoop(PathSemantics::kShortest, false);
+}
+
+TEST(CsrDifferentialFuzz, WalkOnRandomDags) {
+  // Walks are only finite on DAGs; cyclic walk divergence is covered by
+  // the budget tests in recursive_test.cc.
+  RunFuzzLoop(PathSemantics::kWalk, true);
+}
+
+// The evaluator's label-scan fast path (σ_{label(edge(1))=L}(Edges(G)) →
+// CSR slice) must be invisible: same paths as the generic Select over the
+// full edge scan, for present, absent and unlabelled labels.
+TEST(CsrDifferentialFuzz, LabelScanFastPathMatchesGenericSelect) {
+  for (uint64_t seed = 1; seed <= 60; ++seed) {
+    std::mt19937_64 rng(seed);
+    PropertyGraph g = TrialGraph(rng, false);
+    for (const std::string& label : kRegexLabels) {
+      PlanPtr plan =
+          PlanNode::Select(EdgeLabelEq(1, label), PlanNode::EdgesScan());
+      EvalStats stats;
+      EvalOptions opts;
+      opts.stats = &stats;
+      auto fast = Evaluate(g, plan, opts);
+      ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+      EXPECT_EQ(stats.label_scan_hits, 1u);
+      EXPECT_EQ(stats.op_count[static_cast<size_t>(PlanKind::kSelect)], 1u);
+      EXPECT_EQ(stats.op_count[static_cast<size_t>(PlanKind::kEdgesScan)],
+                1u);
+      // Reference: the algebra Select function over the full edge scan —
+      // no plan, no fast path.
+      PathSet slow = Select(g, EdgesOf(g), *EdgeLabelEq(1, label));
+      EXPECT_EQ(*fast, slow) << "seed " << seed << " label " << label;
+    }
+  }
+}
+
+// The dense First(p)-index underneath ⋈ must agree with a brute-force
+// nested-loop join on random path sets.
+TEST(CsrDifferentialFuzz, DenseJoinIndexMatchesBruteForce) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    std::mt19937_64 rng(seed);
+    PropertyGraph g = TrialGraph(rng, false);
+    PathSet s1 = EdgesOf(g);
+    PathSet s2;
+    // A random subset of edges plus some zero-length paths.
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (rng() % 2 == 0) s2.Insert(Path::EdgeOf(g, e));
+    }
+    for (NodeId n = 0; n < g.num_nodes(); ++n) {
+      if (rng() % 3 == 0) s2.Insert(Path::SingleNode(n));
+    }
+    PathSet brute;
+    for (const Path& p1 : s1) {
+      for (const Path& p2 : s2) {
+        if (p1.Last() == p2.First()) {
+          brute.Insert(Path::ConcatUnchecked(p1, p2));
+        }
+      }
+    }
+    EXPECT_EQ(Join(s1, s2), brute) << "seed " << seed;
+  }
+}
+
+TEST(PathFirstIndexTest, BucketsMatchInputOrder) {
+  PropertyGraph g = MakeChainGraph(4, "k");
+  PathSet s = EdgesOf(g);
+  PathFirstIndex idx(s);
+  EXPECT_EQ(idx.size(), s.size());
+  size_t total = 0;
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    for (const Path* p : idx.ForFirst(n)) {
+      EXPECT_EQ(p->First(), n);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, s.size());
+  // Out-of-range and empty buckets.
+  EXPECT_TRUE(idx.ForFirst(kInvalidId).empty());
+  EXPECT_TRUE(idx.ForFirst(3).empty());  // chain tail starts no edge
+  EXPECT_TRUE(PathFirstIndex(PathSet()).ForFirst(0).empty());
+}
+
+}  // namespace
+}  // namespace pathalg

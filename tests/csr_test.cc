@@ -1,0 +1,305 @@
+// Property/invariant tests for the GraphBuilder → CSR construction: the
+// flat offsets/edge_id arrays must be a lossless re-indexing of the edge
+// list in both directions, label-partitioned slices must cover exactly the
+// labelled edges, and the adversarial corners of a multigraph — empty
+// graph, all-unlabelled, parallel edges, self-loops — must hold the same
+// invariants. Random-graph cases sweep seeds via the uniform multigraph
+// generator; CsrMatchesLegacy pins CSR ≡ legacy edge-for-edge.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fuzz_util.h"
+#include "graph/property_graph.h"
+#include "workload/figure1.h"
+#include "workload/generators.h"
+
+namespace pathalg {
+namespace {
+
+/// The CSR invariants every built graph must satisfy:
+///  1. out-degree and in-degree sums both equal num_edges()
+///  2. every EdgeId appears exactly once per direction, under its ρ node
+///  3. the union of per-(node,label) slices is exactly the node's labelled
+///     out/in run, and the union of EdgesWithLabel over all labels is
+///     exactly the labelled edge set
+::testing::AssertionResult CheckCsrInvariants(const PropertyGraph& g) {
+  auto fail = [&](const std::string& what) {
+    return ::testing::AssertionFailure() << what;
+  };
+
+  size_t out_degree_sum = 0, in_degree_sum = 0;
+  std::vector<size_t> out_seen(g.num_edges(), 0), in_seen(g.num_edges(), 0);
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    out_degree_sum += g.OutDegree(n);
+    in_degree_sum += g.InDegree(n);
+    for (EdgeId e : g.OutEdges(n)) {
+      if (!g.IsValidEdge(e)) return fail("invalid edge id in out run");
+      if (g.Source(e) != n) {
+        return fail("edge " + std::to_string(e) + " filed under node " +
+                    std::to_string(n) + " but has source " +
+                    std::to_string(g.Source(e)));
+      }
+      out_seen[e]++;
+    }
+    for (EdgeId e : g.InEdges(n)) {
+      if (!g.IsValidEdge(e)) return fail("invalid edge id in in run");
+      if (g.Target(e) != n) {
+        return fail("edge " + std::to_string(e) + " filed under node " +
+                    std::to_string(n) + " but has target " +
+                    std::to_string(g.Target(e)));
+      }
+      in_seen[e]++;
+    }
+    // Per-node runs are (label, id)-sorted, so label slices must tile the
+    // labelled prefix of the run.
+    size_t labeled_out = 0, labeled_in = 0;
+    for (LabelId l = 0; l < g.num_labels(); ++l) {
+      labeled_out += g.OutEdgesWithLabel(n, l).size();
+      for (EdgeId e : g.OutEdgesWithLabel(n, l)) {
+        if (g.EdgeLabelId(e) != l || g.Source(e) != n) {
+          return fail("mislabeled edge in out slice of node " +
+                      std::to_string(n));
+        }
+      }
+      labeled_in += g.InEdgesWithLabel(n, l).size();
+      for (EdgeId e : g.InEdgesWithLabel(n, l)) {
+        if (g.EdgeLabelId(e) != l || g.Target(e) != n) {
+          return fail("mislabeled edge in in slice of node " +
+                      std::to_string(n));
+        }
+      }
+    }
+    size_t unlabeled_out = 0, unlabeled_in = 0;
+    for (EdgeId e : g.OutEdges(n)) {
+      if (g.EdgeLabelId(e) == kNoLabel) unlabeled_out++;
+    }
+    for (EdgeId e : g.InEdges(n)) {
+      if (g.EdgeLabelId(e) == kNoLabel) unlabeled_in++;
+    }
+    if (labeled_out + unlabeled_out != g.OutDegree(n)) {
+      return fail("out label slices of node " + std::to_string(n) +
+                  " do not tile the run");
+    }
+    if (labeled_in + unlabeled_in != g.InDegree(n)) {
+      return fail("in label slices of node " + std::to_string(n) +
+                  " do not tile the run");
+    }
+  }
+  if (out_degree_sum != g.num_edges()) {
+    return fail("out-degree sum " + std::to_string(out_degree_sum) +
+                " != num_edges " + std::to_string(g.num_edges()));
+  }
+  if (in_degree_sum != g.num_edges()) {
+    return fail("in-degree sum " + std::to_string(in_degree_sum) +
+                " != num_edges " + std::to_string(g.num_edges()));
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (out_seen[e] != 1) {
+      return fail("edge " + std::to_string(e) + " appears " +
+                  std::to_string(out_seen[e]) + " times in out runs");
+    }
+    if (in_seen[e] != 1) {
+      return fail("edge " + std::to_string(e) + " appears " +
+                  std::to_string(in_seen[e]) + " times in in runs");
+    }
+  }
+
+  // Global label CSR: slices are id-sorted, correctly labelled, and tile
+  // the labelled edge set exactly once.
+  size_t labeled_total = 0;
+  for (LabelId l = 0; l < g.num_labels(); ++l) {
+    NeighborRange r = g.EdgesWithLabel(l);
+    labeled_total += r.size();
+    for (size_t i = 0; i < r.size(); ++i) {
+      if (g.EdgeLabelId(r[i]) != l) {
+        return fail("EdgesWithLabel(" + std::string(g.LabelName(l)) +
+                    ") holds a foreign edge");
+      }
+      if (i > 0 && r[i - 1] >= r[i]) {
+        return fail("EdgesWithLabel(" + std::string(g.LabelName(l)) +
+                    ") not strictly id-sorted");
+      }
+    }
+  }
+  size_t labeled_want = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (g.EdgeLabelId(e) != kNoLabel) labeled_want++;
+  }
+  if (labeled_total != labeled_want) {
+    return fail("label CSR covers " + std::to_string(labeled_total) +
+                " edges, want " + std::to_string(labeled_want));
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(CsrInvariantTest, Figure1Graph) {
+  PropertyGraph g = MakeFigure1Graph();
+  EXPECT_TRUE(CheckCsrInvariants(g));
+#if PATHALG_LEGACY_ADJACENCY
+  EXPECT_TRUE(fuzz::CsrMatchesLegacy(g, "figure1"));
+#endif
+}
+
+TEST(CsrInvariantTest, EmptyGraph) {
+  PropertyGraph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_TRUE(CheckCsrInvariants(g));
+  // Even unbuilt/empty graphs answer adjacency queries with the canonical
+  // empty range rather than faulting.
+  EXPECT_TRUE(g.EdgesWithLabel(kNoLabel).empty());
+  EXPECT_TRUE(g.EdgesWithLabel(0).empty());
+}
+
+TEST(CsrInvariantTest, NodesButNoEdges) {
+  GraphBuilder b;
+  b.AddNode("A");
+  b.AddNode("B");
+  PropertyGraph g = b.Build();
+  EXPECT_TRUE(CheckCsrInvariants(g));
+  EXPECT_TRUE(g.OutEdges(0).empty());
+  EXPECT_TRUE(g.InEdges(1).empty());
+  EXPECT_EQ(g.OutDegree(0), 0u);
+}
+
+TEST(CsrInvariantTest, AllUnlabeledEdges) {
+  GraphBuilder b;
+  NodeId a = b.AddNode();
+  NodeId c = b.AddNode();
+  ASSERT_TRUE(b.AddEdge(a, c).ok());
+  ASSERT_TRUE(b.AddEdge(c, a).ok());
+  ASSERT_TRUE(b.AddEdge(a, a).ok());  // unlabelled self-loop
+  PropertyGraph g = b.Build();
+  EXPECT_TRUE(CheckCsrInvariants(g));
+  EXPECT_EQ(g.num_labels(), 0u);
+  EXPECT_EQ(g.OutDegree(a), 2u);
+  EXPECT_EQ(g.InDegree(a), 2u);
+  EXPECT_TRUE(g.EdgesWithLabel(kNoLabel).empty());
+}
+
+TEST(CsrInvariantTest, ParallelEdges) {
+  GraphBuilder b;
+  NodeId a = b.AddNode("N");
+  NodeId c = b.AddNode("N");
+  // Three parallel a→c edges, two sharing a label.
+  EdgeId e1 = *b.AddEdge(a, c, "x");
+  EdgeId e2 = *b.AddEdge(a, c, "y");
+  EdgeId e3 = *b.AddEdge(a, c, "x");
+  PropertyGraph g = b.Build();
+  EXPECT_TRUE(CheckCsrInvariants(g));
+  EXPECT_EQ(g.OutDegree(a), 3u);
+  EXPECT_EQ(g.InDegree(c), 3u);
+  LabelId x = g.FindLabel("x");
+  NeighborRange xs = g.OutEdgesWithLabel(a, x);
+  ASSERT_EQ(xs.size(), 2u);
+  EXPECT_EQ(xs[0], e1);
+  EXPECT_EQ(xs[1], e3);
+  EXPECT_EQ(g.OutEdgesWithLabel(a, g.FindLabel("y")).size(), 1u);
+  EXPECT_EQ(g.OutEdgesWithLabel(a, g.FindLabel("y"))[0], e2);
+  EXPECT_EQ(g.EdgesWithLabel(x).size(), 2u);
+}
+
+TEST(CsrInvariantTest, SelfLoops) {
+  GraphBuilder b;
+  NodeId a = b.AddNode("N");
+  EdgeId loop1 = *b.AddEdge(a, a, "x");
+  EdgeId loop2 = *b.AddEdge(a, a, "x");
+  PropertyGraph g = b.Build();
+  EXPECT_TRUE(CheckCsrInvariants(g));
+  // A self-loop counts once in each direction.
+  EXPECT_EQ(g.OutDegree(a), 2u);
+  EXPECT_EQ(g.InDegree(a), 2u);
+  NeighborRange r = g.OutEdgesWithLabel(a, g.FindLabel("x"));
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0], loop1);
+  EXPECT_EQ(r[1], loop2);
+}
+
+TEST(CsrInvariantTest, PerNodeRunsAreLabelSorted) {
+  GraphBuilder b;
+  NodeId hub = b.AddNode("Hub");
+  NodeId t = b.AddNode("T");
+  // Insert with labels interleaved and one unlabelled edge in the middle;
+  // the CSR run must come out grouped by label with kNoLabel last.
+  ASSERT_TRUE(b.AddEdge(hub, t, "z").ok());
+  ASSERT_TRUE(b.AddEdge(hub, t, "a").ok());
+  ASSERT_TRUE(b.AddEdge(hub, t).ok());
+  ASSERT_TRUE(b.AddEdge(hub, t, "z").ok());
+  ASSERT_TRUE(b.AddEdge(hub, t, "a").ok());
+  PropertyGraph g = b.Build();
+  EXPECT_TRUE(CheckCsrInvariants(g));
+  NeighborRange run = g.OutEdges(hub);
+  ASSERT_EQ(run.size(), 5u);
+  std::vector<LabelId> run_labels;
+  for (EdgeId e : run) run_labels.push_back(g.EdgeLabelId(e));
+  EXPECT_TRUE(std::is_sorted(run_labels.begin(), run_labels.end()));
+  EXPECT_EQ(run_labels.back(), kNoLabel);
+}
+
+// Regression (was: relied on edges_by_label_ vector bounds): unknown label
+// ids — never interned, kNoLabel, or plain out of range — all get the one
+// canonical empty range from every label-indexed accessor.
+TEST(CsrInvariantTest, UnknownAndNoLabelGetCanonicalEmptyRange) {
+  PropertyGraph g = MakeFigure1Graph();
+  EXPECT_TRUE(g.EdgesWithLabel(kNoLabel).empty());
+  EXPECT_TRUE(g.EdgesWithLabel(g.FindLabel("NoSuchLabel")).empty());
+  EXPECT_TRUE(g.EdgesWithLabel(static_cast<LabelId>(g.num_labels())).empty());
+  EXPECT_TRUE(g.EdgesWithLabel(kNoLabel - 1).empty());
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    EXPECT_TRUE(g.OutEdgesWithLabel(n, kNoLabel).empty());
+    EXPECT_TRUE(g.InEdgesWithLabel(n, kNoLabel).empty());
+    EXPECT_TRUE(
+        g.OutEdgesWithLabel(n, static_cast<LabelId>(g.num_labels())).empty());
+  }
+  // Out-of-range nodes too (defensive: kInvalidId must not alias node 0).
+  EXPECT_TRUE(g.OutEdges(kInvalidId).empty());
+  EXPECT_TRUE(g.InEdges(kInvalidId).empty());
+  EXPECT_TRUE(g.OutEdgesWithLabel(kInvalidId, g.FindLabel("Knows")).empty());
+}
+
+TEST(CsrInvariantTest, RandomMultigraphSweep) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    UniformMultigraphOptions opts;
+    opts.num_nodes = 1 + seed % 9;
+    opts.num_edges = seed % 23;
+    opts.unlabeled_percent = (seed % 3) * 25;
+    opts.seed = seed;
+    PropertyGraph g = MakeUniformMultigraph(opts);
+    EXPECT_TRUE(CheckCsrInvariants(g)) << "seed " << seed;
+#if PATHALG_LEGACY_ADJACENCY
+    EXPECT_TRUE(fuzz::CsrMatchesLegacy(g, "seed " + std::to_string(seed)));
+#endif
+  }
+}
+
+TEST(CsrInvariantTest, SkewedSocialGraph) {
+  SkewedSocialGraphOptions opts;
+  opts.num_persons = 120;
+  PropertyGraph g = MakeSkewedSocialGraph(opts);
+  EXPECT_TRUE(CheckCsrInvariants(g));
+#if PATHALG_LEGACY_ADJACENCY
+  EXPECT_TRUE(fuzz::CsrMatchesLegacy(g, "skewed social"));
+#endif
+}
+
+TEST(NeighborRangeTest, ViewSemantics) {
+  PropertyGraph g = MakeChainGraph(3, "k");
+  NeighborRange r = g.OutEdges(0);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_FALSE(r.empty());
+  EXPECT_EQ(r.front(), r.back());
+  EXPECT_EQ(r[0], r.front());
+  EXPECT_EQ(r.end() - r.begin(), 1);
+  // Default range is canonical empty.
+  NeighborRange empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty.begin(), empty.end());
+}
+
+}  // namespace
+}  // namespace pathalg

@@ -6,10 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
 #include <string>
 #include <tuple>
 
 #include "baseline/automaton_eval.h"
+#include "fuzz_util.h"
 #include "gql/query.h"
 #include "plan/evaluator.h"
 #include "plan/optimizer.h"
@@ -92,6 +94,40 @@ INSTANTIATE_TEST_SUITE_P(
       }
       name += std::to_string(info.index);
       return name;
+    });
+
+// Seeded fuzz loop on top of the hand-picked regexes above: ≥200 random
+// graph × random regex trials per semantics, deterministic seeds, with the
+// seed echoed on failure so any red trial reproduces in isolation. Regexes
+// come from the same proven top-closure family; graphs from the
+// Erdős–Rényi generator the fixed cases already use.
+class DifferentialFuzzTest : public ::testing::TestWithParam<PathSemantics> {
+};
+
+TEST_P(DifferentialFuzzTest, RandomGraphsTimesRandomRegexes) {
+  const PathSemantics semantics = GetParam();
+  const std::vector<std::string> labels = {"a", "b", "c"};
+  for (uint64_t trial = 1; trial <= 200; ++trial) {
+    const uint64_t seed =
+        0x9e3779b97f4a7c15ull ^
+        (trial * 1000003ull + static_cast<uint64_t>(semantics));
+    std::mt19937_64 rng(seed);
+    PropertyGraph g = MakeRandomGraph(5 + rng() % 4, 8 + rng() % 6, labels,
+                                      rng());
+    std::string regex = fuzz::RandomTopClosureRegex(rng, labels);
+    EXPECT_TRUE(fuzz::RunDifferentialTrial(
+        g, regex, semantics,
+        "trial " + std::to_string(trial) + " seed " + std::to_string(seed)));
+    if (HasFailure()) break;  // one repro is enough
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FiniteSemantics, DifferentialFuzzTest,
+    ::testing::Values(PathSemantics::kTrail, PathSemantics::kAcyclic,
+                      PathSemantics::kSimple, PathSemantics::kShortest),
+    [](const ::testing::TestParamInfo<PathSemantics>& info) {
+      return PathSemanticsToString(info.param);
     });
 
 TEST(DifferentialWalkTest, BoundedWalksAgreeOnDags) {

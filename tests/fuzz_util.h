@@ -1,0 +1,190 @@
+#ifndef PATHALG_TESTS_FUZZ_UTIL_H_
+#define PATHALG_TESTS_FUZZ_UTIL_H_
+
+/// \file fuzz_util.h
+/// Shared machinery for the randomized differential tests: a seeded random
+/// regex generator (restricted to the query family where the algebra's
+/// per-ϕ restrictor reading provably coincides with the automaton's
+/// whole-path reading — closures at the top of union branches and
+/// concatenations of closures), and trial runners that pin
+///
+///     CSR-backed algebra ≡ CSR-backed automaton ≡ legacy-adjacency
+///     automaton
+///
+/// on one (graph, regex, semantics) triple. Every helper takes an explicit
+/// seed or rng so CTest runs are deterministic; failure messages echo the
+/// seed and regex so a red trial reproduces with one line.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "baseline/automaton_eval.h"
+#include "gql/query.h"
+#include "plan/evaluator.h"
+#include "regex/compile.h"
+#include "regex/parser.h"
+#include "workload/generators.h"
+
+namespace pathalg {
+namespace fuzz {
+
+/// One atom ":label" with a label drawn uniformly from `labels`.
+inline std::string RandomAtom(std::mt19937_64& rng,
+                              const std::vector<std::string>& labels) {
+  std::uniform_int_distribution<size_t> dist(0, labels.size() - 1);
+  return ":" + labels[dist(rng)];
+}
+
+/// A random regex from the top-closure family:
+///   expr   := branch | branch "|" branch
+///   branch := piece | piece "/" piece
+///   piece  := inner | inner"+" | inner"*" | inner"?"
+///   inner  := atom | "(" atom "/" atom ")" | "(" atom "|" atom ")"
+/// Closures only wrap whole pieces and pieces only concatenate at the top,
+/// so the per-ϕ and whole-path restrictor readings agree (see the proof
+/// sketch atop tests/differential_test.cc).
+inline std::string RandomTopClosureRegex(
+    std::mt19937_64& rng, const std::vector<std::string>& labels) {
+  auto inner = [&]() -> std::string {
+    switch (rng() % 3) {
+      case 0:
+        return RandomAtom(rng, labels);
+      case 1:
+        return "(" + RandomAtom(rng, labels) + "/" + RandomAtom(rng, labels) +
+               ")";
+      default:
+        return "(" + RandomAtom(rng, labels) + "|" + RandomAtom(rng, labels) +
+               ")";
+    }
+  };
+  auto piece = [&]() -> std::string {
+    std::string body = inner();
+    switch (rng() % 4) {
+      case 0:
+        return body;
+      case 1:
+        return body + "+";
+      case 2:
+        return body + "*";
+      default:
+        return body + "?";
+    }
+  };
+  auto branch = [&]() -> std::string {
+    std::string out = piece();
+    if (rng() % 2 == 0) out += "/" + piece();
+    return out;
+  };
+  std::string out = branch();
+  if (rng() % 2 == 0) out += "|" + branch();
+  return out;
+}
+
+/// Evaluates `regex_text` over `g` three ways and checks the results agree
+/// path-for-path. `context` is prepended to failure messages (put the seed
+/// there).
+inline ::testing::AssertionResult RunDifferentialTrial(
+    const PropertyGraph& g, const std::string& regex_text,
+    PathSemantics semantics, const std::string& context) {
+  auto fail = [&](const std::string& what) {
+    return ::testing::AssertionFailure()
+           << context << " regex `" << regex_text << "` semantics "
+           << PathSemanticsToString(semantics) << ": " << what;
+  };
+
+  auto regex = ParseRegex(regex_text);
+  if (!regex.ok()) return fail("regex parse: " + regex.status().ToString());
+
+  CompileOptions copts;
+  copts.semantics = semantics;
+  auto algebra = Evaluate(g, CompileRegex(*regex, copts));
+  if (!algebra.ok()) return fail("algebra: " + algebra.status().ToString());
+  PathSet lhs = ApplyWholePathRestrictor(*algebra, semantics);
+
+  AutomatonEvalOptions aopts;
+  aopts.semantics = semantics;
+  auto automaton = EvaluateRpqAutomaton(g, *regex, aopts);
+  if (!automaton.ok()) {
+    return fail("automaton: " + automaton.status().ToString());
+  }
+  if (lhs != *automaton) {
+    return fail("CSR algebra (" + std::to_string(lhs.size()) +
+                " paths) != CSR automaton (" +
+                std::to_string(automaton->size()) + " paths)\n  algebra: " +
+                lhs.ToString(g) + "\n  automaton: " + automaton->ToString(g));
+  }
+
+#if PATHALG_LEGACY_ADJACENCY
+  aopts.use_legacy_adjacency = true;
+  auto legacy = EvaluateRpqAutomaton(g, *regex, aopts);
+  if (!legacy.ok()) {
+    return fail("legacy automaton: " + legacy.status().ToString());
+  }
+  if (*legacy != *automaton) {
+    return fail("legacy adjacency (" + std::to_string(legacy->size()) +
+                " paths) != CSR adjacency (" +
+                std::to_string(automaton->size()) + " paths)\n  legacy: " +
+                legacy->ToString(g) + "\n  csr: " + automaton->ToString(g));
+  }
+#endif
+  return ::testing::AssertionSuccess();
+}
+
+/// Structure-level differential: the CSR runs must hold exactly the edge
+/// ids of the legacy vector-of-vectors (as sets; the orders legitimately
+/// differ — legacy is ascending id, CSR is (label, id)).
+#if PATHALG_LEGACY_ADJACENCY
+inline ::testing::AssertionResult CsrMatchesLegacy(const PropertyGraph& g,
+                                                   const std::string& context) {
+  auto fail = [&](const std::string& what) {
+    return ::testing::AssertionFailure() << context << ": " << what;
+  };
+  auto as_sorted = [](auto&& range) {
+    std::vector<EdgeId> v(range.begin(), range.end());
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  for (NodeId n = 0; n < g.num_nodes(); ++n) {
+    if (as_sorted(g.OutEdges(n)) != as_sorted(g.LegacyOutEdges(n))) {
+      return fail("out-edges of node " + std::to_string(n) + " differ");
+    }
+    if (as_sorted(g.InEdges(n)) != as_sorted(g.LegacyInEdges(n))) {
+      return fail("in-edges of node " + std::to_string(n) + " differ");
+    }
+    for (LabelId l = 0; l < g.num_labels(); ++l) {
+      std::vector<EdgeId> want;
+      for (EdgeId e : g.LegacyOutEdges(n)) {
+        if (g.EdgeLabelId(e) == l) want.push_back(e);
+      }
+      if (as_sorted(g.OutEdgesWithLabel(n, l)) != want) {
+        return fail("out-edges of (node " + std::to_string(n) + ", label " +
+                    std::string(g.LabelName(l)) + ") differ");
+      }
+      want.clear();
+      for (EdgeId e : g.LegacyInEdges(n)) {
+        if (g.EdgeLabelId(e) == l) want.push_back(e);
+      }
+      if (as_sorted(g.InEdgesWithLabel(n, l)) != want) {
+        return fail("in-edges of (node " + std::to_string(n) + ", label " +
+                    std::string(g.LabelName(l)) + ") differ");
+      }
+    }
+  }
+  for (LabelId l = 0; l < g.num_labels(); ++l) {
+    if (as_sorted(g.EdgesWithLabel(l)) != g.LegacyEdgesWithLabel(l)) {
+      return fail("EdgesWithLabel(" + std::string(g.LabelName(l)) +
+                  ") differs");
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+#endif  // PATHALG_LEGACY_ADJACENCY
+
+}  // namespace fuzz
+}  // namespace pathalg
+
+#endif  // PATHALG_TESTS_FUZZ_UTIL_H_
