@@ -4,7 +4,11 @@
 # seeding the repo's perf trajectory (BENCH_baseline.json, then
 # BENCH_<change>.json for future PRs to diff against).
 #
-# Usage: bench/run_all.sh [BUILD_DIR] [OUT_FILE]
+# Usage: bench/run_all.sh [--runs N] [BUILD_DIR] [OUT_FILE]
+#   --runs N   run every binary N times and aggregate the *median* wall
+#              time / per-iteration sum (default 1). Medians make the
+#              compare.py --max-regression gate robust to one-off runner
+#              load spikes, which is what lets CI treat it as blocking.
 #   BUILD_DIR  directory holding the bench_* binaries (default: build/bench)
 #   OUT_FILE   aggregated JSON output (default: BENCH_new.json — never the
 #              committed baseline, so `diff BENCH_baseline.json BENCH_new.json`
@@ -16,8 +20,24 @@
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-BUILD_DIR="${1:-${REPO_ROOT}/build/bench}"
-OUT_FILE="${2:-${REPO_ROOT}/BENCH_new.json}"
+RUNS=1
+POSITIONAL=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --runs)
+      [[ $# -ge 2 ]] || { echo "--runs needs a value" >&2; exit 2; }
+      RUNS="$2"
+      shift 2
+      ;;
+    *)
+      POSITIONAL+=("$1")
+      shift
+      ;;
+  esac
+done
+[[ "${RUNS}" =~ ^[1-9][0-9]*$ ]] || { echo "--runs must be >= 1" >&2; exit 2; }
+BUILD_DIR="${POSITIONAL[0]:-${REPO_ROOT}/build/bench}"
+OUT_FILE="${POSITIONAL[1]:-${REPO_ROOT}/BENCH_new.json}"
 TMP_DIR="$(mktemp -d)"
 trap 'rm -rf "${TMP_DIR}"' EXIT
 
@@ -33,47 +53,64 @@ if [[ ! -e "${benches[0]}" ]]; then
   exit 1
 fi
 
+# Sorted middle element (lower median for even N) of one number per line.
+median() {
+  sort -n | awk '{a[NR]=$1} END {print a[int((NR+1)/2)]}'
+}
+
 for bin in "${benches[@]}"; do
   [[ -x "${bin}" ]] || continue
   name="$(basename "${bin}")"
-  echo "== ${name}" >&2
+  echo "== ${name} (${RUNS} run(s))" >&2
   # Artifact assertions print to stdout; the JSON goes to its own file so
   # the two streams can't mix. Wall time is the whole binary run
   # (assertions + all benchmark cases), measured here rather than summed
   # from per-iteration means. `date +%s%N` needs GNU coreutils.
-  start_ns="$(date +%s%N)"
-  "${bin}" --benchmark_out="${TMP_DIR}/${name}.json" \
-           --benchmark_out_format=json \
-           ${EXTRA_ARGS[@]+"${EXTRA_ARGS[@]}"} >/dev/null
-  end_ns="$(date +%s%N)"
-  echo $(( (end_ns - start_ns) / 1000000 )) > "${TMP_DIR}/${name}.wall"
+  : > "${TMP_DIR}/${name}.walls"
+  for run in $(seq 1 "${RUNS}"); do
+    start_ns="$(date +%s%N)"
+    "${bin}" --benchmark_out="${TMP_DIR}/${name}.run${run}.json" \
+             --benchmark_out_format=json \
+             ${EXTRA_ARGS[@]+"${EXTRA_ARGS[@]}"} >/dev/null
+    end_ns="$(date +%s%N)"
+    echo $(( (end_ns - start_ns) / 1000000 )) >> "${TMP_DIR}/${name}.walls"
+    # Per-run sum of per-iteration mean times across cases (the
+    # load-independent rollup compare.py gates on).
+    jq '[.benchmarks[]? | select(.run_type != "aggregate")
+         | .real_time * (if .time_unit == "ns" then 1e-6
+                         elif .time_unit == "us" then 1e-3
+                         elif .time_unit == "ms" then 1
+                         else 1e3 end)] | add // 0' \
+       "${TMP_DIR}/${name}.run${run}.json" >> "${TMP_DIR}/${name}.sums"
+  done
+  median < "${TMP_DIR}/${name}.walls" > "${TMP_DIR}/${name}.wall"
+  median < "${TMP_DIR}/${name}.sums" > "${TMP_DIR}/${name}.sum"
+  # The detailed google-benchmark report kept in the aggregate is run 1's.
+  cp "${TMP_DIR}/${name}.run1.json" "${TMP_DIR}/${name}.json"
 done
 
 # Merge {bench name -> google-benchmark report} plus two per-bench
-# rollups — measured wall time of the whole run, and the sum of
-# per-iteration mean times across cases (a load-independent signal for
-# regression diffs). jq is in the base image; no extra deps.
+# rollups — median measured wall time of the whole run, and the median
+# across runs of the per-iteration sums. jq is in the base image; no
+# extra deps.
 jq -n \
   --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
-  '{schema: "pathalg-bench-v1", generated: $date, benches: {},
+  --argjson runs "${RUNS}" \
+  '{schema: "pathalg-bench-v1", generated: $date, runs: $runs, benches: {},
     wall_time_ms: {}, sum_iteration_time_ms: {}}' \
   > "${TMP_DIR}/agg.json"
 
-for f in "${TMP_DIR}"/bench_*.json; do
-  name="$(basename "${f}" .json)"
+for f in "${TMP_DIR}"/bench_*.run1.json; do
+  name="$(basename "${f}" .run1.json)"
   jq --arg name "${name}" --argjson wall "$(cat "${TMP_DIR}/${name}.wall")" \
-     --slurpfile report "${f}" \
+     --argjson sum "$(cat "${TMP_DIR}/${name}.sum")" \
+     --slurpfile report "${TMP_DIR}/${name}.json" \
      '.benches[$name] = $report[0]
       | .wall_time_ms[$name] = $wall
-      | .sum_iteration_time_ms[$name] =
-          ([$report[0].benchmarks[]? | select(.run_type != "aggregate")
-            | .real_time * (if .time_unit == "ns" then 1e-6
-                            elif .time_unit == "us" then 1e-3
-                            elif .time_unit == "ms" then 1
-                            else 1e3 end)] | add // 0)' \
+      | .sum_iteration_time_ms[$name] = $sum' \
      "${TMP_DIR}/agg.json" > "${TMP_DIR}/agg.next.json"
   mv "${TMP_DIR}/agg.next.json" "${TMP_DIR}/agg.json"
 done
 
 mv "${TMP_DIR}/agg.json" "${OUT_FILE}"
-echo "wrote ${OUT_FILE} ($(jq '.benches | length' "${OUT_FILE}") benches)" >&2
+echo "wrote ${OUT_FILE} ($(jq '.benches | length' "${OUT_FILE}") benches, median of ${RUNS})" >&2

@@ -11,6 +11,8 @@
 //                                          # connection (e.g. via netcat)
 //   pathalg_serve --min-ok 3               # exit 1 unless >= 3 queries
 //                                          # answered OK (CI smoke gate)
+//   pathalg_serve --threads 4              # parallel operator evaluation
+//                                          # (0 = hardware concurrency)
 //
 // Examples:
 //   printf 'MATCH ANY SHORTEST TRAIL p = (x)-[:Knows+]->(y)\n!stats\n'
@@ -119,6 +121,7 @@ int main(int argc, char** argv) {
   std::string csv_path;
   int port = -1;
   size_t min_ok = 0;
+  size_t threads = 1;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -150,10 +153,20 @@ int main(int argc, char** argv) {
         return Fail("--min-ok must be a non-negative integer");
       }
       min_ok = static_cast<size_t>(parsed);
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--threads needs a number");
+      char* end = nullptr;
+      long parsed = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || parsed < 0) {
+        return Fail("--threads must be a non-negative integer "
+                    "(0 = hardware concurrency)");
+      }
+      threads = static_cast<size_t>(parsed);
     } else {
       std::fprintf(stderr,
                    "usage: pathalg_serve [--graph <spec> | --csv <file>] "
-                   "[--port N] [--min-ok N]\n");
+                   "[--port N] [--min-ok N] [--threads N]\n");
       return arg == "--help" ? 0 : 1;
     }
   }
@@ -173,9 +186,12 @@ int main(int argc, char** argv) {
     g = std::move(built).value();
   }
 
-  engine::QueryEngine eng(std::move(g));
-  std::fprintf(stderr, "graph ready: %zu nodes, %zu edges\n",
-               eng.graph().num_nodes(), eng.graph().num_edges());
+  engine::EngineOptions eng_options;
+  eng_options.query.eval.threads = threads;
+  engine::QueryEngine eng(std::move(g), eng_options);
+  std::fprintf(stderr, "graph ready: %zu nodes, %zu edges (eval threads: %zu)\n",
+               eng.graph().num_nodes(), eng.graph().num_edges(),
+               eng.eval_threads());
 
   if (port >= 0) {
 #ifdef __unix__

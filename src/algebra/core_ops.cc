@@ -1,27 +1,86 @@
 #include "algebra/core_ops.h"
 
+#include <utility>
+#include <vector>
+
 #include "path/path_index.h"
 
 namespace pathalg {
 
 PathSet Select(const PropertyGraph& g, const PathSet& s,
-               const Condition& condition) {
+               const Condition& condition, const ParallelOptions& parallel,
+               ParallelStats* parallel_stats) {
+  const std::vector<Path>& in = s.paths();
+  if (!parallel.ShouldParallelize(in.size())) {
+    if (parallel_stats != nullptr && parallel.EffectiveThreads() > 1) {
+      ++parallel_stats->serial_fallbacks;
+    }
+    PathSet out;
+    for (const Path& p : in) {
+      if (condition.Evaluate(g, p)) out.Insert(p);
+    }
+    return out;
+  }
+  // Filter per contiguous chunk into chunk-private vectors, then
+  // concatenate in chunk order: the kept paths appear in exactly the
+  // input order, as in the serial loop (and the input is already
+  // duplicate-free, so insertion order is the whole story).
+  const ChunkLayout layout = ThreadPool::PlanFor(in.size(), parallel);
+  std::vector<std::vector<Path>> kept(layout.num_chunks);
+  ThreadPool::Shared().ParallelFor(
+      in.size(), parallel, parallel_stats,
+      [&](size_t chunk, size_t begin, size_t end) {
+        std::vector<Path>& mine = kept[chunk];
+        for (size_t i = begin; i < end; ++i) {
+          if (condition.Evaluate(g, in[i])) mine.push_back(in[i]);
+        }
+      });
   PathSet out;
-  for (const Path& p : s) {
-    if (condition.Evaluate(g, p)) out.Insert(p);
+  for (std::vector<Path>& chunk : kept) {
+    for (Path& p : chunk) out.Insert(std::move(p));
   }
   return out;
 }
 
-PathSet Join(const PathSet& s1, const PathSet& s2) {
+PathSet Join(const PathSet& s1, const PathSet& s2,
+             const ParallelOptions& parallel,
+             ParallelStats* parallel_stats) {
   // CSR-style dense index of the right side by First(p2): node ids are
   // dense, so the per-p1 probe is an array index, not a hash lookup.
   PathFirstIndex by_first(s2);
-  PathSet out;
-  for (const Path& p1 : s1) {
-    for (const Path* p2 : by_first.ForFirst(p1.Last())) {
-      out.Insert(Path::ConcatUnchecked(p1, *p2));
+  const std::vector<Path>& probe = s1.paths();
+  if (!parallel.ShouldParallelize(probe.size())) {
+    if (parallel_stats != nullptr && parallel.EffectiveThreads() > 1) {
+      ++parallel_stats->serial_fallbacks;
     }
+    PathSet out;
+    for (const Path& p1 : probe) {
+      for (const Path* p2 : by_first.ForFirst(p1.Last())) {
+        out.Insert(Path::ConcatUnchecked(p1, *p2));
+      }
+    }
+    return out;
+  }
+  // Chunk the probe side; each chunk emits its concatenations in (p1
+  // order, bucket order) — merging chunks in index order reproduces the
+  // serial enumeration, and the merge's Insert dedups exactly where the
+  // serial loop would (a ◦ can collide when zero-length paths join).
+  const ChunkLayout layout = ThreadPool::PlanFor(probe.size(), parallel);
+  std::vector<std::vector<Path>> produced(layout.num_chunks);
+  ThreadPool::Shared().ParallelFor(
+      probe.size(), parallel, parallel_stats,
+      [&](size_t chunk, size_t begin, size_t end) {
+        std::vector<Path>& mine = produced[chunk];
+        for (size_t i = begin; i < end; ++i) {
+          const Path& p1 = probe[i];
+          for (const Path* p2 : by_first.ForFirst(p1.Last())) {
+            mine.push_back(Path::ConcatUnchecked(p1, *p2));
+          }
+        }
+      });
+  PathSet out;
+  for (std::vector<Path>& chunk : produced) {
+    for (Path& p : chunk) out.Insert(std::move(p));
   }
   return out;
 }

@@ -11,19 +11,31 @@
 /// set); output insertion order is deterministic: σ preserves input order,
 /// ⋈ enumerates left paths in order and right matches in order, ∪ takes the
 /// left set followed by unseen right paths.
+///
+/// σ and ⋈ optionally fan out over a chunked work-stealing pool
+/// (common/thread_pool.h). Parallel execution is byte-identical to serial:
+/// the input is split into contiguous chunks, each chunk's output is
+/// collected privately, and chunks are merged in chunk index order — the
+/// exact enumeration order of the serial loop.
 
 #include "algebra/condition.h"
+#include "common/thread_pool.h"
 #include "path/path_set.h"
 
 namespace pathalg {
 
 /// σ_c(S) = {p ∈ S | ev(c, p) = True}.
 PathSet Select(const PropertyGraph& g, const PathSet& s,
-               const Condition& condition);
+               const Condition& condition,
+               const ParallelOptions& parallel = {},
+               ParallelStats* parallel_stats = nullptr);
 
 /// S ⋈ S' = {p1 ◦ p2 | p1 ∈ S, p2 ∈ S', Last(p1) = First(p2)}.
-/// Hash-join on the connecting node.
-PathSet Join(const PathSet& s1, const PathSet& s2);
+/// Dense index on the connecting node; the probe side (s1) is chunked
+/// under parallel execution.
+PathSet Join(const PathSet& s1, const PathSet& s2,
+             const ParallelOptions& parallel = {},
+             ParallelStats* parallel_stats = nullptr);
 
 /// S ∪ S' with set semantics (duplicates eliminated).
 PathSet Union(const PathSet& s1, const PathSet& s2);

@@ -144,10 +144,20 @@ Result<PathSet> RecursiveNaive(const PathSet& base, PathSemantics semantics,
 // Optimized engine, non-shortest: semi-naive frontier expansion. Each round
 // extends only the paths discovered in the previous round, which generates
 // every composition exactly once.
+//
+// Under parallel execution only the round's candidate generation (extend +
+// length filter + restrictor filter — a pure function of the frontier and
+// the base index) fans out, chunked over the frontier. Dedup against `acc`,
+// the max_paths budget and the next-frontier build stay on the calling
+// thread, merging chunks in index order — the serial enumeration order —
+// so results, partial answers and Status are byte-identical at any thread
+// count.
 // ---------------------------------------------------------------------------
 Result<PathSet> RecursiveSemiNaive(const PathSet& base,
                                    PathSemantics semantics,
-                                   const EvalLimits& limits) {
+                                   const EvalLimits& limits,
+                                   const ParallelOptions& parallel,
+                                   ParallelStats* parallel_stats) {
   PathSet acc;
   std::vector<Path> frontier;
   bool dropped = false;
@@ -171,25 +181,59 @@ Result<PathSet> RecursiveSemiNaive(const PathSet& base,
       if (limits.truncate) return acc;
       return ExhaustedError("max_iterations");
     }
+    // Generate-and-merge in deterministic frontier *segments* rather than
+    // one frontier-sized batch: serial generation stops within one
+    // candidate of the max_paths budget, and materializing a whole
+    // round's candidates up front would forfeit that memory bound (a
+    // round can be |frontier| × bucket-size candidates). A segment fills
+    // exactly one over-decomposed wave of pool chunks; the merge between
+    // segments hits the budget at the same candidate the serial loop
+    // would, so output and Status are unchanged — later segments are
+    // simply never generated.
+    const size_t min_chunk = std::max<size_t>(parallel.min_chunk, 1);
+    const size_t segment = std::max<size_t>(
+        2 * min_chunk, 8 * parallel.EffectiveThreads() * min_chunk);
     std::vector<Path> next;
-    for (const Path& p1 : frontier) {
-      // A closed simple path repeats its endpoint on any extension; skip.
-      if (semantics == PathSemantics::kSimple && p1.Len() > 0 &&
-          p1.First() == p1.Last()) {
-        continue;
-      }
-      for (const Path* p2 : index.ForFirst(p1.Last())) {
-        Path q = Path::ConcatUnchecked(p1, *p2);
-        if (q.Len() > limits.max_path_length) {
-          dropped = true;
-          continue;
+    for (size_t seg = 0; seg < frontier.size(); seg += segment) {
+      const size_t n = std::min(segment, frontier.size() - seg);
+      const ChunkLayout layout = ThreadPool::PlanFor(n, parallel);
+      std::vector<std::vector<Path>> candidates(layout.num_chunks);
+      std::vector<uint8_t> chunk_dropped(layout.num_chunks, 0);
+      ThreadPool::Shared().ParallelFor(
+          n, parallel, parallel_stats,
+          [&](size_t chunk, size_t begin, size_t end) {
+            std::vector<Path>& mine = candidates[chunk];
+            for (size_t i = begin; i < end; ++i) {
+              const Path& p1 = frontier[seg + i];
+              // A closed simple path repeats its endpoint on any
+              // extension.
+              if (semantics == PathSemantics::kSimple && p1.Len() > 0 &&
+                  p1.First() == p1.Last()) {
+                continue;
+              }
+              for (const Path* p2 : index.ForFirst(p1.Last())) {
+                Path q = Path::ConcatUnchecked(p1, *p2);
+                if (q.Len() > limits.max_path_length) {
+                  chunk_dropped[chunk] = 1;
+                  continue;
+                }
+                if (!SatisfiesSemantics(q, semantics)) continue;
+                mine.push_back(std::move(q));
+              }
+            }
+          });
+      for (size_t c = 0; c < layout.num_chunks; ++c) {
+        // `dropped` is only consulted at the natural fixpoint, never on a
+        // budget return, so folding chunk flags before the budget loop
+        // cannot change behavior.
+        if (chunk_dropped[c] != 0) dropped = true;
+        for (Path& q : candidates[c]) {
+          if (acc.size() >= limits.max_paths) {
+            if (limits.truncate) return acc;
+            return ExhaustedError("max_paths");
+          }
+          if (acc.Insert(q)) next.push_back(std::move(q));
         }
-        if (!SatisfiesSemantics(q, semantics)) continue;
-        if (acc.size() >= limits.max_paths) {
-          if (limits.truncate) return acc;
-          return ExhaustedError("max_paths");
-        }
-        if (acc.Insert(q)) next.push_back(std::move(q));
       }
     }
     frontier = std::move(next);
@@ -201,13 +245,28 @@ Result<PathSet> RecursiveSemiNaive(const PathSet& base,
 }
 
 // ---------------------------------------------------------------------------
-// Optimized engine, shortest: best-first (Dijkstra-style) expansion in
-// global length order. Only per-pair-optimal paths are expanded; this is
-// sound because a prefix of a shortest composition can always be replaced
-// by a shortest composition between the same endpoints.
+// Optimized engine, shortest: best-first expansion in global length order.
+// Only per-pair-optimal paths are expanded; this is sound because a prefix
+// of a shortest composition can always be replaced by a shortest
+// composition between the same endpoints.
+//
+// The heap is drained in *length layers*: expanding a path only ever
+// pushes strictly longer paths, so once the first length-L path pops, the
+// set of length-L entries is frozen. The pop phase of a layer (best-map
+// updates, dedup, budgets, result insertion) is sequential and ordered by
+// the heap's (length, canonical) comparator; the expansion phase then
+// extends the whole accepted layer against a frozen best map — a pure
+// read-only fan-out, chunked over the layer. Candidate pushes merge in
+// chunk order, and since distinct paths pop in strict comparator order
+// regardless of push order, results, partial answers and Status are
+// byte-identical at any thread count. (Versus the pre-layered
+// interleaved loop, the frozen best map prunes slightly more duplicate
+// pushes — same answers, fewer wasted pops.)
 // ---------------------------------------------------------------------------
-Result<PathSet> RecursiveShortestDijkstra(const PathSet& base,
-                                          const EvalLimits& limits) {
+Result<PathSet> RecursiveShortestLayered(const PathSet& base,
+                                         const EvalLimits& limits,
+                                         const ParallelOptions& parallel,
+                                         ParallelStats* parallel_stats) {
   auto cmp = [](const Path& a, const Path& b) {
     // Min-heap by (length, canonical order) for determinism.
     if (a.Len() != b.Len()) return a.Len() > b.Len();
@@ -226,32 +285,55 @@ Result<PathSet> RecursiveShortestDijkstra(const PathSet& base,
   PathSet out;
   PathSet expanded;  // dedup of heap pops (a path can be pushed twice)
   size_t pops = 0;
+  std::vector<Path> layer;  // this length class's newly-optimal paths
   while (!heap.empty()) {
-    if (++pops > limits.max_iterations * 64) {
-      if (limits.truncate) return out;
-      return ExhaustedError("max_iterations");
+    const size_t layer_len = heap.top().Len();
+    layer.clear();
+    while (!heap.empty() && heap.top().Len() == layer_len) {
+      if (++pops > limits.max_iterations * 64) {
+        if (limits.truncate) return out;
+        return ExhaustedError("max_iterations");
+      }
+      Path p = heap.top();
+      heap.pop();
+      auto key = std::make_pair(p.First(), p.Last());
+      auto it = best.find(key);
+      if (it != best.end() && p.Len() > it->second) continue;  // not optimal
+      if (it == best.end()) best[key] = p.Len();
+      if (!expanded.Insert(p)) continue;  // already handled this exact path
+      if (out.size() >= limits.max_paths) {
+        if (limits.truncate) return out;
+        return ExhaustedError("max_paths");
+      }
+      out.Insert(p);
+      layer.push_back(std::move(p));
     }
-    Path p = heap.top();
-    heap.pop();
-    auto key = std::make_pair(p.First(), p.Last());
-    auto it = best.find(key);
-    if (it != best.end() && p.Len() > it->second) continue;  // not optimal
-    if (it == best.end()) best[key] = p.Len();
-    if (!expanded.Insert(p)) continue;  // already handled this exact path
-    if (out.size() >= limits.max_paths) {
-      if (limits.truncate) return out;
-      return ExhaustedError("max_paths");
-    }
-    out.Insert(p);
-    // Expand: optimal p extended by every base path.
-    for (const Path* b : index.ForFirst(p.Last())) {
-      if (b->Len() == 0) continue;  // identity extension, no progress
-      Path q = Path::ConcatUnchecked(p, *b);
-      if (q.Len() > limits.max_path_length) continue;
-      auto qkey = std::make_pair(q.First(), q.Last());
-      auto qit = best.find(qkey);
-      if (qit != best.end() && q.Len() > qit->second) continue;  // prune
-      heap.push(std::move(q));
+    // Expand every accepted layer path by every base path. `best` is
+    // frozen here (all entries keyed this layer hold layer_len, which
+    // already prunes any strictly-longer extension), so the chunk bodies
+    // only read shared state.
+    const size_t n = layer.size();
+    const ChunkLayout layout = ThreadPool::PlanFor(n, parallel);
+    std::vector<std::vector<Path>> pushes(layout.num_chunks);
+    ThreadPool::Shared().ParallelFor(
+        n, parallel, parallel_stats,
+        [&](size_t chunk, size_t begin, size_t end) {
+          std::vector<Path>& mine = pushes[chunk];
+          for (size_t i = begin; i < end; ++i) {
+            const Path& p = layer[i];
+            for (const Path* b : index.ForFirst(p.Last())) {
+              if (b->Len() == 0) continue;  // identity ext., no progress
+              Path q = Path::ConcatUnchecked(p, *b);
+              if (q.Len() > limits.max_path_length) continue;
+              auto qkey = std::make_pair(q.First(), q.Last());
+              auto qit = best.find(qkey);
+              if (qit != best.end() && q.Len() > qit->second) continue;
+              mine.push_back(std::move(q));
+            }
+          }
+        });
+    for (std::vector<Path>& chunk : pushes) {
+      for (Path& q : chunk) heap.push(std::move(q));
     }
   }
   return out;
@@ -260,14 +342,23 @@ Result<PathSet> RecursiveShortestDijkstra(const PathSet& base,
 }  // namespace
 
 Result<PathSet> Recursive(const PathSet& base, PathSemantics semantics,
-                          const EvalLimits& limits, PhiEngine engine) {
+                          const EvalLimits& limits, PhiEngine engine,
+                          const ParallelOptions& parallel,
+                          ParallelStats* parallel_stats) {
   if (engine == PhiEngine::kNaive) {
+    // The naive engine is the literal Definition 4.1 reference the
+    // parallel paths are differentially tested against; it stays serial
+    // by design.
+    if (parallel_stats != nullptr && parallel.EffectiveThreads() > 1) {
+      ++parallel_stats->serial_fallbacks;
+    }
     return RecursiveNaive(base, semantics, limits);
   }
   if (semantics == PathSemantics::kShortest) {
-    return RecursiveShortestDijkstra(base, limits);
+    return RecursiveShortestLayered(base, limits, parallel, parallel_stats);
   }
-  return RecursiveSemiNaive(base, semantics, limits);
+  return RecursiveSemiNaive(base, semantics, limits, parallel,
+                            parallel_stats);
 }
 
 PathSet RestrictPaths(const PathSet& s, PathSemantics semantics) {

@@ -15,12 +15,21 @@
 /// Two engines are provided: `kNaive` follows Definition 4.1 literally
 /// (each round joins the full accumulated set with the base set), and
 /// `kOptimized` uses semi-naive frontier expansion (trail/acyclic/simple/
-/// walk) or length-ordered best-first search (shortest). The two are
+/// walk) or length-layered best-first search (shortest). The two are
 /// checked equal by differential tests; bench/phi_ablation measures the gap.
+///
+/// The optimized engine optionally fans each round's expansion out over
+/// the chunked work-stealing pool (common/thread_pool.h). Parallel output
+/// is byte-identical to serial at any thread count — candidate generation
+/// (extend + filter) is chunked, while dedup, budget checks and result
+/// insertion run on the calling thread in chunk order, which is exactly
+/// the serial enumeration order. kNaive stays intentionally serial: it is
+/// the reference the parallel engine is differentially tested against.
 
 #include <cstddef>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "path/path_set.h"
 
 namespace pathalg {
@@ -60,7 +69,9 @@ enum class PhiEngine { kNaive, kOptimized };
 /// do not have repeated edges").
 Result<PathSet> Recursive(const PathSet& base, PathSemantics semantics,
                           const EvalLimits& limits = {},
-                          PhiEngine engine = PhiEngine::kOptimized);
+                          PhiEngine engine = PhiEngine::kOptimized,
+                          const ParallelOptions& parallel = {},
+                          ParallelStats* parallel_stats = nullptr);
 
 /// Keeps, for every (First, Last) pair in `s`, exactly the minimum-length
 /// paths. Exposed for the optimizer and for tests.

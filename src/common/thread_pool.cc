@@ -1,0 +1,249 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pathalg {
+
+size_t ParallelOptions::EffectiveThreads() const {
+  size_t t = threads;
+  if (t == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    t = hw == 0 ? 1 : hw;
+  }
+  return std::min(t, kMaxThreads);
+}
+
+bool ParallelOptions::ShouldParallelize(size_t n) const {
+  const size_t chunk = std::max<size_t>(min_chunk, 1);
+  return EffectiveThreads() > 1 && n >= 2 * chunk;
+}
+
+ChunkLayout ChunkLayout::For(size_t n, size_t threads, size_t min_chunk) {
+  ChunkLayout layout;
+  if (n == 0) return layout;
+  min_chunk = std::max<size_t>(min_chunk, 1);
+  threads = std::max<size_t>(threads, 1);
+  // Over-decompose (several chunks per participant) so stealing can
+  // rebalance skewed per-item costs — e.g. ϕ frontier paths whose
+  // First(p) bucket is a social-graph hub — but never below min_chunk.
+  constexpr size_t kChunksPerThread = 8;
+  const size_t by_size = n / min_chunk;  // floor: chunks never shrink below
+  const size_t chunks = std::max<size_t>(
+      1, std::min(by_size, threads * kChunksPerThread));
+  layout.num_chunks = chunks;
+  layout.chunk_size = (n + chunks - 1) / chunks;
+  // The rounded-up chunk size may cover n with fewer chunks; shrink so
+  // Range() never yields an empty chunk.
+  layout.num_chunks = (n + layout.chunk_size - 1) / layout.chunk_size;
+  return layout;
+}
+
+namespace {
+
+/// One parallel region: the shared claim/steal state. Heap-allocated and
+/// shared with the workers so a worker that wakes late (after the region
+/// completed) never touches freed memory.
+struct Region {
+  const std::function<void(size_t, size_t, size_t)>* body = nullptr;
+  size_t n = 0;
+  ChunkLayout layout;
+  size_t participants = 0;
+  /// cursor[p] claims chunk indices in [partition_begin[p],
+  /// partition_begin[p+1]); claiming past the end is harmless (checked
+  /// against the bound before executing).
+  std::vector<std::atomic<size_t>> cursors;
+  std::vector<size_t> partition_end;
+  /// Per-participant counters, summed by the caller after the barrier.
+  std::vector<size_t> chunks_run;
+  std::vector<size_t> steals;
+  /// Completed chunk executions; the release/acquire pair on this counter
+  /// is the happens-before edge that lets the caller read body results.
+  std::atomic<size_t> executed{0};
+
+  explicit Region(size_t p)
+      : cursors(p), partition_end(p), chunks_run(p, 0), steals(p, 0) {}
+
+  /// Claims and executes chunks until none remain anywhere: own partition
+  /// first, then round-robin stealing from the other participants.
+  void Work(size_t self) {
+    auto run = [&](size_t chunk, bool stolen) {
+      auto [begin, end] = layout.Range(chunk, n);
+      (*body)(chunk, begin, end);
+      ++chunks_run[self];
+      if (stolen) ++steals[self];
+      executed.fetch_add(1, std::memory_order_release);
+    };
+    for (;;) {
+      const size_t chunk =
+          cursors[self].fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= partition_end[self]) break;
+      run(chunk, /*stolen=*/false);
+    }
+    for (size_t i = 1; i < participants; ++i) {
+      const size_t victim = (self + i) % participants;
+      for (;;) {
+        if (cursors[victim].load(std::memory_order_relaxed) >=
+            partition_end[victim]) {
+          break;
+        }
+        const size_t chunk =
+            cursors[victim].fetch_add(1, std::memory_order_relaxed);
+        if (chunk >= partition_end[victim]) break;
+        run(chunk, /*stolen=*/true);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex region_mutex;  // one region at a time
+  std::mutex m;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  std::vector<std::thread> workers;
+  std::shared_ptr<Region> region;  // non-null while a region is live
+  uint64_t generation = 0;
+  bool shutdown = false;
+
+  /// Workers idle here between regions. A worker that misses a whole
+  /// region (woke after it completed) simply waits for the next
+  /// generation; Region's shared_ptr keeps the claim state alive for
+  /// stragglers mid-region.
+  void WorkerLoop(size_t worker_index) {
+    uint64_t seen = 0;
+    for (;;) {
+      std::shared_ptr<Region> r;
+      {
+        std::unique_lock<std::mutex> lock(m);
+        work_cv.wait(lock, [&] {
+          return shutdown || (region != nullptr && generation != seen);
+        });
+        if (shutdown) return;
+        seen = generation;
+        r = region;
+      }
+      // Participant 0 is the calling thread; workers take 1..P-1. Extra
+      // workers (pool grown beyond this region's request) sit it out.
+      const size_t self = worker_index + 1;
+      if (self >= r->participants) continue;
+      r->Work(self);
+      std::lock_guard<std::mutex> lock(m);
+      done_cv.notify_all();
+    }
+  }
+
+  void EnsureWorkers(size_t count) {
+    std::lock_guard<std::mutex> lock(m);
+    while (workers.size() < count) {
+      const size_t index = workers.size();
+      workers.emplace_back([this, index] { WorkerLoop(index); });
+    }
+  }
+};
+
+ThreadPool::ThreadPool() : impl_(new Impl()) {}
+
+ThreadPool& ThreadPool::Shared() {
+  // Leaked intentionally: worker threads may outlive static destructors
+  // (a detached-at-exit pool avoids joining during unwind of the very
+  // runtime the workers still use).
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->m);
+    impl_->shutdown = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+  delete impl_;
+}
+
+ChunkLayout ThreadPool::PlanFor(size_t n, const ParallelOptions& options) {
+  if (n == 0) return ChunkLayout();
+  if (!options.ShouldParallelize(n)) {
+    ChunkLayout inline_layout;
+    inline_layout.num_chunks = 1;
+    inline_layout.chunk_size = n;
+    return inline_layout;
+  }
+  return ChunkLayout::For(n, options.EffectiveThreads(), options.min_chunk);
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, const ParallelOptions& options, ParallelStats* stats,
+    const std::function<void(size_t, size_t, size_t)>& body) {
+  if (n == 0) return;
+  const ChunkLayout layout = PlanFor(n, options);
+  if (layout.num_chunks <= 1) {
+    // chunks_executed counts pool-region chunks only; an inline run is a
+    // fallback (when parallelism was requested), not a chunk.
+    if (stats != nullptr && !options.ShouldParallelize(n) &&
+        options.EffectiveThreads() > 1) {
+      ++stats->serial_fallbacks;
+    }
+    body(0, 0, n);
+    return;
+  }
+  const size_t participants =
+      std::min(options.EffectiveThreads(), layout.num_chunks);
+  RunRegion(n, layout, participants, stats, body);
+}
+
+void ThreadPool::RunRegion(
+    size_t n, const ChunkLayout& layout, size_t participants,
+    ParallelStats* stats,
+    const std::function<void(size_t, size_t, size_t)>& body) {
+  Impl* pool = impl_;
+  pool->EnsureWorkers(participants - 1);
+
+  // One region at a time: a second evaluating thread queues here rather
+  // than interleaving two claim states through the same workers.
+  std::lock_guard<std::mutex> region_lock(pool->region_mutex);
+
+  auto region = std::make_shared<Region>(participants);
+  region->body = &body;
+  region->n = n;
+  region->layout = layout;
+  region->participants = participants;
+  for (size_t p = 0; p < participants; ++p) {
+    region->cursors[p].store(p * layout.num_chunks / participants,
+                             std::memory_order_relaxed);
+    region->partition_end[p] = (p + 1) * layout.num_chunks / participants;
+  }
+  {
+    std::lock_guard<std::mutex> lock(pool->m);
+    pool->region = region;
+    ++pool->generation;
+  }
+  pool->work_cv.notify_all();
+
+  region->Work(0);  // the caller is participant 0
+
+  {
+    std::unique_lock<std::mutex> lock(pool->m);
+    pool->done_cv.wait(lock, [&] {
+      return region->executed.load(std::memory_order_acquire) ==
+             layout.num_chunks;
+    });
+    pool->region = nullptr;
+  }
+  if (stats != nullptr) {
+    for (size_t p = 0; p < participants; ++p) {
+      stats->chunks_executed += region->chunks_run[p];
+      stats->steal_count += region->steals[p];
+    }
+  }
+}
+
+}  // namespace pathalg

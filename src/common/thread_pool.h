@@ -1,0 +1,153 @@
+#ifndef PATHALG_COMMON_THREAD_POOL_H_
+#define PATHALG_COMMON_THREAD_POOL_H_
+
+/// \file thread_pool.h
+/// Chunked work-stealing parallel-for for the algebra's partitionable
+/// operators (σ filters paths independently, ⋈ and ϕ expand independent
+/// PathFirstIndex buckets). The design keeps determinism trivial for
+/// callers: the *chunk layout* of an input range depends only on
+/// (n, threads, min_chunk) — never on runtime scheduling — so a caller
+/// that collects per-chunk results and merges them in chunk index order
+/// produces byte-identical output at every thread count. Which worker
+/// happens to execute a chunk is the only scheduling freedom.
+///
+/// Scheduling: chunks are pre-partitioned contiguously across the
+/// participants; each participant drains its own range through an atomic
+/// cursor, then steals remaining chunks from the other participants'
+/// cursors. Stealing is chunk-granular (no deques): a `fetch_add` on the
+/// victim's cursor claims one chunk, which is all the coordination the
+/// operators need because every chunk is independent.
+///
+/// The pool is process-wide and lazy: workers are spawned on first use,
+/// grown to the largest thread count ever requested, and idle on a
+/// condition variable between parallel regions (an evaluation with many ϕ
+/// rounds re-enters the pool per round; respawning threads per round
+/// would dominate). One region runs at a time; concurrent callers
+/// serialize on an internal mutex.
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+
+namespace pathalg {
+
+/// Knobs for parallel operator execution, threaded through
+/// EvalOptions (plan/evaluator.h) into σ/⋈/ϕ.
+struct ParallelOptions {
+  /// Worker count including the calling thread. 1 = serial (never touches
+  /// the pool), 0 = std::thread::hardware_concurrency(). Values are
+  /// clamped to kMaxThreads — the knob reaches user-supplied surfaces
+  /// (`--threads`, `# threads N`), and an absurd request must degrade to
+  /// a big pool, not a thread-spawn std::system_error.
+  size_t threads = 1;
+  /// Load-balancing floor: inputs smaller than 2*min_chunk stay serial
+  /// (the fork/join barrier would cost more than the work), and every
+  /// chunk except possibly the remainder-taking last one holds at least
+  /// min_chunk items.
+  size_t min_chunk = 128;
+
+  /// Upper bound on EffectiveThreads(). Far above any sane oversubscription
+  /// of real hardware; output is thread-count independent, so clamping
+  /// never changes results.
+  static constexpr size_t kMaxThreads = 256;
+
+  /// `threads` with 0 resolved to the hardware concurrency; min 1,
+  /// max kMaxThreads.
+  size_t EffectiveThreads() const;
+
+  /// True when an input of `n` items should fan out under these options.
+  bool ShouldParallelize(size_t n) const;
+};
+
+/// Race-free parallel-execution counters. Workers accumulate into
+/// per-participant slots; the pool sums them after the join barrier, and
+/// the operators fold them into EvalStats on the calling thread — no
+/// worker ever writes a shared counter. All fields merge by summation,
+/// so accumulation is associative.
+struct ParallelStats {
+  /// Chunks executed across all parallel regions.
+  size_t chunks_executed = 0;
+  /// Chunks executed by a participant other than the one whose partition
+  /// they were assigned to (load imbalance indicator).
+  size_t steal_count = 0;
+  /// Parallel-eligible regions (one operator input, one ϕ segment wave,
+  /// or one shortest length layer) that ran serially because the input
+  /// was under the min_chunk threshold, plus one per ϕ call on the
+  /// intentionally-serial PhiEngine::kNaive. Only counted when
+  /// threads > 1 was requested; a single big operator can contribute
+  /// several counts (e.g. the small tail layers of a closure whose big
+  /// layers did parallelize — compare with chunks_executed).
+  size_t serial_fallbacks = 0;
+
+  void Merge(const ParallelStats& other) {
+    chunks_executed += other.chunks_executed;
+    steal_count += other.steal_count;
+    serial_fallbacks += other.serial_fallbacks;
+  }
+};
+
+/// Deterministic chunk layout of [0, n): `num_chunks` contiguous ranges of
+/// `chunk_size` items each; the last chunk takes the remainder and may
+/// hold fewer than min_chunk items (every other chunk holds at least
+/// min_chunk). A pure function of (n, threads, min_chunk).
+struct ChunkLayout {
+  size_t num_chunks = 0;
+  size_t chunk_size = 0;
+
+  static ChunkLayout For(size_t n, size_t threads, size_t min_chunk);
+
+  /// The half-open item range of `chunk` (< num_chunks) within [0, n).
+  std::pair<size_t, size_t> Range(size_t chunk, size_t n) const {
+    const size_t begin = chunk * chunk_size;
+    const size_t end = (chunk + 1 == num_chunks) ? n : begin + chunk_size;
+    return {begin, end};
+  }
+};
+
+class ThreadPool {
+ public:
+  /// The process-wide pool (workers are shared across evaluations; the
+  /// `threads` knob caps how many participate per region).
+  static ThreadPool& Shared();
+
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The exact layout ParallelFor(n, options, ...) will execute: one
+  /// inline chunk when the input stays serial, the work-stealing
+  /// ChunkLayout otherwise. Callers size per-chunk result buffers with
+  /// this — it is the single source of truth, so the buffer size and the
+  /// chunk indices handed to `body` can never drift apart.
+  static ChunkLayout PlanFor(size_t n, const ParallelOptions& options);
+
+  /// Runs `body(chunk, begin, end)` for every chunk of
+  /// PlanFor(n, options), blocking until all chunks completed (so the
+  /// caller may read anything the bodies wrote). Each chunk runs exactly
+  /// once, on the calling thread or a pool worker; `body` must not throw
+  /// and must only write chunk-private state. When
+  /// `options.ShouldParallelize(n)` is false the whole range runs inline
+  /// as one chunk (counted as a serial fallback). `stats`, when
+  /// non-null, is accumulated into on the calling thread.
+  void ParallelFor(size_t n, const ParallelOptions& options,
+                   ParallelStats* stats,
+                   const std::function<void(size_t chunk, size_t begin,
+                                            size_t end)>& body);
+
+ private:
+  ThreadPool();
+  struct Impl;
+
+  void RunRegion(size_t n, const ChunkLayout& layout, size_t participants,
+                 ParallelStats* stats,
+                 const std::function<void(size_t, size_t, size_t)>& body);
+
+  // Allocated eagerly in the constructor: Shared()'s magic-static
+  // initialization is the only synchronization point, so all state must
+  // exist before the first concurrent caller.
+  Impl* const impl_;
+};
+
+}  // namespace pathalg
+
+#endif  // PATHALG_COMMON_THREAD_POOL_H_

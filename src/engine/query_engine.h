@@ -76,6 +76,15 @@ class QueryEngine {
   /// may have been made for the old graph, so the cache is cleared.
   void ResetGraph(PropertyGraph graph);
 
+  /// Sets the evaluation thread count (EvalOptions::threads; 0 = hardware
+  /// concurrency) for subsequent Execute/ExecutePrepared calls. Plans are
+  /// thread-count independent — parallel output is byte-identical to
+  /// serial — so cached plans stay valid and the cache is kept.
+  void SetEvalThreads(size_t threads) {
+    options_.query.eval.threads = threads;
+  }
+  size_t eval_threads() const { return options_.query.eval.threads; }
+
   /// Normalize → cache lookup → parse+optimize on miss (inserting into the
   /// cache). Returns the shared prepared entry; `stats`, when non-null,
   /// receives normalization/caching/parse/optimize numbers (eval fields

@@ -50,11 +50,27 @@ Result<ReplayReport> ReplayWorkload(QueryEngine& engine,
   if (options.passes == 0) {
     return Status::InvalidArgument("replay needs passes >= 1");
   }
+  // Thread-count resolution: an explicit ReplayOptions override wins,
+  // then the workload's own `# threads` directive, then whatever the
+  // session engine was configured with. The override is scoped to this
+  // replay — a long-lived serving session must come back out with its
+  // own configuration, whichever return path we take.
+  struct ThreadRestore {
+    QueryEngine& engine;
+    size_t original;
+    ~ThreadRestore() { engine.SetEvalThreads(original); }
+  } restore{engine, engine.eval_threads()};
+  if (options.threads.has_value()) {
+    engine.SetEvalThreads(*options.threads);
+  } else if (workload.threads.has_value()) {
+    engine.SetEvalThreads(*workload.threads);
+  }
   ReplayReport report;
   report.graph_spec = workload.graph_spec;
   report.graph_nodes = engine.graph().num_nodes();
   report.graph_edges = engine.graph().num_edges();
   report.passes = options.passes;
+  report.threads = engine.eval_threads();
   report.queries.reserve(workload.entries.size());
   for (const WorkloadEntry& e : workload.entries) {
     ReplayQueryStat stat;
@@ -130,6 +146,7 @@ std::string ReplayReportToJson(const ReplayReport& report) {
          ", \"nodes\": " + std::to_string(report.graph_nodes) +
          ", \"edges\": " + std::to_string(report.graph_edges) + "},\n";
   out += "  \"passes\": " + std::to_string(report.passes) + ",\n";
+  out += "  \"threads\": " + std::to_string(report.threads) + ",\n";
   out += "  \"queries\": [\n";
   for (size_t i = 0; i < report.queries.size(); ++i) {
     const ReplayQueryStat& q = report.queries[i];

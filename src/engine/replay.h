@@ -30,6 +30,13 @@ struct ReplayOptions {
   size_t passes = 1;
   /// Stop at the first query error instead of recording it and moving on.
   bool fail_fast = false;
+  /// Eval thread count for the replay (EvalOptions::threads semantics;
+  /// 0 = hardware concurrency). Overrides the workload's `# threads`
+  /// directive when set — the knob bench sweeps use to replay one
+  /// workload at several thread counts. Both the override and the
+  /// directive are scoped to the replay: the engine's own setting is
+  /// restored before ReplayWorkload returns.
+  std::optional<size_t> threads;
 };
 
 /// Stats for one workload entry, summed over repeats and passes.
@@ -61,6 +68,9 @@ struct ReplayReport {
   size_t graph_nodes = 0;
   size_t graph_edges = 0;
   size_t passes = 0;
+  /// Eval thread count the replay ran with (after directive/override
+  /// resolution; 1 = serial, 0 = hardware concurrency).
+  size_t threads = 1;
   std::vector<ReplayQueryStat> queries;
   // Aggregates over all runs:
   uint64_t wall_us = 0;  // whole replay, wall clock

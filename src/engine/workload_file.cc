@@ -166,6 +166,20 @@ Result<Workload> ParseWorkload(std::string_view text) {
           return DirectiveError(line_no, parsed.status().message());
         }
         w.graph_spec = std::string(spec);
+      } else if (directive == "threads") {
+        if (words.size() != 2) {
+          return DirectiveError(line_no, "'# threads' takes one integer");
+        }
+        if (w.threads.has_value()) {
+          return DirectiveError(line_no, "duplicate '# threads' directive");
+        }
+        if (!w.entries.empty()) {
+          return DirectiveError(line_no,
+                                "'# threads' must precede the first query");
+        }
+        Result<size_t> n = ParseSize(words[1]);
+        if (!n.ok()) return DirectiveError(line_no, n.status().message());
+        w.threads = *n;
       } else if (directive == "repeat") {
         if (words.size() != 2) {
           return DirectiveError(line_no, "'# repeat' takes one integer");
@@ -200,8 +214,8 @@ Result<Workload> ParseWorkload(std::string_view text) {
       } else {
         return DirectiveError(
             line_no, "unknown directive '# " + std::string(directive) +
-                         "' (known: graph, repeat, expect, name; use '##' "
-                         "for comments)");
+                         "' (known: graph, threads, repeat, expect, name; "
+                         "use '##' for comments)");
       }
       continue;
     }
@@ -252,6 +266,9 @@ std::string FormatWorkload(const Workload& workload) {
   std::string out;
   if (!workload.graph_spec.empty()) {
     out += "# graph " + workload.graph_spec + "\n";
+  }
+  if (workload.threads.has_value()) {
+    out += "# threads " + std::to_string(*workload.threads) + "\n";
   }
   size_t sticky_repeat = 1;
   for (size_t i = 0; i < workload.entries.size(); ++i) {

@@ -8,6 +8,9 @@
 ///
 ///   # graph social persons=100 seed=7   graph to replay on (at most one,
 ///                                       before the first query)
+///   # threads 4                         eval thread count for the whole
+///                                       replay (at most one, before the
+///                                       first query; 0 = hardware)
 ///   # repeat 5                          sticky: following queries run 5x
 ///   # expect 42                         next query must yield 42 paths
 ///   # name two_hop                      next query's label (stats/JSON key)
@@ -58,10 +61,15 @@ struct Workload {
   /// Graph spec from the `# graph` directive; empty means the caller
   /// supplies the graph (BuildWorkloadGraph defaults to figure1).
   std::string graph_spec;
+  /// Eval thread count from the `# threads` directive (applied to the
+  /// whole replay session); unset means the replaying engine's setting
+  /// stands. 0 = hardware concurrency (EvalOptions::threads semantics).
+  std::optional<size_t> threads;
   std::vector<WorkloadEntry> entries;
 
   bool operator==(const Workload& o) const {
-    return graph_spec == o.graph_spec && entries == o.entries;
+    return graph_spec == o.graph_spec && threads == o.threads &&
+           entries == o.entries;
   }
 };
 

@@ -10,6 +10,10 @@
 namespace pathalg {
 
 void EvalStats::Merge(const EvalStats& other) {
+  // Sum every counter/timing; max the high-water mark. Both operations
+  // are associative and commutative, so per-worker and per-query partial
+  // stats combine to the same totals under any merge grouping
+  // (tested by EvalStatsMergeTest.MergeIsAssociative).
   wall_us += other.wall_us;
   nodes_evaluated += other.nodes_evaluated;
   peak_intermediate_paths =
@@ -17,8 +21,11 @@ void EvalStats::Merge(const EvalStats& other) {
   for (size_t i = 0; i < kNumPlanKinds; ++i) {
     op_us[i] += other.op_us[i];
     op_count[i] += other.op_count[i];
+    op_serial_fallback[i] += other.op_serial_fallback[i];
   }
   label_scan_hits += other.label_scan_hits;
+  chunks_executed += other.chunks_executed;
+  steal_count += other.steal_count;
 }
 
 namespace {
@@ -65,9 +72,12 @@ const Condition* MatchEdgeLabelScan(const PlanNode& node) {
   return c;
 }
 
-// GCC 12 flags the Result<variant<...>> moves in Eval/ApplyOp returns as
+// GCC 12 flags the Result<variant<...>> moves in Eval/ApplyOp returns —
+// and, at -O2 (RelWithDebInfo, the TSan build), the inlined
+// std::get<SolutionSpace> move in EvaluateToSpace — as
 // maybe-uninitialized (a known std::variant false positive); every path
-// that reaches those returns has fully constructed the value.
+// that reaches those returns has fully constructed the value. The pop is
+// at the end of the file so both regions stay covered.
 #if defined(__GNUC__) && !defined(__clang__)
 #pragma GCC diagnostic push
 #pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
@@ -108,15 +118,32 @@ Result<EvalValue> ApplyOp(const PropertyGraph& g, const PlanNode& node,
   auto paths = [&](size_t i) -> PathSet& {
     return std::get<PathSet>(inputs[i]);
   };
+  const ParallelOptions par{options.threads, options.min_chunk};
+  // Workers accumulate into pool-local slots; this folds the merged
+  // region counters into the (calling-thread-only) EvalStats.
+  ParallelStats pstats;
+  auto fold_parallel = [&]() {
+    if (options.stats == nullptr) return;
+    options.stats->chunks_executed += pstats.chunks_executed;
+    options.stats->steal_count += pstats.steal_count;
+    options.stats->op_serial_fallback[static_cast<size_t>(node.kind())] +=
+        pstats.serial_fallbacks;
+  };
   switch (node.kind()) {
     case PlanKind::kNodesScan:
       return EvalValue(NodesOf(g));
     case PlanKind::kEdgesScan:
       return EvalValue(EdgesOf(g));
-    case PlanKind::kSelect:
-      return EvalValue(Select(g, paths(0), *node.condition()));
-    case PlanKind::kJoin:
-      return EvalValue(Join(paths(0), paths(1)));
+    case PlanKind::kSelect: {
+      EvalValue out(Select(g, paths(0), *node.condition(), par, &pstats));
+      fold_parallel();
+      return out;
+    }
+    case PlanKind::kJoin: {
+      EvalValue out(Join(paths(0), paths(1), par, &pstats));
+      fold_parallel();
+      return out;
+    }
     case PlanKind::kUnion:
       return EvalValue(Union(paths(0), paths(1)));
     case PlanKind::kIntersect:
@@ -124,10 +151,12 @@ Result<EvalValue> ApplyOp(const PropertyGraph& g, const PlanNode& node,
     case PlanKind::kDifference:
       return EvalValue(Difference(paths(0), paths(1)));
     case PlanKind::kRecursive: {
-      PATHALG_ASSIGN_OR_RETURN(
-          PathSet r, Recursive(paths(0), node.semantics(), options.limits,
-                               options.engine));
-      return EvalValue(std::move(r));
+      Result<PathSet> r = Recursive(paths(0), node.semantics(),
+                                    options.limits, options.engine, par,
+                                    &pstats);
+      fold_parallel();  // a failed ϕ still reports its parallel work
+      PATHALG_RETURN_NOT_OK(r.status());
+      return EvalValue(std::move(r).value());
     }
     case PlanKind::kRestrict:
       return EvalValue(RestrictPaths(paths(0), node.semantics()));
@@ -145,9 +174,6 @@ Result<EvalValue> ApplyOp(const PropertyGraph& g, const PlanNode& node,
   }
   return Status::Internal("unknown plan kind");
 }
-#if defined(__GNUC__) && !defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
 
 /// Shared prologue/epilogue of the two public entry points: resets the
 /// stats collector, runs `body`, and stamps total wall time (errors
@@ -192,5 +218,8 @@ Result<SolutionSpace> EvaluateToSpace(const PropertyGraph& g,
     return std::get<SolutionSpace>(std::move(v));
   });
 }
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace pathalg

@@ -12,6 +12,7 @@
 
 #include "algebra/recursive.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "graph/property_graph.h"
 #include "path/path_set.h"
 #include "plan/plan.h"
@@ -24,12 +25,20 @@ namespace pathalg {
 /// exclude time spent in the operator's children, so they sum (up to clock
 /// granularity) to `wall_us`. The engine layer (src/engine) aggregates
 /// these into per-query replay reports.
+///
+/// Race-freedom under parallel operators: pool workers never touch an
+/// EvalStats — they accumulate into per-participant ParallelStats slots
+/// that the pool sums after its join barrier, and the evaluator folds the
+/// result in on the calling thread. Merge is associative (see below), so
+/// per-worker/per-query stats can be combined in any grouping.
 struct EvalStats {
   uint64_t wall_us = 0;
   /// Plan nodes visited (= operator applications; a node evaluated once).
   size_t nodes_evaluated = 0;
   /// Cardinality of the largest intermediate path set produced by any
-  /// operator — the evaluation's memory high-water proxy.
+  /// operator — the evaluation's memory high-water proxy. Merges as a
+  /// *maximum* (a high-water mark over the merged runs), unlike every
+  /// other field, which merges by summation.
   size_t peak_intermediate_paths = 0;
   std::array<uint64_t, kNumPlanKinds> op_us{};
   std::array<size_t, kNumPlanKinds> op_count{};
@@ -38,8 +47,22 @@ struct EvalStats {
   /// fast path still books both operators into op_count/op_us, so these
   /// hits are a subset of op_count[kSelect].
   size_t label_scan_hits = 0;
+  /// Work-stealing pool chunks executed by σ/⋈/ϕ parallel regions.
+  size_t chunks_executed = 0;
+  /// Chunks executed by a pool participant other than their assigned one.
+  size_t steal_count = 0;
+  /// Per-operator count of parallel-eligible regions (one operator
+  /// input, one ϕ segment wave, or one shortest length layer) that ran
+  /// serially despite threads > 1 — input under the min_chunk threshold,
+  /// or (one count per ϕ call) the intentionally-serial
+  /// PhiEngine::kNaive. One big ϕ can contribute several counts: its
+  /// small tail layers fall back while its big layers parallelize.
+  std::array<size_t, kNumPlanKinds> op_serial_fallback{};
 
-  /// Accumulates `other` into this (for multi-query aggregation).
+  /// Accumulates `other` into this (for multi-query and per-worker
+  /// aggregation). Associative and commutative: counters and timings sum,
+  /// peak_intermediate_paths takes the max — so merging {a,b,c} yields the
+  /// same result under any grouping or order.
   void Merge(const EvalStats& other);
 };
 
@@ -47,6 +70,14 @@ struct EvalStats {
 struct EvalOptions {
   EvalLimits limits;
   PhiEngine engine = PhiEngine::kOptimized;
+  /// Worker threads for σ/⋈/ϕ (common/thread_pool.h): 1 = serial (the
+  /// default; never touches the pool), 0 = hardware concurrency. Parallel
+  /// evaluation is byte-identical to serial — same paths, same order, same
+  /// Status on budget exhaustion — at any thread count.
+  size_t threads = 1;
+  /// Inputs smaller than 2*min_chunk stay serial; every chunk except
+  /// possibly the last holds at least min_chunk items.
+  size_t min_chunk = 128;
   /// Optional stats collector (not owned; may be null). When set, Evaluate
   /// resets and fills it — including on error, so callers can attribute the
   /// cost of failed evaluations.

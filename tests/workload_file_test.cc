@@ -67,6 +67,10 @@ TEST(WorkloadFileTest, BadDirectiveDiagnostics) {
       {"# expect 5\n", "no following query"},
       {"# graph figure1\n# graph figure1\n", "duplicate '# graph'"},
       {"q1\n# graph figure1\n", "must precede the first query"},
+      {"# threads\nq\n", "'# threads' takes one integer"},
+      {"# threads four\nq\n", "non-negative integer"},
+      {"# threads 2\n# threads 4\nq\n", "duplicate '# threads'"},
+      {"q1\n# threads 2\n", "must precede the first query"},
       {"# graph\n", "'# graph' needs a spec"},
       {"# graph klein_bottle\n", "unknown graph kind"},
       {"# graph social wombats=3\n", "unknown parameter 'wombats'"},
@@ -95,9 +99,23 @@ TEST(WorkloadFileTest, ErrorsCarryTheRightLineNumber) {
       << w.status().message();
 }
 
+TEST(WorkloadFileTest, ThreadsDirectiveParsesAndDefaultsToUnset) {
+  auto w = ParseWorkload("# graph figure1\n# threads 4\nq1\n");
+  ASSERT_TRUE(w.ok()) << w.status();
+  EXPECT_EQ(w->threads, std::optional<size_t>(4));
+  // 0 is legal: hardware concurrency (EvalOptions::threads semantics).
+  auto hw = ParseWorkload("# threads 0\nq1\n");
+  ASSERT_TRUE(hw.ok()) << hw.status();
+  EXPECT_EQ(hw->threads, std::optional<size_t>(0));
+  auto unset = ParseWorkload("q1\n");
+  ASSERT_TRUE(unset.ok());
+  EXPECT_FALSE(unset->threads.has_value());
+}
+
 TEST(WorkloadFileTest, FormatRoundTrips) {
   const char* text =
       "# graph skewed persons=50 knows=3 seed=9\n"
+      "# threads 4\n"
       "# name first\n"
       "# expect 7\n"
       "MATCH ALL WALK p = (?x)-[:Knows]->(?y)\n"
@@ -202,6 +220,45 @@ TEST(ReplayWorkloadTest, ChecksExpectationsAndCountsCacheHits) {
   EXPECT_EQ(report->queries[0].result_paths, 9u);
   EXPECT_TRUE(report->queries[0].stable_cardinality);
   EXPECT_GT(report->queries[0].eval_us + report->queries[0].parse_us, 0u);
+}
+
+TEST(ReplayWorkloadTest, ThreadsDirectiveAndOverrideReachTheEngine) {
+  Workload w = Figure1Workload();
+  w.threads = 4;
+  // The workload directive configures the replay...
+  auto report = ReplayWorkload(w);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->ok());
+  EXPECT_EQ(report->threads, 4u);
+  // ...but is scoped to it: a long-lived session keeps its own setting.
+  {
+    PropertyGraph g = BuildWorkloadGraph(w.graph_spec).value();
+    EngineOptions eng_options;
+    eng_options.query.eval.threads = 8;
+    QueryEngine session(std::move(g), eng_options);
+    auto scoped = ReplayWorkload(session, w);
+    ASSERT_TRUE(scoped.ok()) << scoped.status();
+    EXPECT_EQ(scoped->threads, 4u);        // the replay ran at 4
+    EXPECT_EQ(session.eval_threads(), 8u);  // the session came back at 8
+  }
+  EXPECT_NE(ReplayReportToJson(*report).find("\"threads\": 4"),
+            std::string::npos);
+  // ...an explicit ReplayOptions override wins (the bench sweep knob)...
+  ReplayOptions options;
+  options.threads = 2;
+  auto overridden = ReplayWorkload(w, options);
+  ASSERT_TRUE(overridden.ok()) << overridden.status();
+  EXPECT_EQ(overridden->threads, 2u);
+  // ...and results are identical at every thread count (determinism).
+  auto serial_opts = ReplayOptions();
+  serial_opts.threads = 1;
+  auto serial = ReplayWorkload(w, serial_opts);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_EQ(serial->queries.size(), overridden->queries.size());
+  for (size_t i = 0; i < serial->queries.size(); ++i) {
+    EXPECT_EQ(serial->queries[i].result_paths,
+              overridden->queries[i].result_paths);
+  }
 }
 
 TEST(ReplayWorkloadTest, ReportsExpectationFailure) {
