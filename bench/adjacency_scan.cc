@@ -1,13 +1,14 @@
-// Microbenchmark for the CSR adjacency migration: neighbor expansion and
+// Microbenchmark for the CSR adjacency index: neighbor expansion and
 // label lookups on a skewed (preferential-attachment) social graph, the
-// degree distribution where adjacency layout matters most. Three layouts
+// degree distribution where adjacency layout matters most. Two layouts
 // compete on the same access patterns:
 //   csr    — flat offsets/edge_id arrays (contiguous range scans)
-//   legacy — the pre-CSR vector-of-vectors (pointer chase per node)
 //   full   — no index at all: scan the whole edge list per lookup (what
 //            EdgesWithLabel-style queries cost before any adjacency index)
-// The --verify_only artifact pins the structural facts: CSR and legacy
-// hold identical edge sets, and degree sums equal the edge count.
+// (The pre-CSR vector-of-vectors "legacy" layout was deleted after its
+// PR 3–4 soak; its numbers live in the git history of BENCH_baseline.json.)
+// The --verify_only artifact pins the structural facts: degree sums equal
+// the edge count and the label CSR covers exactly the labelled edges.
 
 #include <benchmark/benchmark.h>
 
@@ -45,7 +46,7 @@ std::vector<NodeId> SampleFrontier(const PropertyGraph& g, size_t k) {
 
 void PrintAdjacencyArtifact() {
   bench::PrintHeader(
-      "CSR adjacency vs legacy vectors vs full edge scans (skewed graph)");
+      "CSR adjacency vs full edge scans (skewed graph)");
   PropertyGraph g = SkewedGraph(500);
   Check(g.num_edges() == 500 * 9, "skewed graph has persons*9 edges");
 
@@ -68,17 +69,6 @@ void PrintAdjacencyArtifact() {
   Check(g.EdgesWithLabel(kNoLabel).empty(),
         "kNoLabel gets the canonical empty range");
 
-#if PATHALG_LEGACY_ADJACENCY
-  for (NodeId n = 0; n < g.num_nodes(); ++n) {
-    NeighborRange csr = g.OutEdges(n);
-    std::vector<EdgeId> a(csr.begin(), csr.end());
-    std::vector<EdgeId> b = g.LegacyOutEdges(n);
-    std::sort(a.begin(), a.end());
-    std::sort(b.begin(), b.end());
-    Check(a == b, "CSR out runs hold exactly the legacy edge sets");
-  }
-  std::printf("legacy adjacency compiled in; differential checks ran\n");
-#endif
   // Preferential attachment skews *in*-degree (targets are drawn by
   // popularity); out-degree is uniform at knows+follows per person.
   Check(max_in > 3 * (g.num_edges() / g.num_nodes()),
@@ -103,20 +93,6 @@ void BM_FrontierExpandCsr(benchmark::State& state) {
 }
 BENCHMARK(BM_FrontierExpandCsr)->Arg(500)->Arg(2000)->Arg(8000);
 
-#if PATHALG_LEGACY_ADJACENCY
-void BM_FrontierExpandLegacy(benchmark::State& state) {
-  PropertyGraph g = SkewedGraph(static_cast<size_t>(state.range(0)));
-  std::vector<NodeId> frontier = SampleFrontier(g, 256);
-  for (auto _ : state) {
-    uint64_t sum = 0;
-    for (NodeId n : frontier) {
-      for (EdgeId e : g.LegacyOutEdges(n)) sum += e;
-    }
-    benchmark::DoNotOptimize(sum);
-  }
-}
-BENCHMARK(BM_FrontierExpandLegacy)->Arg(500)->Arg(2000)->Arg(8000);
-#endif
 
 void BM_FrontierExpandFullScan(benchmark::State& state) {
   PropertyGraph g = SkewedGraph(static_cast<size_t>(state.range(0)));
@@ -148,20 +124,6 @@ void BM_HubInExpandCsr(benchmark::State& state) {
 }
 BENCHMARK(BM_HubInExpandCsr)->Arg(500)->Arg(2000)->Arg(8000);
 
-#if PATHALG_LEGACY_ADJACENCY
-void BM_HubInExpandLegacy(benchmark::State& state) {
-  PropertyGraph g = SkewedGraph(static_cast<size_t>(state.range(0)));
-  std::vector<NodeId> frontier = SampleFrontier(g, 256);
-  for (auto _ : state) {
-    uint64_t sum = 0;
-    for (NodeId n : frontier) {
-      for (EdgeId e : g.LegacyInEdges(n)) sum += e;
-    }
-    benchmark::DoNotOptimize(sum);
-  }
-}
-BENCHMARK(BM_HubInExpandLegacy)->Arg(500)->Arg(2000)->Arg(8000);
-#endif
 
 // --- Label lookup: all edges carrying "Knows" ----------------------------
 
@@ -176,18 +138,6 @@ void BM_LabelScanCsr(benchmark::State& state) {
 }
 BENCHMARK(BM_LabelScanCsr)->Arg(2000)->Arg(8000);
 
-#if PATHALG_LEGACY_ADJACENCY
-void BM_LabelScanLegacy(benchmark::State& state) {
-  PropertyGraph g = SkewedGraph(static_cast<size_t>(state.range(0)));
-  LabelId knows = g.FindLabel("Knows");
-  for (auto _ : state) {
-    uint64_t sum = 0;
-    for (EdgeId e : g.LegacyEdgesWithLabel(knows)) sum += e;
-    benchmark::DoNotOptimize(sum);
-  }
-}
-BENCHMARK(BM_LabelScanLegacy)->Arg(2000)->Arg(8000);
-#endif
 
 void BM_LabelScanFull(benchmark::State& state) {
   PropertyGraph g = SkewedGraph(static_cast<size_t>(state.range(0)));
@@ -218,23 +168,6 @@ void BM_NodeLabelSliceCsr(benchmark::State& state) {
 }
 BENCHMARK(BM_NodeLabelSliceCsr)->Arg(500)->Arg(2000)->Arg(8000);
 
-#if PATHALG_LEGACY_ADJACENCY
-void BM_NodeLabelSliceLegacy(benchmark::State& state) {
-  PropertyGraph g = SkewedGraph(static_cast<size_t>(state.range(0)));
-  std::vector<NodeId> frontier = SampleFrontier(g, 256);
-  LabelId knows = g.FindLabel("Knows");
-  for (auto _ : state) {
-    uint64_t sum = 0;
-    for (NodeId n : frontier) {
-      for (EdgeId e : g.LegacyOutEdges(n)) {
-        if (g.EdgeLabelId(e) == knows) sum += e;
-      }
-    }
-    benchmark::DoNotOptimize(sum);
-  }
-}
-BENCHMARK(BM_NodeLabelSliceLegacy)->Arg(500)->Arg(2000)->Arg(8000);
-#endif
 
 }  // namespace
 }  // namespace pathalg

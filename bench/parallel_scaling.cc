@@ -232,6 +232,48 @@ void PrintArtifact() {
     std::printf("(wrote %s)\n", g_json_path.c_str());
   }
 
+  // --- Merge-phase hashing: the serial fraction the chunk bodies now
+  // pre-pay. The parallel operators' merge loop used to recompute every
+  // candidate's hash on the calling thread (PathSet::Insert); chunk
+  // bodies now carry precomputed hashes to PathSet::InsertHashed. This
+  // comparison isolates that serial-phase saving — it is core-count
+  // independent, so it is measurable even on a 1-CPU container where the
+  // thread sweep above cannot show speedup.
+  {
+    const PathSet joined = RunJoin(1);
+    std::vector<std::pair<Path, size_t>> candidates;
+    candidates.reserve(joined.size());
+    for (const Path& p : joined) candidates.emplace_back(p, p.Hash());
+    auto merge_insert = [&] {
+      PathSet s;
+      for (const auto& [p, h] : candidates) s.Insert(p);
+      return s;
+    };
+    auto merge_hashed = [&] {
+      PathSet s;
+      for (const auto& [p, h] : candidates) s.InsertHashed(p, h);
+      return s;
+    };
+    Check(merge_insert().paths() == merge_hashed().paths(),
+          "InsertHashed merge byte-identical to Insert merge");
+    double insert_ms[3], hashed_ms[3];
+    for (int r = 0; r < 3; ++r) {
+      SteadyClock::time_point t0 = SteadyClock::now();
+      PathSet a = merge_insert();
+      benchmark::DoNotOptimize(a);
+      insert_ms[r] = static_cast<double>(MicrosSince(t0)) / 1000.0;
+      t0 = SteadyClock::now();
+      PathSet b = merge_hashed();
+      benchmark::DoNotOptimize(b);
+      hashed_ms[r] = static_cast<double>(MicrosSince(t0)) / 1000.0;
+    }
+    std::sort(std::begin(insert_ms), std::end(insert_ms));
+    std::sort(std::begin(hashed_ms), std::end(hashed_ms));
+    std::printf("\n  merge of %zu candidates: Insert (rehash) %.2f ms, "
+                "InsertHashed %.2f ms\n",
+                candidates.size(), insert_ms[1], hashed_ms[1]);
+  }
+
   // Only a genuinely multi-core host can show parallel speedup; opt in
   // where that is guaranteed (dev machines, perf CI).
   if (std::getenv("PATHALG_REQUIRE_SPEEDUP") != nullptr &&
@@ -255,6 +297,28 @@ void BM_OperatorThreads(benchmark::State& state) {
 BENCHMARK(BM_OperatorThreads)
     ->ArgsProduct({{0, 1, 2, 3, 4}, {1, 2, 4, 8}})
     ->Unit(benchmark::kMillisecond);
+
+/// The σ/⋈/ϕ merge phase in isolation: arg 0 rehashes every candidate on
+/// the merge thread (the pre-InsertHashed behavior), arg 1 consumes
+/// hashes precomputed the way the chunk bodies now do.
+void BM_MergePhase(benchmark::State& state) {
+  const bool hashed = state.range(0) != 0;
+  const PathSet joined = RunJoin(1);
+  std::vector<std::pair<Path, size_t>> candidates;
+  candidates.reserve(joined.size());
+  for (const Path& p : joined) candidates.emplace_back(p, p.Hash());
+  for (auto _ : state) {
+    PathSet s;
+    if (hashed) {
+      for (const auto& [p, h] : candidates) s.InsertHashed(p, h);
+    } else {
+      for (const auto& [p, h] : candidates) s.Insert(p);
+    }
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetLabel(hashed ? "insert_hashed" : "insert_rehash");
+}
+BENCHMARK(BM_MergePhase)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 /// Strips "--json <file>" before google-benchmark sees it.
 void StripFlags(int* argc, char** argv) {

@@ -1,14 +1,18 @@
-// pathalg_serve — the line-protocol query server (engine/serve.h): one
-// query or !command per line in, one response line out. The front door for
-// driving end-to-end throughput from an external client.
+// pathalg_serve — the concurrent query server (src/server): a shared
+// GraphCatalog + process-wide plan cache underneath one session per
+// client, speaking the line protocol of engine/serve.h extended with the
+// server commands (!threads, !limits, !timing, !record, catalog-backed
+// !graph, !stats with catalog/session/pool counters).
 //
 // Usage:
 //   pathalg_serve                          # Figure 1 graph, stdin/stdout
 //   pathalg_serve --graph "social persons=200 seed=7"
 //   pathalg_serve --csv graph.csv          # graph from a CSV file
-//   pathalg_serve --port 7687              # TCP mode: serve one client at
-//                                          # a time, line protocol per
-//                                          # connection (e.g. via netcat)
+//   pathalg_serve --port 7687              # TCP: concurrent clients on
+//                                          # loopback (0 = kernel-picked,
+//                                          # printed to stderr)
+//   pathalg_serve --max-sessions 8         # admission gate; clients over
+//                                          # the limit get one BUSY line
 //   pathalg_serve --min-ok 3               # exit 1 unless >= 3 queries
 //                                          # answered OK (CI smoke gate)
 //   pathalg_serve --threads 4              # parallel operator evaluation
@@ -17,26 +21,16 @@
 // Examples:
 //   printf 'MATCH ANY SHORTEST TRAIL p = (x)-[:Knows+]->(y)\n!stats\n'
 //     | pathalg_serve
-//   pathalg_serve --port 7687 &  then:  nc localhost 7687
+//   pathalg_serve --port 7687 &  then:  nc localhost 7687  (several at once)
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 
-#include "engine/serve.h"
-#include "engine/workload_file.h"
-#include "graph/csv.h"
-
-#ifdef __unix__
-#include <csignal>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-#endif
+#include "server/session.h"
+#include "server/tcp_server.h"
 
 using namespace pathalg;  // NOLINT — example brevity
 
@@ -47,85 +41,60 @@ int Fail(const char* msg) {
   return 1;
 }
 
-#ifdef __unix__
-// Serves TCP clients sequentially: accept, run the line protocol over the
-// connection, repeat. One session/cache per process keeps the demo
-// single-threaded; a client issuing !quit ends its connection only.
-int ServeTcp(engine::QueryEngine& eng, int port) {
-  // A client closing its end mid-response must not SIGPIPE-kill the
-  // server; write() then fails with EPIPE and we drop the connection.
-  std::signal(SIGPIPE, SIG_IGN);
-  int listener = socket(AF_INET, SOCK_STREAM, 0);
-  if (listener < 0) return Fail("socket() failed");
-  int one = 1;
-  setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    close(listener);
-    return Fail("bind() failed (port in use?)");
+/// stdin mode: one ServerSession over the same stack as a TCP connection,
+/// so !record / !limits / !threads work identically when piped.
+int ServePipe(server::SessionManager& manager, size_t min_ok) {
+  Result<std::unique_ptr<server::ServerSession>> session = manager.Open();
+  if (!session.ok()) return Fail(session.status().ToString().c_str());
+  server::ServerSession& s = **session;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::string response;
+    const bool keep_going = s.HandleLine(line, &response);
+    std::cout << response << std::flush;
+    if (!keep_going) break;
   }
-  if (listen(listener, 4) < 0) {
-    close(listener);
-    return Fail("listen() failed");
+  const engine::ServeResult& result = s.result();
+  std::fprintf(stderr, "session done: %zu requests, %zu ok, %zu errors\n",
+               result.requests, result.ok, result.errors);
+  if (result.ok < min_ok) {
+    std::fprintf(stderr,
+                 "pathalg_serve: only %zu OK answers (< --min-ok %zu)\n",
+                 result.ok, min_ok);
+    return 1;
   }
-  std::fprintf(stderr, "listening on 127.0.0.1:%d (Ctrl-C to stop)\n", port);
-  while (true) {
-    int fd = accept(listener, nullptr, nullptr);
-    if (fd < 0) continue;
-    // Line-buffered read loop over the raw fd; responses are written
-    // whole, so the protocol stays one-line-in / lines-out.
-    std::string pending;
-    char buf[4096];
-    ssize_t n;
-    bool quit = false;
-    engine::ServeResult result;
-    auto respond = [&](const std::string& line) {
-      std::string response;
-      quit = !engine::HandleRequestLine(eng, line, &response, &result);
-      size_t off = 0;
-      while (off < response.size()) {
-        ssize_t w = write(fd, response.data() + off, response.size() - off);
-        if (w <= 0) {
-          quit = true;
-          break;
-        }
-        off += static_cast<size_t>(w);
-      }
-    };
-    while (!quit && (n = read(fd, buf, sizeof(buf))) > 0) {
-      pending.append(buf, static_cast<size_t>(n));
-      size_t nl;
-      while (!quit && (nl = pending.find('\n')) != std::string::npos) {
-        std::string line = pending.substr(0, nl);
-        pending.erase(0, nl + 1);
-        respond(line);
-      }
-    }
-    // A final request without a trailing newline still gets an answer
-    // (parity with stdin mode, where getline handles the last line).
-    if (!quit && !pending.empty()) respond(pending);
-    close(fd);
-    std::fprintf(stderr, "client done: %zu requests, %zu ok, %zu errors\n",
-                 result.requests, result.ok, result.errors);
-  }
+  return 0;
 }
-#endif  // __unix__
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string graph_spec;
-  std::string csv_path;
   int port = -1;
   size_t min_ok = 0;
   size_t threads = 1;
+  size_t max_sessions = 8;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    auto next_size = [&](const char* what, size_t* out) {
+      const char* v = next();
+      if (v == nullptr) {
+        std::fprintf(stderr, "pathalg_serve: %s needs a number\n", what);
+        return false;
+      }
+      char* end = nullptr;
+      long parsed = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || parsed < 0) {
+        std::fprintf(stderr,
+                     "pathalg_serve: %s must be a non-negative integer\n",
+                     what);
+        return false;
+      }
+      *out = static_cast<size_t>(parsed);
+      return true;
     };
     if (arg == "--graph") {
       const char* v = next();
@@ -134,84 +103,61 @@ int main(int argc, char** argv) {
     } else if (arg == "--csv") {
       const char* v = next();
       if (v == nullptr) return Fail("--csv needs a path");
-      csv_path = v;
+      graph_spec = std::string("csv ") + v;
     } else if (arg == "--port") {
-      const char* v = next();
-      if (v == nullptr) return Fail("--port needs a number");
-      char* end = nullptr;
-      long parsed = std::strtol(v, &end, 10);
-      if (end == v || *end != '\0' || parsed < 0 || parsed > 65535) {
+      size_t value = 0;
+      if (!next_size("--port", &value)) return 1;
+      if (value > 65535) {
         return Fail("--port must be an integer in [0, 65535]");
       }
-      port = static_cast<int>(parsed);
+      port = static_cast<int>(value);
     } else if (arg == "--min-ok") {
-      const char* v = next();
-      if (v == nullptr) return Fail("--min-ok needs a number");
-      char* end = nullptr;
-      long parsed = std::strtol(v, &end, 10);
-      if (end == v || *end != '\0' || parsed < 0) {
-        return Fail("--min-ok must be a non-negative integer");
-      }
-      min_ok = static_cast<size_t>(parsed);
+      if (!next_size("--min-ok", &min_ok)) return 1;
     } else if (arg == "--threads") {
-      const char* v = next();
-      if (v == nullptr) return Fail("--threads needs a number");
-      char* end = nullptr;
-      long parsed = std::strtol(v, &end, 10);
-      if (end == v || *end != '\0' || parsed < 0) {
-        return Fail("--threads must be a non-negative integer "
-                    "(0 = hardware concurrency)");
-      }
-      threads = static_cast<size_t>(parsed);
+      if (!next_size("--threads", &threads)) return 1;
+    } else if (arg == "--max-sessions") {
+      if (!next_size("--max-sessions", &max_sessions)) return 1;
     } else {
       std::fprintf(stderr,
                    "usage: pathalg_serve [--graph <spec> | --csv <file>] "
-                   "[--port N] [--min-ok N] [--threads N]\n");
+                   "[--port N] [--max-sessions N] [--min-ok N] "
+                   "[--threads N]\n");
       return arg == "--help" ? 0 : 1;
     }
   }
 
-  PropertyGraph g;
-  if (!csv_path.empty()) {
-    std::ifstream file(csv_path);
-    if (!file) return Fail("cannot open --csv file");
-    std::stringstream buffer;
-    buffer << file.rdbuf();
-    auto loaded = LoadGraphFromCsv(buffer.str());
-    if (!loaded.ok()) return Fail(loaded.status().ToString().c_str());
-    g = std::move(loaded).value();
-  } else {
-    auto built = engine::BuildWorkloadGraph(graph_spec);
-    if (!built.ok()) return Fail(built.status().ToString().c_str());
-    g = std::move(built).value();
-  }
+  server::GraphCatalog catalog;
+  server::SessionManagerOptions options;
+  options.max_sessions = max_sessions;
+  options.default_graph_spec = graph_spec;
+  options.engine.query.eval.threads = threads;
+  server::SessionManager manager(&catalog, options);
 
-  engine::EngineOptions eng_options;
-  eng_options.query.eval.threads = threads;
-  engine::QueryEngine eng(std::move(g), eng_options);
-  std::fprintf(stderr, "graph ready: %zu nodes, %zu edges (eval threads: %zu)\n",
-               eng.graph().num_nodes(), eng.graph().num_edges(),
-               eng.eval_threads());
+  // Load the default graph up front so a bad spec fails at startup, not
+  // on the first connection.
+  Result<server::CatalogEntryPtr> entry = catalog.Get(graph_spec);
+  if (!entry.ok()) return Fail(entry.status().ToString().c_str());
+  std::fprintf(stderr,
+               "graph ready: %zu nodes, %zu edges (eval threads: %zu, "
+               "max sessions: %zu)\n",
+               (*entry)->stats.nodes, (*entry)->stats.edges, threads,
+               max_sessions);
 
   if (port >= 0) {
-#ifdef __unix__
     if (min_ok > 0) {
       return Fail("--min-ok only applies to stdin mode (TCP serves "
                   "clients forever)");
     }
-    return ServeTcp(eng, port);
-#else
-    return Fail("--port requires a POSIX platform; use stdin mode");
-#endif
+    server::TcpServer tcp(&manager);
+    server::TcpServerOptions tcp_options;
+    tcp_options.port = static_cast<uint16_t>(port);
+    Status started = tcp.Start(tcp_options);
+    if (!started.ok()) return Fail(started.ToString().c_str());
+    std::fprintf(stderr, "listening on 127.0.0.1:%u (Ctrl-C to stop)\n",
+                 tcp.port());
+    tcp.WaitUntilStopped();
+    return 0;
   }
 
-  engine::ServeResult result = engine::ServeLines(eng, std::cin, std::cout);
-  std::fprintf(stderr, "session done: %zu requests, %zu ok, %zu errors\n",
-               result.requests, result.ok, result.errors);
-  if (result.ok < min_ok) {
-    std::fprintf(stderr, "pathalg_serve: only %zu OK answers (< --min-ok %zu)\n",
-                 result.ok, min_ok);
-    return 1;
-  }
-  return 0;
+  return ServePipe(manager, min_ok);
 }

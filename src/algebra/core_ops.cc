@@ -24,20 +24,24 @@ PathSet Select(const PropertyGraph& g, const PathSet& s,
   // Filter per contiguous chunk into chunk-private vectors, then
   // concatenate in chunk order: the kept paths appear in exactly the
   // input order, as in the serial loop (and the input is already
-  // duplicate-free, so insertion order is the whole story).
+  // duplicate-free, so insertion order is the whole story). Chunk bodies
+  // carry each kept path's hash so the serial merge never rehashes —
+  // that recomputation was the merge phase's Amdahl ceiling.
   const ChunkLayout layout = ThreadPool::PlanFor(in.size(), parallel);
-  std::vector<std::vector<Path>> kept(layout.num_chunks);
+  std::vector<std::vector<std::pair<Path, size_t>>> kept(layout.num_chunks);
   ThreadPool::Shared().ParallelFor(
       in.size(), parallel, parallel_stats,
       [&](size_t chunk, size_t begin, size_t end) {
-        std::vector<Path>& mine = kept[chunk];
+        std::vector<std::pair<Path, size_t>>& mine = kept[chunk];
         for (size_t i = begin; i < end; ++i) {
-          if (condition.Evaluate(g, in[i])) mine.push_back(in[i]);
+          if (condition.Evaluate(g, in[i])) {
+            mine.emplace_back(in[i], in[i].Hash());
+          }
         }
       });
   PathSet out;
-  for (std::vector<Path>& chunk : kept) {
-    for (Path& p : chunk) out.Insert(std::move(p));
+  for (std::vector<std::pair<Path, size_t>>& chunk : kept) {
+    for (auto& [p, h] : chunk) out.InsertHashed(std::move(p), h);
   }
   return out;
 }
@@ -63,24 +67,29 @@ PathSet Join(const PathSet& s1, const PathSet& s2,
   }
   // Chunk the probe side; each chunk emits its concatenations in (p1
   // order, bucket order) — merging chunks in index order reproduces the
-  // serial enumeration, and the merge's Insert dedups exactly where the
-  // serial loop would (a ◦ can collide when zero-length paths join).
+  // serial enumeration, and the merge's InsertHashed dedups exactly where
+  // the serial loop would (a ◦ can collide when zero-length paths join).
+  // Hashing each concatenation happens in the chunk body, off the merge
+  // thread.
   const ChunkLayout layout = ThreadPool::PlanFor(probe.size(), parallel);
-  std::vector<std::vector<Path>> produced(layout.num_chunks);
+  std::vector<std::vector<std::pair<Path, size_t>>> produced(
+      layout.num_chunks);
   ThreadPool::Shared().ParallelFor(
       probe.size(), parallel, parallel_stats,
       [&](size_t chunk, size_t begin, size_t end) {
-        std::vector<Path>& mine = produced[chunk];
+        std::vector<std::pair<Path, size_t>>& mine = produced[chunk];
         for (size_t i = begin; i < end; ++i) {
           const Path& p1 = probe[i];
           for (const Path* p2 : by_first.ForFirst(p1.Last())) {
-            mine.push_back(Path::ConcatUnchecked(p1, *p2));
+            Path q = Path::ConcatUnchecked(p1, *p2);
+            const size_t h = q.Hash();
+            mine.emplace_back(std::move(q), h);
           }
         }
       });
   PathSet out;
-  for (std::vector<Path>& chunk : produced) {
-    for (Path& p : chunk) out.Insert(std::move(p));
+  for (std::vector<std::pair<Path, size_t>>& chunk : produced) {
+    for (auto& [p, h] : chunk) out.InsertHashed(std::move(p), h);
   }
   return out;
 }

@@ -197,12 +197,16 @@ Result<PathSet> RecursiveSemiNaive(const PathSet& base,
     for (size_t seg = 0; seg < frontier.size(); seg += segment) {
       const size_t n = std::min(segment, frontier.size() - seg);
       const ChunkLayout layout = ThreadPool::PlanFor(n, parallel);
-      std::vector<std::vector<Path>> candidates(layout.num_chunks);
+      // Candidates travel with their precomputed hash: the chunk bodies
+      // pay the hashing cost in parallel, so the serial merge below is a
+      // probe + push per candidate (PathSet::InsertHashed).
+      std::vector<std::vector<std::pair<Path, size_t>>> candidates(
+          layout.num_chunks);
       std::vector<uint8_t> chunk_dropped(layout.num_chunks, 0);
       ThreadPool::Shared().ParallelFor(
           n, parallel, parallel_stats,
           [&](size_t chunk, size_t begin, size_t end) {
-            std::vector<Path>& mine = candidates[chunk];
+            std::vector<std::pair<Path, size_t>>& mine = candidates[chunk];
             for (size_t i = begin; i < end; ++i) {
               const Path& p1 = frontier[seg + i];
               // A closed simple path repeats its endpoint on any
@@ -218,7 +222,8 @@ Result<PathSet> RecursiveSemiNaive(const PathSet& base,
                   continue;
                 }
                 if (!SatisfiesSemantics(q, semantics)) continue;
-                mine.push_back(std::move(q));
+                const size_t h = q.Hash();
+                mine.emplace_back(std::move(q), h);
               }
             }
           });
@@ -227,12 +232,12 @@ Result<PathSet> RecursiveSemiNaive(const PathSet& base,
         // budget return, so folding chunk flags before the budget loop
         // cannot change behavior.
         if (chunk_dropped[c] != 0) dropped = true;
-        for (Path& q : candidates[c]) {
+        for (auto& [q, h] : candidates[c]) {
           if (acc.size() >= limits.max_paths) {
             if (limits.truncate) return acc;
             return ExhaustedError("max_paths");
           }
-          if (acc.Insert(q)) next.push_back(std::move(q));
+          if (acc.InsertHashed(q, h)) next.push_back(std::move(q));
         }
       }
     }

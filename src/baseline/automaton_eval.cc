@@ -43,12 +43,6 @@ class AutomatonEvaluator {
         index_(g, nfa_) {}
 
   Result<PathSet> Run() {
-#if !PATHALG_LEGACY_ADJACENCY
-    if (options_.use_legacy_adjacency) {
-      return Status::InvalidArgument(
-          "use_legacy_adjacency requires PATHALG_LEGACY_ADJACENCY=1");
-    }
-#endif
     std::vector<NodeId> sources;
     if (options_.source.has_value()) {
       if (!g_.IsValidNode(*options_.source)) {
@@ -159,19 +153,6 @@ class AutomatonEvaluator {
       return Status::OK();
     }
     const auto& by_label = index_.forward[state];
-#if PATHALG_LEGACY_ADJACENCY
-    if (options_.use_legacy_adjacency) {
-      // Pre-CSR expansion: scan every out-edge, probe the NFA per edge.
-      for (EdgeId e : g_.LegacyOutEdges(node)) {
-        LabelId l = g_.EdgeLabelId(e);
-        if (l == kNoLabel) continue;
-        auto it = by_label.find(l);
-        if (it == by_label.end()) continue;
-        PATHALG_RETURN_NOT_OK(DfsStep(e, it->second));
-      }
-      return Status::OK();
-    }
-#endif
     // Label-partitioned expansion: one CSR slice per live NFA label, each a
     // contiguous range scan — no per-edge hash probe.
     for (const auto& [label, next_states] : by_label) {
@@ -207,18 +188,6 @@ class AutomatonEvaluator {
           }
         }
       };
-#if PATHALG_LEGACY_ADJACENCY
-      if (options_.use_legacy_adjacency) {
-        for (EdgeId e : g_.LegacyOutEdges(node)) {
-          LabelId l = g_.EdgeLabelId(e);
-          if (l == kNoLabel) continue;
-          auto it = by_label.find(l);
-          if (it == by_label.end()) continue;
-          relax(e, it->second);
-        }
-        continue;
-      }
-#endif
       for (const auto& [label, states] : by_label) {
         for (EdgeId e : g_.OutEdgesWithLabel(node, label)) {
           relax(e, states);
@@ -280,18 +249,6 @@ class AutomatonEvaluator {
       }
       return Status::OK();
     };
-#if PATHALG_LEGACY_ADJACENCY
-    if (options_.use_legacy_adjacency) {
-      for (EdgeId e : g_.LegacyInEdges(node)) {
-        LabelId l = g_.EdgeLabelId(e);
-        if (l == kNoLabel) continue;
-        auto it = by_label.find(l);
-        if (it == by_label.end()) continue;
-        PATHALG_RETURN_NOT_OK(step(e, it->second));
-      }
-      return Status::OK();
-    }
-#endif
     for (const auto& [label, prev_states] : by_label) {
       for (EdgeId e : g_.InEdgesWithLabel(node, label)) {
         PATHALG_RETURN_NOT_OK(step(e, prev_states));

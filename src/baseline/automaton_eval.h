@@ -29,18 +29,6 @@ struct AutomatonEvalOptions {
   /// Restrict to paths starting / ending at a given node.
   std::optional<NodeId> source;
   std::optional<NodeId> target;
-  /// Expand product edges through the pre-CSR vector-of-vectors adjacency
-  /// instead of the label-partitioned CSR slices. Exists purely so the
-  /// differential fuzz harness can pin CSR ≡ legacy behind one evaluator;
-  /// InvalidArgument when the library was built with
-  /// PATHALG_LEGACY_ADJACENCY=0. Caveat: the two layouts enumerate edges
-  /// in different orders (ascending id vs label-partitioned), so when a
-  /// truncating budget bites (limits.truncate with more answers than
-  /// max_paths) the *subset* kept legitimately differs between them —
-  /// truncated answers are enumeration-order dependent under any layout.
-  /// Differential comparisons must therefore run within budget, as the
-  /// fuzz harness does.
-  bool use_legacy_adjacency = false;
 };
 
 /// Returns every path p of `g` with λ(p) ∈ L(regex) that satisfies the

@@ -13,6 +13,10 @@ namespace pathalg {
 /// Splits `s` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
 std::vector<std::string> Split(std::string_view s, char sep);
 
+/// Splits on runs of ASCII whitespace, dropping empty fields. The views
+/// alias `s` — the caller keeps the backing string alive.
+std::vector<std::string_view> SplitWhitespace(std::string_view s);
+
 /// Like Split, but a backslash escapes the next character: `a\,b,c` yields
 /// {"a,b", "c"}. Used by the CSV graph format so values may contain the
 /// separator.
@@ -24,6 +28,13 @@ std::string EscapeSeparator(std::string_view s, char sep);
 
 /// Removes leading and trailing ASCII whitespace.
 std::string_view StripWhitespace(std::string_view s);
+
+/// Parses `s` as a whole non-negative decimal integer into `*out`;
+/// returns false on empty input, sign characters, trailing junk or
+/// overflow. The one number grammar behind the protocol-facing knobs
+/// (`!limits`/`!threads`, `.gqlw` directives), so the surfaces cannot
+/// drift.
+bool ParseSizeT(std::string_view s, size_t* out);
 
 /// Joins `parts` with `sep` between consecutive elements.
 std::string Join(const std::vector<std::string>& parts,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -54,6 +55,12 @@ struct Region {
   size_t n = 0;
   ChunkLayout layout;
   size_t participants = 0;
+  /// Participant slots 1..participants-1, claimed dynamically by
+  /// whichever workers arrive first (slot 0 is the caller). Binding
+  /// slots to static worker indices would let long-lived Submit tasks
+  /// (the server's connection handlers) occupy the low indices and
+  /// silently serialize every region even though idle workers exist.
+  std::atomic<size_t> next_participant{1};
   /// cursor[p] claims chunk indices in [partition_begin[p],
   /// partition_begin[p+1]); claiming past the end is harmless (checked
   /// against the bound before executing).
@@ -113,38 +120,73 @@ struct ThreadPool::Impl {
   uint64_t generation = 0;
   bool shutdown = false;
 
-  /// Workers idle here between regions. A worker that misses a whole
-  /// region (woke after it completed) simply waits for the next
+  /// Detached tasks (Submit). `tasks_unfinished` counts queued + running
+  /// tasks; the sizing invariant workers.size() >= tasks_unfinished +
+  /// region_width_high_water guarantees every task eventually gets a
+  /// worker even when every other task blocks forever, while the
+  /// fork-join high-water of workers stays available for regions.
+  std::deque<std::function<void()>> tasks;
+  size_t tasks_unfinished = 0;
+  size_t region_width_high_water = 0;
+
+  // Lifetime counters (guarded by m).
+  uint64_t counter_regions = 0;
+  uint64_t counter_chunks = 0;
+  uint64_t counter_steals = 0;
+  uint64_t counter_tasks_submitted = 0;
+  uint64_t counter_tasks_completed = 0;
+
+  /// Workers idle here between regions and tasks. A worker that misses a
+  /// whole region (woke after it completed) simply waits for the next
   /// generation; Region's shared_ptr keeps the claim state alive for
-  /// stragglers mid-region.
-  void WorkerLoop(size_t worker_index) {
+  /// stragglers mid-region. Regions are preferred over tasks: they are
+  /// short and latency-sensitive (one query's operator), while tasks are
+  /// long-lived; the sizing invariant guarantees tasks still run.
+  void WorkerLoop() {
     uint64_t seen = 0;
     for (;;) {
       std::shared_ptr<Region> r;
+      std::function<void()> task;
       {
         std::unique_lock<std::mutex> lock(m);
         work_cv.wait(lock, [&] {
-          return shutdown || (region != nullptr && generation != seen);
+          return shutdown || (region != nullptr && generation != seen) ||
+                 !tasks.empty();
         });
         if (shutdown) return;
-        seen = generation;
-        r = region;
+        if (region != nullptr && generation != seen) {
+          seen = generation;
+          r = region;
+        } else {
+          task = std::move(tasks.front());
+          tasks.pop_front();
+        }
       }
-      // Participant 0 is the calling thread; workers take 1..P-1. Extra
-      // workers (pool grown beyond this region's request) sit it out.
-      const size_t self = worker_index + 1;
-      if (self >= r->participants) continue;
-      r->Work(self);
+      if (r != nullptr) {
+        // Participant 0 is the calling thread; arriving workers claim
+        // slots 1..P-1 first-come-first-served. Latecomers (pool grown
+        // beyond this region's request, or woken after the region
+        // filled) sit it out.
+        const size_t self =
+            r->next_participant.fetch_add(1, std::memory_order_relaxed);
+        if (self >= r->participants) continue;
+        r->Work(self);
+        std::lock_guard<std::mutex> lock(m);
+        done_cv.notify_all();
+        continue;
+      }
+      task();
       std::lock_guard<std::mutex> lock(m);
-      done_cv.notify_all();
+      --tasks_unfinished;
+      ++counter_tasks_completed;
     }
   }
 
+  /// Precondition: m is NOT held.
   void EnsureWorkers(size_t count) {
     std::lock_guard<std::mutex> lock(m);
     while (workers.size() < count) {
-      const size_t index = workers.size();
-      workers.emplace_back([this, index] { WorkerLoop(index); });
+      workers.emplace_back([this] { WorkerLoop(); });
     }
   }
 };
@@ -205,7 +247,19 @@ void ThreadPool::RunRegion(
     ParallelStats* stats,
     const std::function<void(size_t, size_t, size_t)>& body) {
   Impl* pool = impl_;
-  pool->EnsureWorkers(participants - 1);
+  {
+    // Size past any currently-unfinished detached tasks: a server full of
+    // blocked connection handlers must still leave participants-1 workers
+    // free to help this region.
+    size_t need;
+    {
+      std::lock_guard<std::mutex> lock(pool->m);
+      pool->region_width_high_water =
+          std::max(pool->region_width_high_water, participants - 1);
+      need = pool->tasks_unfinished + participants - 1;
+    }
+    pool->EnsureWorkers(need);
+  }
 
   // One region at a time: a second evaluating thread queues here rather
   // than interleaving two claim states through the same workers.
@@ -238,12 +292,46 @@ void ThreadPool::RunRegion(
     });
     pool->region = nullptr;
   }
-  if (stats != nullptr) {
-    for (size_t p = 0; p < participants; ++p) {
-      stats->chunks_executed += region->chunks_run[p];
-      stats->steal_count += region->steals[p];
-    }
+  size_t region_chunks = 0, region_steals = 0;
+  for (size_t p = 0; p < participants; ++p) {
+    region_chunks += region->chunks_run[p];
+    region_steals += region->steals[p];
   }
+  if (stats != nullptr) {
+    stats->chunks_executed += region_chunks;
+    stats->steal_count += region_steals;
+  }
+  {
+    std::lock_guard<std::mutex> lock(pool->m);
+    ++pool->counter_regions;
+    pool->counter_chunks += region_chunks;
+    pool->counter_steals += region_steals;
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  size_t need;
+  {
+    std::lock_guard<std::mutex> lock(impl_->m);
+    impl_->tasks.push_back(std::move(task));
+    ++impl_->tasks_unfinished;
+    ++impl_->counter_tasks_submitted;
+    need = impl_->tasks_unfinished + impl_->region_width_high_water;
+  }
+  impl_->EnsureWorkers(need);
+  impl_->work_cv.notify_all();
+}
+
+ThreadPoolCounters ThreadPool::Counters() const {
+  std::lock_guard<std::mutex> lock(impl_->m);
+  ThreadPoolCounters c;
+  c.workers = impl_->workers.size();
+  c.regions = impl_->counter_regions;
+  c.chunks = impl_->counter_chunks;
+  c.steals = impl_->counter_steals;
+  c.tasks_submitted = impl_->counter_tasks_submitted;
+  c.tasks_completed = impl_->counter_tasks_completed;
+  return c;
 }
 
 }  // namespace pathalg

@@ -24,8 +24,17 @@
 /// rounds re-enters the pool per round; respawning threads per round
 /// would dominate). One region runs at a time; concurrent callers
 /// serialize on an internal mutex.
+///
+/// Besides fork-join regions the pool runs detached *tasks* (Submit):
+/// long-lived jobs like the query server's accept loop and per-connection
+/// handlers. Workers serve both kinds; Submit grows the pool so that
+/// every unfinished task can hold a worker (tasks may block indefinitely
+/// in I/O) while the fork-join high-water mark of workers stays free for
+/// regions — a server full of idle connections must not serialize query
+/// evaluation.
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <utility>
 
@@ -104,6 +113,22 @@ struct ChunkLayout {
   }
 };
 
+/// Monotonic process-lifetime counters, for `STATS`-style introspection
+/// surfaces (the query server exposes them per session). Snapshot via
+/// ThreadPool::Counters().
+struct ThreadPoolCounters {
+  /// Worker threads currently spawned (never shrinks).
+  size_t workers = 0;
+  /// Fork-join regions executed (ParallelFor calls that hit the pool).
+  uint64_t regions = 0;
+  /// Chunks / stolen chunks executed across all regions.
+  uint64_t chunks = 0;
+  uint64_t steals = 0;
+  /// Detached tasks submitted / completed (Submit).
+  uint64_t tasks_submitted = 0;
+  uint64_t tasks_completed = 0;
+};
+
 class ThreadPool {
  public:
   /// The process-wide pool (workers are shared across evaluations; the
@@ -133,6 +158,17 @@ class ThreadPool {
                    ParallelStats* stats,
                    const std::function<void(size_t chunk, size_t begin,
                                             size_t end)>& body);
+
+  /// Runs `task` on a pool worker, detached: Submit returns immediately
+  /// and never reports the task's completion to the caller — tasks
+  /// coordinate their own lifecycle (the server counts open connections
+  /// itself). Tasks may block indefinitely (socket reads) and may re-enter
+  /// the pool via ParallelFor; the pool is grown so blocked tasks never
+  /// starve regions or other tasks. `task` must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Lock-coherent snapshot of the lifetime counters.
+  ThreadPoolCounters Counters() const;
 
  private:
   ThreadPool();

@@ -8,10 +8,20 @@
 /// cheap queries, and for a served workload the same query text arrives
 /// over and over. Entries are immutable and shared_ptr-owned, so a cached
 /// plan stays valid even if it is evicted while a caller still holds it.
+///
+/// Thread-safe: every method takes an internal mutex, so one PlanCache
+/// can back every session of the concurrent server (src/server) —
+/// sessions on different graphs included, because prepared plans are
+/// graph-independent (Optimize sees only the plan and OptimizerOptions;
+/// see the SessionManager note on optimizer GraphStats). The mutex is
+/// held only for the map/list manipulation, never while parsing or
+/// optimizing — concurrent misses of one query may both prepare it, and
+/// the second Put simply replaces the first (both plans are valid).
 
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -46,7 +56,7 @@ struct PlanCacheStats {
   uint64_t evictions = 0;
 };
 
-/// Single-threaded LRU map: normalized query text -> PreparedQueryPtr.
+/// Thread-safe LRU map: normalized query text -> PreparedQueryPtr.
 /// Capacity 0 disables caching (every Get is a miss, Put is a no-op).
 class PlanCache {
  public:
@@ -63,14 +73,23 @@ class PlanCache {
   /// Drops all entries; stats counters are preserved.
   void Clear();
 
-  size_t size() const { return index_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return index_.size();
+  }
   size_t capacity() const { return capacity_; }
-  const PlanCacheStats& stats() const { return stats_; }
+  /// Coherent snapshot of the counters (by value: the counters mutate
+  /// under the mutex on every Get/Put).
+  PlanCacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
 
  private:
   // Most-recently-used at the front.
   using LruList = std::list<std::pair<std::string, PreparedQueryPtr>>;
-  size_t capacity_;
+  const size_t capacity_;
+  mutable std::mutex mu_;
   LruList lru_;
   std::unordered_map<std::string, LruList::iterator> index_;
   PlanCacheStats stats_;

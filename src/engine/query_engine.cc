@@ -6,8 +6,8 @@ namespace pathalg {
 namespace engine {
 
 void QueryEngine::ResetGraph(PropertyGraph graph) {
-  graph_ = std::move(graph);
-  cache_.Clear();
+  graph_ = std::make_shared<const PropertyGraph>(std::move(graph));
+  cache_->Clear();
 }
 
 Result<PreparedQueryPtr> QueryEngine::Prepare(std::string_view text,
@@ -17,7 +17,7 @@ Result<PreparedQueryPtr> QueryEngine::Prepare(std::string_view text,
   s = ExecStats();
   s.normalized = NormalizeQueryText(text);
 
-  if (PreparedQueryPtr hit = cache_.Get(s.normalized)) {
+  if (PreparedQueryPtr hit = cache_->Get(s.normalized)) {
     s.cache_hit = true;
     return hit;
   }
@@ -45,7 +45,7 @@ Result<PreparedQueryPtr> QueryEngine::Prepare(std::string_view text,
   prepared->optimize_us = s.optimize_us;
 
   PreparedQueryPtr shared = std::move(prepared);
-  cache_.Put(s.normalized, shared);
+  cache_->Put(s.normalized, shared);
   return shared;
 }
 
@@ -58,7 +58,7 @@ Result<PathSet> QueryEngine::ExecutePrepared(const PreparedQuery& prepared,
   eval_options.stats = &s.eval;
   const SteadyClock::time_point eval_start = SteadyClock::now();
   Result<PathSet> result =
-      Evaluate(graph_, prepared.effective_plan, eval_options);
+      Evaluate(*graph_, prepared.effective_plan, eval_options);
   if (result.ok() && options_.query.whole_path_restrictor) {
     *result = ApplyWholePathRestrictor(*result,
                                        prepared.query.parsed().restrictor);

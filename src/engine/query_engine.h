@@ -3,16 +3,25 @@
 
 /// \file query_engine.h
 /// The session layer: the first component that treats the algebra as a
-/// *served system* rather than a library. A QueryEngine owns a
+/// *served system* rather than a library. A QueryEngine holds a
 /// PropertyGraph plus the session's QueryOptions, and runs query text
 /// end-to-end — normalize → plan-cache lookup → (parse → optimize on a
 /// miss) → evaluate — collecting per-stage wall timings for every call.
 /// The replay driver (engine/replay.h), the line-protocol server
-/// (engine/serve.h) and examples/query_shell all sit on this class, so
-/// end-to-end latency is measured the same way everywhere.
+/// (engine/serve.h), the concurrent server (src/server) and
+/// examples/query_shell all sit on this class, so end-to-end latency is
+/// measured the same way everywhere.
 ///
-/// Not thread-safe: one QueryEngine per session/thread (the graph is
-/// immutable and cheap to share; the cache and counters are not).
+/// Sharing model: the graph is held by shared_ptr<const PropertyGraph> —
+/// immutable once built, so any number of sessions may share one instance
+/// (the server's GraphCatalog loads each named graph exactly once). The
+/// plan cache is shared_ptr-owned too: by default each engine gets a
+/// private cache, but EngineOptions::shared_cache lets every session of a
+/// server share one process-wide (thread-safe) cache.
+///
+/// A QueryEngine itself is still one session: its per-session state (the
+/// stats counters, the options) is not synchronized — one QueryEngine per
+/// connection/thread, sharing graph and cache underneath.
 
 #include <cstdint>
 #include <memory>
@@ -30,8 +39,17 @@ namespace engine {
 struct EngineOptions {
   /// Evaluation + optimizer knobs applied to every query in the session.
   QueryOptions query;
-  /// Plan-cache capacity in entries; 0 disables plan caching.
+  /// Plan-cache capacity in entries; 0 disables plan caching. Ignored
+  /// when `shared_cache` is set.
   size_t plan_cache_capacity = 128;
+  /// When set, the engine uses this (thread-safe) cache instead of
+  /// constructing a private one — the server hands every session the same
+  /// instance. Sharing is sound across sessions and graphs because the
+  /// cache key covers everything preparation depends on: plans are a
+  /// function of the normalized text and the OptimizerOptions, which a
+  /// server keeps identical across its sessions, and never of the graph
+  /// or the eval-time knobs (threads, limits) that sessions vary.
+  std::shared_ptr<PlanCache> shared_cache;
 };
 
 /// Per-call instrumentation, filled by Execute/Prepare when requested.
@@ -64,17 +82,36 @@ struct SessionStats {
 class QueryEngine {
  public:
   explicit QueryEngine(PropertyGraph graph, EngineOptions options = {})
+      : QueryEngine(std::make_shared<const PropertyGraph>(std::move(graph)),
+                    std::move(options)) {}
+
+  /// Shares an already-loaded graph (the server's GraphCatalog path).
+  explicit QueryEngine(std::shared_ptr<const PropertyGraph> graph,
+                       EngineOptions options = {})
       : graph_(std::move(graph)),
         options_(std::move(options)),
-        cache_(options_.plan_cache_capacity) {}
+        cache_(options_.shared_cache != nullptr
+                   ? options_.shared_cache
+                   : std::make_shared<PlanCache>(
+                         options_.plan_cache_capacity)) {}
 
-  const PropertyGraph& graph() const { return graph_; }
+  const PropertyGraph& graph() const { return *graph_; }
+  const std::shared_ptr<const PropertyGraph>& shared_graph() const {
+    return graph_;
+  }
   const EngineOptions& options() const { return options_; }
 
-  /// Swaps in a new graph. Plans only reference the graph at evaluation
-  /// time, so cached plans stay *valid* — but cost-based optimizer choices
-  /// may have been made for the old graph, so the cache is cleared.
+  /// Swaps in a new (session-private) graph and clears the plan cache.
+  /// Historical, conservative behavior for single-session callers; use
+  /// SetGraph to swap without touching a cache other sessions share.
   void ResetGraph(PropertyGraph graph);
+
+  /// Swaps in a shared graph *without* clearing the plan cache — prepared
+  /// plans are graph-independent (see EngineOptions::shared_cache), and
+  /// the cache may belong to every other session of a server.
+  void SetGraph(std::shared_ptr<const PropertyGraph> graph) {
+    graph_ = std::move(graph);
+  }
 
   /// Sets the evaluation thread count (EvalOptions::threads; 0 = hardware
   /// concurrency) for subsequent Execute/ExecutePrepared calls. Plans are
@@ -84,6 +121,16 @@ class QueryEngine {
     options_.query.eval.threads = threads;
   }
   size_t eval_threads() const { return options_.query.eval.threads; }
+
+  /// Sets the per-query evaluation budgets (admission control: the server
+  /// exposes this per session via the `!limits` protocol command). Like
+  /// threads, limits apply at eval time only, so cached plans stay valid.
+  void SetEvalLimits(const EvalLimits& limits) {
+    options_.query.eval.limits = limits;
+  }
+  const EvalLimits& eval_limits() const {
+    return options_.query.eval.limits;
+  }
 
   /// Normalize → cache lookup → parse+optimize on miss (inserting into the
   /// cache). Returns the shared prepared entry; `stats`, when non-null,
@@ -103,14 +150,14 @@ class QueryEngine {
   Result<PathSet> ExecutePrepared(const PreparedQuery& prepared,
                                   ExecStats* stats = nullptr);
 
-  PlanCache& cache() { return cache_; }
-  const PlanCache& cache() const { return cache_; }
+  PlanCache& cache() { return *cache_; }
+  const PlanCache& cache() const { return *cache_; }
   const SessionStats& session_stats() const { return session_; }
 
  private:
-  PropertyGraph graph_;
+  std::shared_ptr<const PropertyGraph> graph_;
   EngineOptions options_;
-  PlanCache cache_;
+  std::shared_ptr<PlanCache> cache_;
   SessionStats session_;
 };
 

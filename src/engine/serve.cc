@@ -9,10 +9,6 @@
 namespace pathalg {
 namespace engine {
 
-namespace {
-
-/// Error messages may span lines (parser diagnostics); the protocol is
-/// one line per response, so flatten.
 std::string OneLine(std::string s) {
   for (char& c : s) {
     if (c == '\n' || c == '\r') c = ' ';
@@ -22,7 +18,7 @@ std::string OneLine(std::string s) {
 
 std::string StatsLines(const QueryEngine& engine) {
   const SessionStats& s = engine.session_stats();
-  const PlanCacheStats& c = engine.cache().stats();
+  const PlanCacheStats c = engine.cache().stats();
   std::string out;
   out += "STAT queries=" + std::to_string(s.queries) +
          " errors=" + std::to_string(s.errors) +
@@ -39,6 +35,8 @@ std::string StatsLines(const QueryEngine& engine) {
          " graph_edges=" + std::to_string(engine.graph().num_edges()) + "\n";
   return out;
 }
+
+namespace {
 
 bool HandleCommand(QueryEngine& engine, std::string_view cmd,
                    std::string* out, ServeResult* result) {
@@ -102,7 +100,8 @@ bool HandleCommand(QueryEngine& engine, std::string_view cmd,
 }  // namespace
 
 bool HandleRequestLine(QueryEngine& engine, const std::string& line,
-                       std::string* out, ServeResult* result) {
+                       std::string* out, ServeResult* result,
+                       const ServeOptions& options) {
   std::string_view trimmed = StripWhitespace(line);
   if (trimmed.empty()) return true;
   ++result->requests;
@@ -111,17 +110,21 @@ bool HandleRequestLine(QueryEngine& engine, const std::string& line,
   }
   ExecStats stats;
   Result<PathSet> r = engine.Execute(trimmed, &stats);
+  if (options.query_observer) options.query_observer(trimmed, r);
   if (!r.ok()) {
     *out += "ERR " + OneLine(r.status().ToString()) + "\n";
     ++result->errors;
     return true;
   }
-  *out += "OK " + std::to_string(r->size()) + " paths " +
-          (stats.cache_hit ? "hit" : "miss") +
-          " parse=" + std::to_string(stats.parse_us) +
-          "us opt=" + std::to_string(stats.optimize_us) +
-          "us eval=" + std::to_string(stats.eval_us) +
-          "us total=" + std::to_string(stats.total_us) + "us\n";
+  *out += "OK " + std::to_string(r->size()) + " paths";
+  if (options.timings) {
+    *out += std::string(" ") + (stats.cache_hit ? "hit" : "miss") +
+            " parse=" + std::to_string(stats.parse_us) +
+            "us opt=" + std::to_string(stats.optimize_us) +
+            "us eval=" + std::to_string(stats.eval_us) +
+            "us total=" + std::to_string(stats.total_us) + "us";
+  }
+  *out += "\n";
   ++result->ok;
   return true;
 }

@@ -1,12 +1,11 @@
 #include "engine/workload_file.h"
 
 #include <algorithm>
-#include <cctype>
-#include <charconv>
 #include <fstream>
 #include <sstream>
 
 #include "common/str_util.h"
+#include "graph/csv.h"
 #include "workload/figure1.h"
 #include "workload/generators.h"
 
@@ -20,27 +19,9 @@ Status DirectiveError(size_t line, const std::string& msg) {
                             msg);
 }
 
-/// Splits on runs of ASCII whitespace, dropping empty fields.
-std::vector<std::string_view> SplitWs(std::string_view s) {
-  std::vector<std::string_view> out;
-  size_t i = 0;
-  while (i < s.size()) {
-    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) {
-      ++i;
-    }
-    size_t start = i;
-    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) {
-      ++i;
-    }
-    if (i > start) out.push_back(s.substr(start, i - start));
-  }
-  return out;
-}
-
 Result<size_t> ParseSize(std::string_view s) {
   size_t value = 0;
-  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
-  if (ec != std::errc() || ptr != s.data() + s.size()) {
+  if (!ParseSizeT(s, &value)) {
     return Status::ParseError("expected a non-negative integer, got '" +
                               std::string(s) + "'");
   }
@@ -92,20 +73,31 @@ const std::vector<std::string>* AllowedKeys(std::string_view kind) {
 
 /// Parses and fully validates a graph spec (known kind, known keys,
 /// integer values where required) without building the graph, so workload
-/// loading can reject a bad spec up front.
+/// loading can reject a bad spec up front. `csv <path>` validates only
+/// the shape (a non-empty path) — the file itself is read at build time,
+/// because a recorded workload may be loaded on a machine the CSV hasn't
+/// reached yet.
 Result<GraphSpec> ParseGraphSpec(std::string_view spec) {
-  std::vector<std::string_view> words = SplitWs(spec);
+  std::vector<std::string_view> words = SplitWhitespace(spec);
   if (words.empty()) {
     return Status::ParseError("empty graph spec");
   }
   GraphSpec parsed;
   parsed.kind = std::string(words[0]);
+  if (parsed.kind == "csv") {
+    std::string path(StripWhitespace(spec.substr(spec.find("csv") + 3)));
+    if (path.empty()) {
+      return Status::ParseError("'csv' graph spec needs a file path");
+    }
+    parsed.kv.emplace_back("path", std::move(path));
+    return parsed;
+  }
   const std::vector<std::string>* allowed = AllowedKeys(parsed.kind);
   if (allowed == nullptr) {
     return Status::ParseError(
         "unknown graph kind '" + parsed.kind +
-        "' (expected figure1, social, skewed, cycle, chain, diamond, grid "
-        "or random)");
+        "' (expected figure1, social, skewed, cycle, chain, diamond, grid, "
+        "random or csv <path>)");
   }
   for (size_t i = 1; i < words.size(); ++i) {
     size_t eq = words[i].find('=');
@@ -144,7 +136,7 @@ Result<Workload> ParseWorkload(std::string_view text) {
     if (line.empty()) continue;
     if (StartsWith(line, "##")) continue;  // free-text comment
     if (line[0] == '#') {
-      std::vector<std::string_view> words = SplitWs(line.substr(1));
+      std::vector<std::string_view> words = SplitWhitespace(line.substr(1));
       if (words.empty()) continue;  // a bare '#' reads as an empty comment
       std::string_view directive = words[0];
       if (directive == "graph") {
@@ -294,6 +286,16 @@ Result<PropertyGraph> BuildWorkloadGraph(std::string_view spec) {
 
   if (parsed.kind == "figure1") {
     return MakeFigure1Graph();
+  }
+  if (parsed.kind == "csv") {
+    const std::string path = parsed.Str("path", "");
+    std::ifstream file(path);
+    if (!file) {
+      return Status::NotFound("cannot open CSV graph file '" + path + "'");
+    }
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return LoadGraphFromCsv(buffer.str());
   }
   if (parsed.kind == "social") {
     SocialGraphOptions o;

@@ -16,12 +16,16 @@
 ///   # name two_hop                      next query's label (stats/JSON key)
 ///   ## free-text comment                ignored
 ///
-/// Graph specs (first word selects the workload/generators.h family):
+/// Graph specs (first word selects the workload/generators.h family,
+/// or `csv` to load a graph/csv.h file):
 ///   figure1
 ///   social  persons= messages= ring= chords= likes= seed=
 ///   skewed  persons= knows= follows= seed=
 ///   cycle   n= label=      chain n= label=      diamond k=
 ///   grid    w= h=          random n= m= seed= labels=a,b,c
+///   csv <path>             (path validated at load, not parse, time —
+///                          a recorded workload may travel to another
+///                          machine before the file does)
 ///
 /// Unknown directives, malformed key=value pairs and misplaced metadata
 /// are hard errors with line numbers — a workload that silently drops a

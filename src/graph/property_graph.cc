@@ -78,15 +78,6 @@ NeighborRange PropertyGraph::InEdgesWithLabel(NodeId n, LabelId label) const {
   return LabelSlice(csr_in_offsets_, csr_in_edges_, csr_in_labels_, n, label);
 }
 
-#if PATHALG_LEGACY_ADJACENCY
-const std::vector<EdgeId>& PropertyGraph::LegacyEdgesWithLabel(
-    LabelId label) const {
-  static const std::vector<EdgeId> kEmpty;
-  if (label >= edges_by_label_.size()) return kEmpty;
-  return edges_by_label_[label];
-}
-#endif
-
 NodeId PropertyGraph::FindNodeByName(std::string_view name) const {
   auto it = node_name_index_.find(std::string(name));
   return it == node_name_index_.end() ? kInvalidId : it->second;
@@ -215,19 +206,6 @@ PropertyGraph GraphBuilder::Build() {
       g.label_edges_[cursor[g.edge_labels_[e]]++] = e;
     }
   }
-
-#if PATHALG_LEGACY_ADJACENCY
-  g.out_.assign(g.num_nodes(), {});
-  g.in_.assign(g.num_nodes(), {});
-  g.edges_by_label_.assign(g.labels_.size(), {});
-  for (EdgeId e = 0; e < num_edges; ++e) {
-    g.out_[g.edge_src_[e]].push_back(e);
-    g.in_[g.edge_dst_[e]].push_back(e);
-    if (g.edge_labels_[e] != kNoLabel) {
-      g.edges_by_label_[g.edge_labels_[e]].push_back(e);
-    }
-  }
-#endif
   return g;
 }
 

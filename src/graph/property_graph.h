@@ -22,9 +22,10 @@
 /// within a run edges are sorted by (label, edge id), so every per-(node,
 /// label) lookup is a binary search plus a contiguous scan. In-edges mirror
 /// the layout keyed by target; `label_offsets_`/`label_edges_` is the same
-/// scheme keyed by label alone (EdgesWithLabel). The pre-CSR
-/// vector-of-vectors survives behind PATHALG_LEGACY_ADJACENCY for
-/// differential testing and is scheduled for removal.
+/// scheme keyed by label alone (EdgesWithLabel). (The pre-CSR
+/// vector-of-vectors adjacency it replaced soaked behind the
+/// PATHALG_LEGACY_ADJACENCY option through PRs 3–4 and was then deleted;
+/// the NFA baseline remains the differential reference.)
 
 #include <cstdint>
 #include <limits>
@@ -38,14 +39,6 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "graph/value.h"
-
-/// Build-time compatibility switch: while the CSR migration settles, the
-/// pre-CSR vector-of-vectors adjacency stays available (Legacy* accessors)
-/// so the differential tests can compare layouts. Configure with
-/// -DPATHALG_LEGACY_ADJACENCY=0 to compile it out and drop the memory.
-#ifndef PATHALG_LEGACY_ADJACENCY
-#define PATHALG_LEGACY_ADJACENCY 1
-#endif
 
 namespace pathalg {
 
@@ -160,17 +153,6 @@ class PropertyGraph {
   size_t OutDegree(NodeId n) const { return OutEdges(n).size(); }
   size_t InDegree(NodeId n) const { return InEdges(n).size(); }
 
-#if PATHALG_LEGACY_ADJACENCY
-  /// Pre-CSR adjacency, kept during the migration so tests can compare the
-  /// two layouts edge-for-edge. Edge ids appear in insertion (ascending id)
-  /// order. Compiled out with -DPATHALG_LEGACY_ADJACENCY=0.
-  const std::vector<EdgeId>& LegacyOutEdges(NodeId n) const {
-    return out_[n];
-  }
-  const std::vector<EdgeId>& LegacyInEdges(NodeId n) const { return in_[n]; }
-  const std::vector<EdgeId>& LegacyEdgesWithLabel(LabelId label) const;
-#endif
-
   /// Display names ("n1", "e7", ...) used by printers and tests. Builder
   /// assigns "n{i+1}"/"e{i+1}" unless the caller provided explicit names.
   const std::string& NodeName(NodeId n) const { return node_names_[n]; }
@@ -226,12 +208,6 @@ class PropertyGraph {
   std::vector<LabelId> csr_in_labels_;
   std::vector<uint32_t> label_offsets_;
   std::vector<EdgeId> label_edges_;
-
-#if PATHALG_LEGACY_ADJACENCY
-  std::vector<std::vector<EdgeId>> out_;
-  std::vector<std::vector<EdgeId>> in_;
-  std::vector<std::vector<EdgeId>> edges_by_label_;
-#endif
 
   std::unordered_map<std::string, NodeId> node_name_index_;
 };

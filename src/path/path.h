@@ -106,10 +106,6 @@ class Path {
   std::vector<EdgeId> edges_;
 };
 
-struct PathHash {
-  size_t operator()(const Path& p) const { return p.Hash(); }
-};
-
 }  // namespace pathalg
 
 #endif  // PATHALG_PATH_PATH_H_

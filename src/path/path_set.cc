@@ -4,10 +4,22 @@
 
 namespace pathalg {
 
-bool PathSet::Insert(Path p) {
-  if (!index_.insert(p).second) return false;
+bool PathSet::InsertHashed(Path p, size_t hash) {
+  auto [first, last] = index_.equal_range(hash);
+  for (auto it = first; it != last; ++it) {
+    if (paths_[it->second] == p) return false;
+  }
+  index_.emplace(hash, paths_.size());
   paths_.push_back(std::move(p));
   return true;
+}
+
+bool PathSet::Contains(const Path& p) const {
+  auto [first, last] = index_.equal_range(p.Hash());
+  for (auto it = first; it != last; ++it) {
+    if (paths_[it->second] == p) return true;
+  }
+  return false;
 }
 
 std::vector<Path> PathSet::Sorted() const {

@@ -7,10 +7,17 @@
 /// output in the algebra operators"). Iteration order is insertion order,
 /// which makes every operator deterministic; `Sorted()` gives the canonical
 /// (length, ids) order used by tests and printers.
+///
+/// The dedup index maps precomputed path hashes to indices into the
+/// insertion-ordered storage (hash collisions fall back to full Path
+/// equality), so the set never stores a second copy of any path. `Insert`
+/// hashes for you; `InsertHashed` takes a caller-computed hash — the
+/// parallel operators' chunk bodies hash their candidates off the merge
+/// thread, leaving the serial merge loop a probe + push_back.
 
 #include <cstddef>
 #include <string>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "path/path.h"
@@ -27,9 +34,17 @@ class PathSet {
   }
 
   /// Inserts `p`; returns false if it was already present.
-  bool Insert(Path p);
+  bool Insert(Path p) {
+    const size_t h = p.Hash();
+    return InsertHashed(std::move(p), h);
+  }
 
-  bool Contains(const Path& p) const { return index_.count(p) != 0; }
+  /// Inserts `p` with its precomputed hash; precondition: hash == p.Hash().
+  /// Byte-identical behavior to Insert — same dedup decisions, same
+  /// insertion order — minus the hash computation on this thread.
+  bool InsertHashed(Path p, size_t hash);
+
+  bool Contains(const Path& p) const;
 
   size_t size() const { return paths_.size(); }
   bool empty() const { return paths_.empty(); }
@@ -55,8 +70,15 @@ class PathSet {
   std::string ToString(const PropertyGraph& g) const;
 
  private:
+  /// Path::Hash() is already avalanche-mixed (common/hash.h), so the
+  /// bucket mapping can consume it as-is.
+  struct IdentityHash {
+    size_t operator()(size_t h) const { return h; }
+  };
+
   std::vector<Path> paths_;
-  std::unordered_set<Path, PathHash> index_;
+  /// hash -> index into paths_; multimap so colliding hashes coexist.
+  std::unordered_multimap<size_t, size_t, IdentityHash> index_;
 };
 
 }  // namespace pathalg

@@ -1,0 +1,142 @@
+#include "server/graph_catalog.h"
+
+#include <utility>
+
+#include "common/str_util.h"
+#include "common/timing.h"
+#include "engine/workload_file.h"
+
+namespace pathalg {
+namespace server {
+
+namespace {
+
+/// True when `stripped` is a `csv` spec ("csv" alone or "csv <path>").
+bool IsCsvSpec(std::string_view stripped) {
+  return stripped == "csv" || StartsWith(stripped, "csv ") ||
+         StartsWith(stripped, "csv\t");
+}
+
+/// Canonical catalog key: surrounding whitespace stripped, inner runs of
+/// whitespace collapsed to one space. "social persons=40  seed=7" and
+/// " social persons=40 seed=7 " must hit the same entry, and the empty
+/// default spec maps to "figure1" so it shares that entry too. `csv`
+/// specs keep their payload byte-for-byte (after trimming) — a file path
+/// may legitimately contain interior whitespace runs, and collapsing
+/// them would silently point the key at a different file than the
+/// `# graph` directive the same spec round-trips through.
+std::string CanonicalSpec(std::string_view spec) {
+  const std::string_view stripped = StripWhitespace(spec);
+  if (IsCsvSpec(stripped)) {
+    const std::string_view path = StripWhitespace(stripped.substr(3));
+    if (path.empty()) return std::string(stripped);  // rejected at build
+    return "csv " + std::string(path);
+  }
+  std::string out;
+  bool pending_space = false;
+  for (char c : stripped) {
+    if (c == ' ' || c == '\t') {
+      pending_space = !out.empty();
+      continue;
+    }
+    if (pending_space) out += ' ';
+    pending_space = false;
+    out += c;
+  }
+  if (out.empty()) return "figure1";
+  return out;
+}
+
+}  // namespace
+
+Result<CatalogEntryPtr> GraphCatalog::Get(std::string_view spec) {
+  const std::string key = CanonicalSpec(spec);
+  std::shared_ptr<Slot> slot;
+  bool loader = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      slot = it->second;
+    } else {
+      slot = std::make_shared<Slot>();
+      entries_.emplace(key, slot);
+      loader = true;
+    }
+  }
+
+  if (!loader) {
+    // Wait on the per-spec latch; the catalog lock is not held, so
+    // other specs' Gets (and the accept loop) proceed concurrently.
+    CatalogEntryPtr entry;
+    Status error = Status::OK();
+    {
+      std::unique_lock<std::mutex> lock(slot->m);
+      slot->cv.wait(lock, [&] { return slot->done; });
+      entry = slot->entry;
+      error = slot->error;
+    }
+    // A "hit" is a Get answered with a graph; waiters on a load that
+    // failed got an error, not a hit (the loader counted the error).
+    if (entry == nullptr) return error;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.hits;
+    return entry;
+  }
+
+  // Build with no catalog lock held. Generator specs and `csv <path>`
+  // alike go through the workload-file machinery, so catalog specs and
+  // recorded `# graph` directives can never drift apart — a workload
+  // recorded on any catalog graph loads.
+  const SteadyClock::time_point start = SteadyClock::now();
+  Result<PropertyGraph> built = engine::BuildWorkloadGraph(key);
+  if (!built.ok()) {
+    {
+      // Errors are not cached: remove the latch so a later Get retries.
+      std::lock_guard<std::mutex> lock(mu_);
+      entries_.erase(key);
+      ++counters_.errors;
+    }
+    std::lock_guard<std::mutex> lock(slot->m);
+    slot->error = built.status();
+    slot->done = true;
+    slot->cv.notify_all();
+    return built.status();
+  }
+  auto entry = std::make_shared<CatalogEntry>();
+  entry->spec = key;
+  entry->graph =
+      std::make_shared<const PropertyGraph>(std::move(built).value());
+  entry->stats.nodes = entry->graph->num_nodes();
+  entry->stats.edges = entry->graph->num_edges();
+  entry->stats.labels = entry->graph->num_labels();
+  entry->stats.load_us = MicrosSince(start);
+  CatalogEntryPtr shared = std::move(entry);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.loads;
+  }
+  std::lock_guard<std::mutex> lock(slot->m);
+  slot->entry = shared;
+  slot->done = true;
+  slot->cv.notify_all();
+  return shared;
+}
+
+size_t GraphCatalog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [key, slot] : entries_) {
+    std::lock_guard<std::mutex> slot_lock(slot->m);
+    if (slot->done && slot->entry != nullptr) ++n;
+  }
+  return n;
+}
+
+CatalogCounters GraphCatalog::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace server
+}  // namespace pathalg

@@ -1,0 +1,95 @@
+#ifndef PATHALG_SERVER_GRAPH_CATALOG_H_
+#define PATHALG_SERVER_GRAPH_CATALOG_H_
+
+/// \file graph_catalog.h
+/// Load-once shared graph store for the concurrent server: every session
+/// that names the same graph spec gets the same immutable PropertyGraph
+/// instance (shared_ptr), so a thousand connections on one social graph
+/// cost one build, not a thousand. Specs are the `# graph` workload specs
+/// (engine/workload_file.h: figure1, social ..., skewed ..., cycle,
+/// chain, diamond, grid, random) plus `csv <path>` for graphs loaded from
+/// a CSV file.
+///
+/// Thread-safe, and a build never holds the catalog map lock: each spec
+/// gets a per-entry latch — the first Get installs it and builds outside
+/// the lock, racers for the *same* spec wait on that latch, and Gets for
+/// other (cached or cold) specs proceed immediately. A session loading a
+/// huge CSV therefore cannot stall the accept loop or other sessions'
+/// opens. Failed loads are not cached (the latch is removed), so a
+/// mistyped CSV path can be retried after fixing the file.
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "graph/property_graph.h"
+
+namespace pathalg {
+namespace server {
+
+/// Catalog-level facts about one loaded graph, shared alongside it.
+struct GraphStats {
+  size_t nodes = 0;
+  size_t edges = 0;
+  size_t labels = 0;
+  /// One-time build/load cost (amortization accounting, `!stats`).
+  uint64_t load_us = 0;
+};
+
+/// One catalog entry: the shared immutable graph plus its stats and the
+/// canonical spec it was loaded under.
+struct CatalogEntry {
+  std::string spec;
+  std::shared_ptr<const PropertyGraph> graph;
+  GraphStats stats;
+};
+
+using CatalogEntryPtr = std::shared_ptr<const CatalogEntry>;
+
+/// Monotonic counters; exposed through the server's `!stats`.
+struct CatalogCounters {
+  uint64_t loads = 0;   // cold Get calls that built a graph
+  uint64_t hits = 0;    // Get calls answered from the catalog
+  uint64_t errors = 0;  // Get calls whose spec failed to parse/build
+};
+
+class GraphCatalog {
+ public:
+  GraphCatalog() = default;
+  GraphCatalog(const GraphCatalog&) = delete;
+  GraphCatalog& operator=(const GraphCatalog&) = delete;
+
+  /// Returns the graph for `spec`, loading it exactly once per canonical
+  /// spec (whitespace-normalized; empty means figure1). Errors are not
+  /// cached — a mistyped CSV path can be retried after fixing the file.
+  Result<CatalogEntryPtr> Get(std::string_view spec);
+
+  /// Number of loaded graphs (completed loads only).
+  size_t size() const;
+  CatalogCounters counters() const;
+
+ private:
+  /// Per-spec load latch: the loader builds with the catalog lock
+  /// released; racers wait on `cv` until `done`.
+  struct Slot {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    CatalogEntryPtr entry;  // null when the load failed
+    Status error = Status::OK();
+  };
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Slot>> entries_;
+  CatalogCounters counters_;
+};
+
+}  // namespace server
+}  // namespace pathalg
+
+#endif  // PATHALG_SERVER_GRAPH_CATALOG_H_

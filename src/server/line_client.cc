@@ -1,0 +1,122 @@
+#include "server/line_client.h"
+
+#ifdef __unix__
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace pathalg {
+namespace server {
+
+LineClient::~LineClient() { Close(); }
+
+LineClient::LineClient(LineClient&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+LineClient& LineClient::operator=(LineClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void LineClient::Close() {
+  if (fd_ >= 0) close(fd_);
+  fd_ = -1;
+  buffer_.clear();
+}
+
+Status LineClient::Connect(uint16_t port) {
+  Close();
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    close(fd);
+    return Status::Internal("connect() to 127.0.0.1:" +
+                            std::to_string(port) + " failed");
+  }
+  fd_ = fd;
+  return Status::OK();
+}
+
+Status LineClient::SendLine(const std::string& line) {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  std::string payload = line;
+  if (payload.empty() || payload.back() != '\n') payload += '\n';
+  size_t off = 0;
+  while (off < payload.size()) {
+    const ssize_t w = write(fd_, payload.data() + off, payload.size() - off);
+    if (w <= 0) return Status::Internal("write() failed (server closed?)");
+    off += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Result<std::string> LineClient::ReadLine() {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  for (;;) {
+    const size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return line;
+    }
+    char buf[4096];
+    const ssize_t n = read(fd_, buf, sizeof(buf));
+    if (n < 0) return Status::Internal("read() failed");
+    if (n == 0) {
+      if (buffer_.empty()) return Status::NotFound("EOF");
+      std::string line = std::move(buffer_);
+      buffer_.clear();
+      return line;
+    }
+    buffer_.append(buf, static_cast<size_t>(n));
+  }
+}
+
+Result<std::string> LineClient::RoundTrip(const std::string& line) {
+  PATHALG_RETURN_NOT_OK(SendLine(line));
+  return ReadLine();
+}
+
+}  // namespace server
+}  // namespace pathalg
+
+#else  // !__unix__
+
+namespace pathalg {
+namespace server {
+
+LineClient::~LineClient() = default;
+LineClient::LineClient(LineClient&&) noexcept {}
+LineClient& LineClient::operator=(LineClient&&) noexcept { return *this; }
+void LineClient::Close() {}
+Status LineClient::Connect(uint16_t) {
+  return Status::NotImplemented("LineClient requires a POSIX platform");
+}
+Status LineClient::SendLine(const std::string&) {
+  return Status::NotImplemented("LineClient requires a POSIX platform");
+}
+Result<std::string> LineClient::ReadLine() {
+  return Status::NotImplemented("LineClient requires a POSIX platform");
+}
+Result<std::string> LineClient::RoundTrip(const std::string&) {
+  return Status::NotImplemented("LineClient requires a POSIX platform");
+}
+
+}  // namespace server
+}  // namespace pathalg
+
+#endif  // __unix__

@@ -1,0 +1,53 @@
+#ifndef PATHALG_SERVER_LINE_CLIENT_H_
+#define PATHALG_SERVER_LINE_CLIENT_H_
+
+/// \file line_client.h
+/// A minimal blocking line-protocol client over loopback TCP, for the
+/// in-process consumers of the server: the multi-client throughput bench
+/// and the server tests. One request line out, one buffered response line
+/// back (`!stats`-style multi-line responses are read line by line; every
+/// response block ends with an OK/ERR/BUSY/HELP-prefixed line). POSIX
+/// only, like the server.
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace pathalg {
+namespace server {
+
+class LineClient {
+ public:
+  LineClient() = default;
+  ~LineClient();
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+  LineClient(LineClient&& other) noexcept;
+  LineClient& operator=(LineClient&& other) noexcept;
+
+  /// Connects to 127.0.0.1:port.
+  Status Connect(uint16_t port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Writes `line` (a trailing '\n' is appended when missing).
+  Status SendLine(const std::string& line);
+
+  /// Blocks for the next '\n'-terminated line (without the '\n').
+  /// NotFound on clean EOF with no pending data.
+  Result<std::string> ReadLine();
+
+  /// SendLine + ReadLine: the single-response round trip of a query.
+  Result<std::string> RoundTrip(const std::string& line);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace server
+}  // namespace pathalg
+
+#endif  // PATHALG_SERVER_LINE_CLIENT_H_

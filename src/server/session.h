@@ -1,0 +1,165 @@
+#ifndef PATHALG_SERVER_SESSION_H_
+#define PATHALG_SERVER_SESSION_H_
+
+/// \file session.h
+/// The concurrent server's session layer. A SessionManager owns the
+/// process-wide sharing surfaces — the GraphCatalog, one thread-safe
+/// PlanCache handed to every session, the admission gate — and mints
+/// ServerSessions: one per connection, each wrapping a private
+/// engine::QueryEngine (per-session stats/options) over the shared graph
+/// and cache.
+///
+/// A ServerSession speaks the line protocol of engine/serve.h extended
+/// with server commands:
+///
+///   !threads N                 per-session eval thread count
+///   !limits [k=v ...]          per-session EvalLimits (admission control:
+///                              max_paths, max_len, max_iterations,
+///                              truncate=0|1); bare !limits prints them
+///   !timing on|off             timings off = deterministic "OK <n> paths"
+///                              responses (the byte-identity surface)
+///   !record <path> | stop      live workload recording: queries issued
+///                              while recording are captured (successful
+///                              ones with `# expect <n>`) and written as a
+///                              replayable .gqlw via FormatWorkload
+///   !graph <spec>              swap the session graph *via the catalog*
+///                              (shared, load-once; never clears the
+///                              shared plan cache)
+///   !stats                     engine stats + catalog/session/pool lines
+///
+/// plus everything the base protocol handles (queries, !help, !cache
+/// clear, !quit).
+///
+/// Determinism contract: with `!timing off`, a session's responses to
+/// queries and to the session-scoped commands are byte-identical to a
+/// serial single-client run of the same request stream — shared-cache
+/// hit/miss and scheduling affect latency only, never path counts,
+/// order of response lines, or error text. (`!stats` is the deliberate
+/// exception: its whole point is to report the shared mutable counters,
+/// which legitimately differ under concurrency.) The concurrent fuzz
+/// suite in tests/server_test.cc pins this.
+///
+/// Thread model: one ServerSession is used by one connection handler at a
+/// time (not internally synchronized); the manager's counters and the
+/// shared pieces are thread-safe.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "engine/query_engine.h"
+#include "engine/serve.h"
+#include "engine/workload_file.h"
+#include "server/graph_catalog.h"
+
+namespace pathalg {
+namespace server {
+
+struct SessionManagerOptions {
+  /// Admission gate: concurrent sessions beyond this are refused with a
+  /// BUSY line ("Complexity of Evaluating GQL Queries" motivates budget
+  /// admission; this is the connection-level analogue). 0 = unlimited.
+  size_t max_sessions = 8;
+  /// Graph spec sessions start on (catalog key; empty = figure1).
+  std::string default_graph_spec;
+  /// Base engine options for every session. `shared_cache` is overwritten
+  /// with the manager's process-wide cache; `plan_cache_capacity` sizes
+  /// that cache. The optimizer's GraphStats pointer is nulled: plans in a
+  /// shared cache must be graph-independent, and sessions may sit on
+  /// different catalog graphs.
+  engine::EngineOptions engine;
+};
+
+/// Monotonic + gauge counters; exposed through `!stats`.
+struct SessionCounters {
+  uint64_t opened = 0;
+  uint64_t closed = 0;
+  uint64_t rejected = 0;  // admission-gate refusals
+  size_t active = 0;
+  size_t peak_active = 0;
+};
+
+class SessionManager;
+
+/// One connection's protocol state machine. Create via
+/// SessionManager::Open(); destroying the session releases its admission
+/// slot and flushes any active recording.
+class ServerSession {
+ public:
+  ~ServerSession();
+  ServerSession(const ServerSession&) = delete;
+  ServerSession& operator=(const ServerSession&) = delete;
+
+  /// Handles one request line (no trailing newline), appending one or
+  /// more '\n'-terminated response lines to `out`. Returns false when the
+  /// session should end (`!quit`).
+  bool HandleLine(const std::string& line, std::string* out);
+
+  const engine::ServeResult& result() const { return result_; }
+  engine::QueryEngine& engine() { return engine_; }
+  const std::string& graph_spec() const { return graph_spec_; }
+  bool recording() const { return recording_; }
+
+ private:
+  friend class SessionManager;
+  ServerSession(SessionManager* manager, CatalogEntryPtr catalog_entry,
+                engine::EngineOptions options);
+
+  bool HandleServerCommand(std::string_view cmd, std::string_view rest,
+                           std::string* out, bool* handled);
+  /// Finishes an active recording, writing the .gqlw; returns the status
+  /// line ("OK recorded ..." or "ERR ...").
+  std::string StopRecording();
+
+  SessionManager* const manager_;
+  CatalogEntryPtr catalog_entry_;  // keeps the shared graph alive
+  std::string graph_spec_;
+  engine::QueryEngine engine_;
+  engine::ServeOptions serve_;
+  engine::ServeResult result_;
+
+  bool recording_ = false;
+  std::string record_path_;
+  engine::Workload recorded_;
+};
+
+class SessionManager {
+ public:
+  /// `catalog` must outlive the manager and every session.
+  SessionManager(GraphCatalog* catalog, SessionManagerOptions options);
+
+  /// Opens a session on the default graph (or `graph_spec` when given).
+  /// ResourceExhausted when the admission gate is full — the transport
+  /// layer turns that into the BUSY line.
+  Result<std::unique_ptr<ServerSession>> Open(
+      std::string_view graph_spec = {});
+
+  /// The line-protocol BUSY response for a gate refusal.
+  std::string BusyLine() const;
+
+  GraphCatalog& catalog() { return *catalog_; }
+  engine::PlanCache& shared_cache() { return *shared_cache_; }
+  size_t max_sessions() const { return options_.max_sessions; }
+  SessionCounters counters() const;
+
+  /// The catalog/session/pool "STAT ..." lines appended to `!stats`.
+  std::string StatsLines() const;
+
+ private:
+  friend class ServerSession;
+  void ReleaseSlot();
+
+  GraphCatalog* const catalog_;
+  SessionManagerOptions options_;
+  std::shared_ptr<engine::PlanCache> shared_cache_;
+  mutable std::mutex mu_;
+  SessionCounters counters_;
+};
+
+}  // namespace server
+}  // namespace pathalg
+
+#endif  // PATHALG_SERVER_SESSION_H_

@@ -1,0 +1,288 @@
+#include "server/tcp_server.h"
+
+#ifdef __unix__
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <unordered_set>
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace pathalg {
+namespace server {
+
+struct TcpServer::Impl {
+  SessionManager* manager = nullptr;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  int listener = -1;
+  uint16_t port = 0;
+  bool accepting = false;      // the accept loop is (or is being) started
+  bool accept_running = false; // the accept-loop task is live
+  bool stopping = false;
+  std::unordered_set<int> connections;  // fds with live handlers
+  size_t handlers_running = 0;
+  /// Refusal tasks in flight. Each holds a pool worker for its bounded
+  /// drain, and Submit grows the pool per unfinished task — so a
+  /// connection flood against a full gate must not fan out one task per
+  /// refusal, or it would permanently grow the pool by the flood size.
+  /// Shared-ptr'd so stragglers finishing after ~Impl stay safe.
+  std::shared_ptr<std::atomic<int>> refusals_in_flight =
+      std::make_shared<std::atomic<int>>(0);
+  static constexpr int kMaxRefusalTasks = 8;
+
+  /// Registers a freshly-accepted fd unless the server is stopping (in
+  /// which case the caller must close it). Guards the Stop() sweep: a fd
+  /// registered here is guaranteed to receive Stop's shutdown().
+  bool RegisterConnection(int fd) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (stopping) return false;
+    connections.insert(fd);
+    ++handlers_running;
+    return true;
+  }
+
+  void UnregisterConnection(int fd) {
+    {
+      // Notify under the mutex: Stop() may destroy this Impl (and the
+      // cv) the moment it observes handlers_running == 0, which it can
+      // only do while holding mu — a notify outside the lock could touch
+      // a destroyed cv. The close stays outside (it touches only the fd)
+      // and after the erase, so Stop's shutdown sweep never sees a
+      // closed — possibly reused — descriptor in `connections`.
+      std::lock_guard<std::mutex> lock(mu);
+      connections.erase(fd);
+      --handlers_running;
+      cv.notify_all();
+    }
+    close(fd);
+  }
+
+  /// One connection: line-buffered reads over the raw fd, whole-response
+  /// writes, one ServerSession for the connection's lifetime (destroying
+  /// it releases the admission slot and flushes any recording).
+  void ServeConnection(int fd, std::unique_ptr<ServerSession> session) {
+    std::string pending;
+    char buf[4096];
+    ssize_t n;
+    bool quit = false;
+    auto respond = [&](const std::string& line) {
+      std::string response;
+      quit = !session->HandleLine(line, &response);
+      size_t off = 0;
+      while (off < response.size()) {
+        const ssize_t w =
+            write(fd, response.data() + off, response.size() - off);
+        if (w <= 0) {
+          quit = true;  // client went away (EPIPE with SIGPIPE ignored)
+          break;
+        }
+        off += static_cast<size_t>(w);
+      }
+    };
+    while (!quit && (n = read(fd, buf, sizeof(buf))) > 0) {
+      pending.append(buf, static_cast<size_t>(n));
+      size_t nl;
+      while (!quit && (nl = pending.find('\n')) != std::string::npos) {
+        std::string line = pending.substr(0, nl);
+        pending.erase(0, nl + 1);
+        respond(line);
+      }
+    }
+    // A final request without a trailing newline still gets an answer
+    // (parity with the piped mode, where getline handles the last line).
+    if (!quit && !pending.empty()) respond(pending);
+    session.reset();  // release the admission slot before unregistering
+    UnregisterConnection(fd);
+  }
+
+  /// Writes the refusal line and closes without destroying it: a
+  /// pipelining client may already have queued request bytes we never
+  /// read, and close()-with-unread-data sends an RST that discards the
+  /// in-flight response on the client's side. Half-close our sending
+  /// direction, then drain until the peer acknowledges with EOF — but
+  /// only for a bounded number of bounded-time reads, so a peer that
+  /// trickles bytes forever cannot pin this task. Runs as its own pool
+  /// task (touching only the fd, never the Impl), keeping the accept
+  /// loop free to serve the next connection immediately.
+  static void RefuseAndClose(int fd, const std::string& line) {
+    (void)!write(fd, line.data(), line.size());
+    shutdown(fd, SHUT_WR);
+    timeval timeout{};
+    timeout.tv_sec = 1;
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    char buf[256];
+    for (int reads = 0; reads < 8; ++reads) {
+      if (read(fd, buf, sizeof(buf)) <= 0) break;  // EOF, error or timeout
+    }
+    close(fd);
+  }
+
+  void AcceptLoop() {
+    for (;;) {
+      const int fd = accept(listener, nullptr, nullptr);
+      if (fd < 0) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (stopping) break;
+        continue;  // transient accept failure; keep serving
+      }
+      Result<std::unique_ptr<ServerSession>> session = manager->Open();
+      if (!session.ok()) {
+        // Admission-gate refusals answer the BUSY line (retryable); any
+        // other Open failure — e.g. a broken default graph spec — is a
+        // real error the client must see as such, not an invitation to
+        // retry forever.
+        const std::string line =
+            session.status().code() == StatusCode::kResourceExhausted
+                ? manager->BusyLine()
+                : "ERR " + engine::OneLine(session.status().ToString()) +
+                      "\n";
+        auto in_flight = refusals_in_flight;
+        if (in_flight->fetch_add(1, std::memory_order_relaxed) <
+            kMaxRefusalTasks) {
+          ThreadPool::Shared().Submit([fd, line, in_flight] {
+            RefuseAndClose(fd, line);
+            in_flight->fetch_sub(1, std::memory_order_relaxed);
+          });
+        } else {
+          // Flood path: past the task budget, answer and close inline
+          // without the polite drain — a possible RST beats unbounded
+          // worker growth, and the accept loop never blocks either way.
+          in_flight->fetch_sub(1, std::memory_order_relaxed);
+          (void)!write(fd, line.data(), line.size());
+          close(fd);
+        }
+        continue;
+      }
+      if (!RegisterConnection(fd)) {
+        close(fd);
+        break;  // stopping: the session unwinds via its destructor
+      }
+      // Detach the handler onto the pool; it owns fd + session.
+      auto handler = std::make_shared<std::unique_ptr<ServerSession>>(
+          std::move(session).value());
+      ThreadPool::Shared().Submit([this, fd, handler] {
+        ServeConnection(fd, std::move(*handler));
+      });
+    }
+    // Notify under the mutex (see UnregisterConnection).
+    std::lock_guard<std::mutex> lock(mu);
+    accept_running = false;
+    cv.notify_all();
+  }
+};
+
+TcpServer::TcpServer(SessionManager* manager) : impl_(new Impl()) {
+  impl_->manager = manager;
+}
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start(const TcpServerOptions& options) {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  if (impl_->accepting) {
+    return Status::InvalidArgument("server already started");
+  }
+  // A client closing its end mid-response must not SIGPIPE-kill the
+  // process; writes then fail with EPIPE and the handler drops the
+  // connection.
+  std::signal(SIGPIPE, SIG_IGN);
+  const int listener = socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) return Status::Internal("socket() failed");
+  int one = 1;
+  setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options.port);
+  if (bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    close(listener);
+    return Status::Internal("bind() failed (port in use?)");
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    close(listener);
+    return Status::Internal("getsockname() failed");
+  }
+  if (listen(listener, options.backlog) < 0) {
+    close(listener);
+    return Status::Internal("listen() failed");
+  }
+  impl_->listener = listener;
+  impl_->port = ntohs(addr.sin_port);
+  impl_->accepting = true;
+  impl_->accept_running = true;
+  impl_->stopping = false;
+  lock.unlock();
+  Impl* impl = impl_.get();
+  ThreadPool::Shared().Submit([impl] { impl->AcceptLoop(); });
+  return Status::OK();
+}
+
+uint16_t TcpServer::port() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->port;
+}
+
+bool TcpServer::running() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->accept_running;
+}
+
+void TcpServer::Stop() {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  if (!impl_->accepting) return;
+  impl_->stopping = true;
+  // Unblock the accept loop, then every connection read. shutdown()
+  // (not close()) so no fd number is reused while its handler still
+  // reads from it.
+  if (impl_->listener >= 0) shutdown(impl_->listener, SHUT_RDWR);
+  for (int fd : impl_->connections) shutdown(fd, SHUT_RDWR);
+  impl_->cv.wait(lock, [&] {
+    return !impl_->accept_running && impl_->handlers_running == 0;
+  });
+  if (impl_->listener >= 0) close(impl_->listener);
+  impl_->listener = -1;
+  impl_->accepting = false;
+  impl_->cv.notify_all();
+}
+
+void TcpServer::WaitUntilStopped() {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  impl_->cv.wait(lock, [&] { return !impl_->accepting; });
+}
+
+}  // namespace server
+}  // namespace pathalg
+
+#else  // !__unix__
+
+namespace pathalg {
+namespace server {
+
+struct TcpServer::Impl {};
+
+TcpServer::TcpServer(SessionManager*) : impl_(new Impl()) {}
+TcpServer::~TcpServer() = default;
+Status TcpServer::Start(const TcpServerOptions&) {
+  return Status::NotImplemented("TCP serving requires a POSIX platform");
+}
+uint16_t TcpServer::port() const { return 0; }
+bool TcpServer::running() const { return false; }
+void TcpServer::Stop() {}
+void TcpServer::WaitUntilStopped() {}
+
+}  // namespace server
+}  // namespace pathalg
+
+#endif  // __unix__

@@ -1,0 +1,71 @@
+#ifndef PATHALG_SERVER_TCP_SERVER_H_
+#define PATHALG_SERVER_TCP_SERVER_H_
+
+/// \file tcp_server.h
+/// The multi-client TCP front-end: a loopback listener whose accept loop
+/// and per-connection handlers are detached tasks on the shared work
+/// pool (common/thread_pool.h::Submit) — the same workers that fan out
+/// σ/⋈/ϕ chunks serve connections, sized so blocked reads never starve
+/// query evaluation. Each accepted connection gets one ServerSession
+/// (admission-gated by the SessionManager; refusals answer one BUSY line
+/// and close), then speaks the line protocol until EOF or !quit.
+///
+/// Lifecycle: Start binds/listens and returns (port() reports the bound
+/// port — pass 0 to let the kernel pick, which is what the tests and the
+/// in-process throughput bench do); Stop shuts the listener and every
+/// open connection down and blocks until the handlers drained. The
+/// destructor calls Stop.
+///
+/// POSIX-only (like pathalg_serve's TCP mode); Start returns
+/// Unimplemented elsewhere.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "server/session.h"
+
+namespace pathalg {
+namespace server {
+
+struct TcpServerOptions {
+  /// Port to bind on 127.0.0.1; 0 = kernel-assigned (see port()).
+  uint16_t port = 0;
+  int backlog = 16;
+};
+
+class TcpServer {
+ public:
+  /// `manager` must outlive the server.
+  explicit TcpServer(SessionManager* manager);
+  ~TcpServer();
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  Status Start(const TcpServerOptions& options = {});
+
+  /// The bound port (valid after a successful Start).
+  uint16_t port() const;
+
+  /// True while the listener is accepting.
+  bool running() const;
+
+  /// Stops accepting, shuts down open connections, and blocks until every
+  /// handler finished. Idempotent.
+  void Stop();
+
+  /// Blocks until Stop() is called (from a signal handler thread or
+  /// another session) — the forever-serving shape of `pathalg_serve
+  /// --port`.
+  void WaitUntilStopped();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace server
+}  // namespace pathalg
+
+#endif  // PATHALG_SERVER_TCP_SERVER_H_

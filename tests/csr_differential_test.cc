@@ -1,10 +1,10 @@
 // The randomized differential harness that guards the CSR adjacency
-// migration: seeded random multigraphs (parallel edges, self-loops,
-// unlabelled edges) × random top-closure regexes, evaluated three ways —
-// CSR-backed algebra plans, the CSR-backed NFA automaton, and the
-// legacy vector-of-vectors automaton — which must agree path-for-path
-// under every semantics. All seeds are fixed, so CTest runs are
-// deterministic; failing trials echo their seed and regex.
+// layout: seeded random multigraphs (parallel edges, self-loops,
+// unlabelled edges) × random top-closure regexes, evaluated two ways —
+// CSR-backed algebra plans and the NFA product-automaton baseline —
+// which must agree path-for-path under every semantics. All seeds are
+// fixed, so CTest runs are deterministic; failing trials echo their seed
+// and regex.
 //
 // Trial budget: ≥200 graph×query trials per semantics (walk runs on
 // random DAGs, where its answer sets are finite).

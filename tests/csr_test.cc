@@ -4,7 +4,7 @@
 // labelled edges, and the adversarial corners of a multigraph — empty
 // graph, all-unlabelled, parallel edges, self-loops — must hold the same
 // invariants. Random-graph cases sweep seeds via the uniform multigraph
-// generator; CsrMatchesLegacy pins CSR ≡ legacy edge-for-edge.
+// generator.
 
 #include <gtest/gtest.h>
 
@@ -140,9 +140,6 @@ namespace {
 TEST(CsrInvariantTest, Figure1Graph) {
   PropertyGraph g = MakeFigure1Graph();
   EXPECT_TRUE(CheckCsrInvariants(g));
-#if PATHALG_LEGACY_ADJACENCY
-  EXPECT_TRUE(fuzz::CsrMatchesLegacy(g, "figure1"));
-#endif
 }
 
 TEST(CsrInvariantTest, EmptyGraph) {
@@ -270,9 +267,6 @@ TEST(CsrInvariantTest, RandomMultigraphSweep) {
     opts.seed = seed;
     PropertyGraph g = MakeUniformMultigraph(opts);
     EXPECT_TRUE(CheckCsrInvariants(g)) << "seed " << seed;
-#if PATHALG_LEGACY_ADJACENCY
-    EXPECT_TRUE(fuzz::CsrMatchesLegacy(g, "seed " + std::to_string(seed)));
-#endif
   }
 }
 
@@ -281,9 +275,6 @@ TEST(CsrInvariantTest, SkewedSocialGraph) {
   opts.num_persons = 120;
   PropertyGraph g = MakeSkewedSocialGraph(opts);
   EXPECT_TRUE(CheckCsrInvariants(g));
-#if PATHALG_LEGACY_ADJACENCY
-  EXPECT_TRUE(fuzz::CsrMatchesLegacy(g, "skewed social"));
-#endif
 }
 
 TEST(NeighborRangeTest, ViewSemantics) {

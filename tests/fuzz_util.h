@@ -6,10 +6,9 @@
 /// regex generator (restricted to the query family where the algebra's
 /// per-ϕ restrictor reading provably coincides with the automaton's
 /// whole-path reading — closures at the top of union branches and
-/// concatenations of closures), and trial runners that pin
+/// concatenations of closures), and a trial runner that pins
 ///
-///     CSR-backed algebra ≡ CSR-backed automaton ≡ legacy-adjacency
-///     automaton
+///     CSR-backed algebra ≡ NFA product-automaton baseline
 ///
 /// on one (graph, regex, semantics) triple. Every helper takes an explicit
 /// seed or rng so CTest runs are deterministic; failure messages echo the
@@ -84,9 +83,9 @@ inline std::string RandomTopClosureRegex(
   return out;
 }
 
-/// Evaluates `regex_text` over `g` three ways and checks the results agree
-/// path-for-path. `context` is prepended to failure messages (put the seed
-/// there).
+/// Evaluates `regex_text` over `g` through the algebra and through the NFA
+/// baseline and checks the results agree path-for-path. `context` is
+/// prepended to failure messages (put the seed there).
 inline ::testing::AssertionResult RunDifferentialTrial(
     const PropertyGraph& g, const std::string& regex_text,
     PathSemantics semantics, const std::string& context) {
@@ -117,72 +116,8 @@ inline ::testing::AssertionResult RunDifferentialTrial(
                 std::to_string(automaton->size()) + " paths)\n  algebra: " +
                 lhs.ToString(g) + "\n  automaton: " + automaton->ToString(g));
   }
-
-#if PATHALG_LEGACY_ADJACENCY
-  aopts.use_legacy_adjacency = true;
-  auto legacy = EvaluateRpqAutomaton(g, *regex, aopts);
-  if (!legacy.ok()) {
-    return fail("legacy automaton: " + legacy.status().ToString());
-  }
-  if (*legacy != *automaton) {
-    return fail("legacy adjacency (" + std::to_string(legacy->size()) +
-                " paths) != CSR adjacency (" +
-                std::to_string(automaton->size()) + " paths)\n  legacy: " +
-                legacy->ToString(g) + "\n  csr: " + automaton->ToString(g));
-  }
-#endif
   return ::testing::AssertionSuccess();
 }
-
-/// Structure-level differential: the CSR runs must hold exactly the edge
-/// ids of the legacy vector-of-vectors (as sets; the orders legitimately
-/// differ — legacy is ascending id, CSR is (label, id)).
-#if PATHALG_LEGACY_ADJACENCY
-inline ::testing::AssertionResult CsrMatchesLegacy(const PropertyGraph& g,
-                                                   const std::string& context) {
-  auto fail = [&](const std::string& what) {
-    return ::testing::AssertionFailure() << context << ": " << what;
-  };
-  auto as_sorted = [](auto&& range) {
-    std::vector<EdgeId> v(range.begin(), range.end());
-    std::sort(v.begin(), v.end());
-    return v;
-  };
-  for (NodeId n = 0; n < g.num_nodes(); ++n) {
-    if (as_sorted(g.OutEdges(n)) != as_sorted(g.LegacyOutEdges(n))) {
-      return fail("out-edges of node " + std::to_string(n) + " differ");
-    }
-    if (as_sorted(g.InEdges(n)) != as_sorted(g.LegacyInEdges(n))) {
-      return fail("in-edges of node " + std::to_string(n) + " differ");
-    }
-    for (LabelId l = 0; l < g.num_labels(); ++l) {
-      std::vector<EdgeId> want;
-      for (EdgeId e : g.LegacyOutEdges(n)) {
-        if (g.EdgeLabelId(e) == l) want.push_back(e);
-      }
-      if (as_sorted(g.OutEdgesWithLabel(n, l)) != want) {
-        return fail("out-edges of (node " + std::to_string(n) + ", label " +
-                    std::string(g.LabelName(l)) + ") differ");
-      }
-      want.clear();
-      for (EdgeId e : g.LegacyInEdges(n)) {
-        if (g.EdgeLabelId(e) == l) want.push_back(e);
-      }
-      if (as_sorted(g.InEdgesWithLabel(n, l)) != want) {
-        return fail("in-edges of (node " + std::to_string(n) + ", label " +
-                    std::string(g.LabelName(l)) + ") differ");
-      }
-    }
-  }
-  for (LabelId l = 0; l < g.num_labels(); ++l) {
-    if (as_sorted(g.EdgesWithLabel(l)) != g.LegacyEdgesWithLabel(l)) {
-      return fail("EdgesWithLabel(" + std::string(g.LabelName(l)) +
-                  ") differs");
-    }
-  }
-  return ::testing::AssertionSuccess();
-}
-#endif  // PATHALG_LEGACY_ADJACENCY
 
 }  // namespace fuzz
 }  // namespace pathalg

@@ -164,6 +164,41 @@ TEST_F(PathTest, PathSetDeduplicates) {
   EXPECT_FALSE(s.Contains(Path::SingleNode(ids_.n1)));
 }
 
+TEST_F(PathTest, PathSetInsertHashedMatchesInsert) {
+  // InsertHashed with the correct precomputed hash must make byte-for-byte
+  // the same dedup decisions and produce the same insertion order as
+  // Insert — it is what the parallel merge loops rely on.
+  std::vector<Path> inputs = {
+      Path::EdgeOf(g_, ids_.e1), Path::EdgeOf(g_, ids_.e2),
+      Path::EdgeOf(g_, ids_.e1),  // duplicate
+      Path({ids_.n1, ids_.n2, ids_.n3}, {ids_.e1, ids_.e2}),
+      Path::SingleNode(ids_.n1),
+      Path({ids_.n1, ids_.n2, ids_.n3}, {ids_.e1, ids_.e2}),  // duplicate
+  };
+  PathSet via_insert, via_hashed;
+  for (const Path& p : inputs) {
+    const bool a = via_insert.Insert(p);
+    const bool b = via_hashed.InsertHashed(p, p.Hash());
+    EXPECT_EQ(a, b);
+  }
+  EXPECT_EQ(via_insert.paths(), via_hashed.paths());  // same order, too
+  EXPECT_EQ(via_hashed.size(), 4u);
+  EXPECT_TRUE(via_hashed.Contains(Path::EdgeOf(g_, ids_.e2)));
+}
+
+TEST_F(PathTest, PathSetHashCollisionsStillCompareByValue) {
+  // A wrong-but-shared hash may only ever cause extra equality probes,
+  // never a false dedup: distinct paths inserted under one hash bucket
+  // must both survive and remain findable.
+  PathSet s;
+  Path a = Path::EdgeOf(g_, ids_.e1);
+  Path b = Path::EdgeOf(g_, ids_.e2);
+  EXPECT_TRUE(s.InsertHashed(a, 42));
+  EXPECT_TRUE(s.InsertHashed(b, 42));   // collides, but a != b
+  EXPECT_FALSE(s.InsertHashed(a, 42));  // exact duplicate in the bucket
+  EXPECT_EQ(s.size(), 2u);
+}
+
 TEST_F(PathTest, PathSetEqualityIsOrderInsensitive) {
   PathSet a, b;
   a.Insert(Path::EdgeOf(g_, ids_.e1));

@@ -9,7 +9,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -193,6 +197,163 @@ TEST(ThreadPoolTest, ConcurrentCallersSerializeSafely) {
   t.join();
   EXPECT_EQ(sum_a.load(), 50u * 1000u);
   EXPECT_EQ(sum_b.load(), 50u * 1000u);
+}
+
+TEST(ThreadPoolTest, SubmittedTasksAllRunDetached) {
+  std::atomic<size_t> ran{0};
+  std::mutex m;
+  std::condition_variable cv;
+  for (size_t i = 0; i < 32; ++i) {
+    ThreadPool::Shared().Submit([&] {
+      if (ran.fetch_add(1, std::memory_order_relaxed) + 1 == 32) {
+        std::lock_guard<std::mutex> lock(m);
+        cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(m);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                          [&] { return ran.load() == 32; }));
+}
+
+TEST(ThreadPoolTest, BlockedTasksDoNotStarveRegionsOrOtherTasks) {
+  // The server shape: long-blocking connection tasks must neither stop
+  // fork-join regions from completing nor prevent later tasks from
+  // running (Submit grows the pool past every unfinished task).
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  constexpr size_t kBlockers = 4;
+  std::atomic<size_t> blocked{0};
+  for (size_t i = 0; i < kBlockers; ++i) {
+    ThreadPool::Shared().Submit([&] {
+      blocked.fetch_add(1, std::memory_order_relaxed);
+      std::unique_lock<std::mutex> lock(m);
+      cv.wait(lock, [&] { return release; });
+    });
+  }
+  while (blocked.load() < kBlockers) std::this_thread::yield();
+
+  // A region completes while all blockers hold their workers...
+  ParallelOptions options{4, 1};
+  std::atomic<size_t> total{0};
+  ThreadPool::Shared().ParallelFor(
+      256, options, nullptr, [&](size_t, size_t begin, size_t end) {
+        total.fetch_add(end - begin, std::memory_order_relaxed);
+      });
+  EXPECT_EQ(total.load(), 256u);
+
+  // ...and so does a task submitted after them.
+  std::atomic<bool> late_ran{false};
+  ThreadPool::Shared().Submit([&] { late_ran.store(true); });
+  for (int spin = 0; spin < 30000 && !late_ran.load(); ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(late_ran.load());
+
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release = true;
+  }
+  cv.notify_all();
+  // Drain: counters must eventually account for every submitted task.
+  const ThreadPoolCounters before = ThreadPool::Shared().Counters();
+  for (int spin = 0; spin < 30000; ++spin) {
+    const ThreadPoolCounters c = ThreadPool::Shared().Counters();
+    if (c.tasks_completed == c.tasks_submitted) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const ThreadPoolCounters after = ThreadPool::Shared().Counters();
+  EXPECT_EQ(after.tasks_completed, after.tasks_submitted);
+  EXPECT_GE(after.tasks_submitted, before.tasks_submitted);
+}
+
+TEST(ThreadPoolTest, CountersAccumulateAcrossRegions) {
+  const ThreadPoolCounters before = ThreadPool::Shared().Counters();
+  ParallelOptions options{4, 1};
+  ParallelStats stats;
+  ThreadPool::Shared().ParallelFor(512, options, &stats,
+                                   [&](size_t, size_t, size_t) {});
+  const ThreadPoolCounters after = ThreadPool::Shared().Counters();
+  EXPECT_EQ(after.regions, before.regions + 1);
+  EXPECT_EQ(after.chunks, before.chunks + stats.chunks_executed);
+  EXPECT_GE(after.workers, 1u);
+}
+
+TEST(ThreadPoolTest, RegionsStayParallelWhileTasksHoldWorkers) {
+  // Regression: participant slots are claimed dynamically by whichever
+  // workers arrive, not bound to worker indices — otherwise long-lived
+  // tasks occupying the low-index workers would serialize every region
+  // onto the caller even though freshly-grown workers idle. The body
+  // blocks chunk execution until two distinct threads have entered, so
+  // the test only completes if a worker actually joins the caller.
+  std::mutex m;
+  std::condition_variable cv;
+  bool release = false;
+  constexpr size_t kBlockers = 4;
+  std::atomic<size_t> blocked{0};
+  for (size_t i = 0; i < kBlockers; ++i) {
+    ThreadPool::Shared().Submit([&] {
+      blocked.fetch_add(1, std::memory_order_relaxed);
+      std::unique_lock<std::mutex> lock(m);
+      cv.wait(lock, [&] { return release; });
+    });
+  }
+  while (blocked.load() < kBlockers) std::this_thread::yield();
+
+  std::mutex body_m;
+  std::condition_variable body_cv;
+  std::set<std::thread::id> participants;
+  bool two_seen = false;
+  bool gave_up = false;  // only the first chunk waits; a serial region
+                         // must fail fast, not 256 × timeout
+  ParallelOptions options{4, 1};
+  ThreadPool::Shared().ParallelFor(
+      256, options, nullptr, [&](size_t, size_t, size_t) {
+        std::unique_lock<std::mutex> lock(body_m);
+        participants.insert(std::this_thread::get_id());
+        if (participants.size() >= 2) {
+          two_seen = true;
+          body_cv.notify_all();
+          return;
+        }
+        if (gave_up) return;
+        // First thread in: give a second participant (a pool worker
+        // claiming a slot) time to arrive before draining more chunks.
+        if (!body_cv.wait_for(lock, std::chrono::seconds(10),
+                              [&] { return two_seen; })) {
+          gave_up = true;
+        }
+      });
+  EXPECT_GE(participants.size(), 2u)
+      << "region ran serially while idle workers existed";
+
+  {
+    std::lock_guard<std::mutex> lock(m);
+    release = true;
+  }
+  cv.notify_all();
+}
+
+TEST(ThreadPoolTest, TasksMayReenterThePoolForRegions) {
+  // A connection handler evaluating a query runs ParallelFor from inside
+  // a pool task; that nesting must complete.
+  std::atomic<size_t> total{0};
+  std::atomic<bool> done{false};
+  ThreadPool::Shared().Submit([&] {
+    ParallelOptions options{4, 1};
+    ThreadPool::Shared().ParallelFor(
+        128, options, nullptr, [&](size_t, size_t begin, size_t end) {
+          total.fetch_add(end - begin, std::memory_order_relaxed);
+        });
+    done.store(true, std::memory_order_release);
+  });
+  for (int spin = 0; spin < 30000 && !done.load(std::memory_order_acquire);
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(done.load());
+  EXPECT_EQ(total.load(), 128u);
 }
 
 TEST(ParallelStatsTest, MergeSums) {
