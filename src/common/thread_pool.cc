@@ -2,12 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace pathalg {
 
@@ -111,30 +112,31 @@ struct Region {
 }  // namespace
 
 struct ThreadPool::Impl {
-  std::mutex region_mutex;  // one region at a time
-  std::mutex m;
-  std::condition_variable work_cv;
-  std::condition_variable done_cv;
-  std::vector<std::thread> workers;
-  std::shared_ptr<Region> region;  // non-null while a region is live
-  uint64_t generation = 0;
-  bool shutdown = false;
+  Mutex region_mutex;  // one region at a time (serialization only; no data)
+  Mutex m;
+  CondVar work_cv;
+  CondVar done_cv;
+  std::vector<std::thread> workers PA_GUARDED_BY(m);
+  /// Non-null while a region is live.
+  std::shared_ptr<Region> region PA_GUARDED_BY(m);
+  uint64_t generation PA_GUARDED_BY(m) = 0;
+  bool shutdown PA_GUARDED_BY(m) = false;
 
   /// Detached tasks (Submit). `tasks_unfinished` counts queued + running
   /// tasks; the sizing invariant workers.size() >= tasks_unfinished +
   /// region_width_high_water guarantees every task eventually gets a
   /// worker even when every other task blocks forever, while the
   /// fork-join high-water of workers stays available for regions.
-  std::deque<std::function<void()>> tasks;
-  size_t tasks_unfinished = 0;
-  size_t region_width_high_water = 0;
+  std::deque<std::function<void()>> tasks PA_GUARDED_BY(m);
+  size_t tasks_unfinished PA_GUARDED_BY(m) = 0;
+  size_t region_width_high_water PA_GUARDED_BY(m) = 0;
 
-  // Lifetime counters (guarded by m).
-  uint64_t counter_regions = 0;
-  uint64_t counter_chunks = 0;
-  uint64_t counter_steals = 0;
-  uint64_t counter_tasks_submitted = 0;
-  uint64_t counter_tasks_completed = 0;
+  // Lifetime counters.
+  uint64_t counter_regions PA_GUARDED_BY(m) = 0;
+  uint64_t counter_chunks PA_GUARDED_BY(m) = 0;
+  uint64_t counter_steals PA_GUARDED_BY(m) = 0;
+  uint64_t counter_tasks_submitted PA_GUARDED_BY(m) = 0;
+  uint64_t counter_tasks_completed PA_GUARDED_BY(m) = 0;
 
   /// Workers idle here between regions and tasks. A worker that misses a
   /// whole region (woke after it completed) simply waits for the next
@@ -142,17 +144,19 @@ struct ThreadPool::Impl {
   /// stragglers mid-region. Regions are preferred over tasks: they are
   /// short and latency-sensitive (one query's operator), while tasks are
   /// long-lived; the sizing invariant guarantees tasks still run.
-  void WorkerLoop() {
+  void WorkerLoop() PA_EXCLUDES(m) {
     uint64_t seen = 0;
     for (;;) {
       std::shared_ptr<Region> r;
       std::function<void()> task;
       {
-        std::unique_lock<std::mutex> lock(m);
-        work_cv.wait(lock, [&] {
-          return shutdown || (region != nullptr && generation != seen) ||
-                 !tasks.empty();
-        });
+        MutexLock lock(m);
+        // Explicit while-loop (not a predicate lambda): the guarded
+        // reads in the condition stay inside the analyzed lock scope.
+        while (!shutdown && !(region != nullptr && generation != seen) &&
+               tasks.empty()) {
+          work_cv.Wait(m);
+        }
         if (shutdown) return;
         if (region != nullptr && generation != seen) {
           seen = generation;
@@ -171,20 +175,19 @@ struct ThreadPool::Impl {
             r->next_participant.fetch_add(1, std::memory_order_relaxed);
         if (self >= r->participants) continue;
         r->Work(self);
-        std::lock_guard<std::mutex> lock(m);
-        done_cv.notify_all();
+        MutexLock lock(m);
+        done_cv.NotifyAll();
         continue;
       }
       task();
-      std::lock_guard<std::mutex> lock(m);
+      MutexLock lock(m);
       --tasks_unfinished;
       ++counter_tasks_completed;
     }
   }
 
-  /// Precondition: m is NOT held.
-  void EnsureWorkers(size_t count) {
-    std::lock_guard<std::mutex> lock(m);
+  void EnsureWorkers(size_t count) PA_EXCLUDES(m) {
+    MutexLock lock(m);
     while (workers.size() < count) {
       workers.emplace_back([this] { WorkerLoop(); });
     }
@@ -202,12 +205,18 @@ ThreadPool& ThreadPool::Shared() {
 }
 
 ThreadPool::~ThreadPool() {
+  // Swap the worker vector out under the lock: joining while reading
+  // impl_->workers unlocked was a (benign-by-usage, but unprovable)
+  // guarded-member access the thread-safety analysis rightly rejects —
+  // EnsureWorkers mutates the vector under m.
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(impl_->m);
+    MutexLock lock(impl_->m);
     impl_->shutdown = true;
+    workers.swap(impl_->workers);
   }
-  impl_->work_cv.notify_all();
-  for (std::thread& t : impl_->workers) t.join();
+  impl_->work_cv.NotifyAll();
+  for (std::thread& t : workers) t.join();
   delete impl_;
 }
 
@@ -253,7 +262,7 @@ void ThreadPool::RunRegion(
     // free to help this region.
     size_t need;
     {
-      std::lock_guard<std::mutex> lock(pool->m);
+      MutexLock lock(pool->m);
       pool->region_width_high_water =
           std::max(pool->region_width_high_water, participants - 1);
       need = pool->tasks_unfinished + participants - 1;
@@ -263,7 +272,7 @@ void ThreadPool::RunRegion(
 
   // One region at a time: a second evaluating thread queues here rather
   // than interleaving two claim states through the same workers.
-  std::lock_guard<std::mutex> region_lock(pool->region_mutex);
+  MutexLock region_lock(pool->region_mutex);
 
   auto region = std::make_shared<Region>(participants);
   region->body = &body;
@@ -276,20 +285,20 @@ void ThreadPool::RunRegion(
     region->partition_end[p] = (p + 1) * layout.num_chunks / participants;
   }
   {
-    std::lock_guard<std::mutex> lock(pool->m);
+    MutexLock lock(pool->m);
     pool->region = region;
     ++pool->generation;
   }
-  pool->work_cv.notify_all();
+  pool->work_cv.NotifyAll();
 
   region->Work(0);  // the caller is participant 0
 
   {
-    std::unique_lock<std::mutex> lock(pool->m);
-    pool->done_cv.wait(lock, [&] {
-      return region->executed.load(std::memory_order_acquire) ==
-             layout.num_chunks;
-    });
+    MutexLock lock(pool->m);
+    while (region->executed.load(std::memory_order_acquire) !=
+           layout.num_chunks) {
+      pool->done_cv.Wait(pool->m);
+    }
     pool->region = nullptr;
   }
   size_t region_chunks = 0, region_steals = 0;
@@ -302,7 +311,7 @@ void ThreadPool::RunRegion(
     stats->steal_count += region_steals;
   }
   {
-    std::lock_guard<std::mutex> lock(pool->m);
+    MutexLock lock(pool->m);
     ++pool->counter_regions;
     pool->counter_chunks += region_chunks;
     pool->counter_steals += region_steals;
@@ -312,18 +321,18 @@ void ThreadPool::RunRegion(
 void ThreadPool::Submit(std::function<void()> task) {
   size_t need;
   {
-    std::lock_guard<std::mutex> lock(impl_->m);
+    MutexLock lock(impl_->m);
     impl_->tasks.push_back(std::move(task));
     ++impl_->tasks_unfinished;
     ++impl_->counter_tasks_submitted;
     need = impl_->tasks_unfinished + impl_->region_width_high_water;
   }
   impl_->EnsureWorkers(need);
-  impl_->work_cv.notify_all();
+  impl_->work_cv.NotifyAll();
 }
 
 ThreadPoolCounters ThreadPool::Counters() const {
-  std::lock_guard<std::mutex> lock(impl_->m);
+  MutexLock lock(impl_->m);
   ThreadPoolCounters c;
   c.workers = impl_->workers.size();
   c.regions = impl_->counter_regions;

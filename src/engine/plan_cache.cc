@@ -4,7 +4,7 @@ namespace pathalg {
 namespace engine {
 
 PreparedQueryPtr PlanCache::Get(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -17,7 +17,7 @@ PreparedQueryPtr PlanCache::Get(const std::string& key) {
 
 void PlanCache::Put(const std::string& key, PreparedQueryPtr prepared) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
@@ -35,7 +35,7 @@ void PlanCache::Put(const std::string& key, PreparedQueryPtr prepared) {
 }
 
 void PlanCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   lru_.clear();
   index_.clear();
 }

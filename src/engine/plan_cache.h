@@ -21,12 +21,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "gql/query.h"
 
 namespace pathalg {
@@ -74,14 +75,14 @@ class PlanCache {
   void Clear();
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return index_.size();
   }
   size_t capacity() const { return capacity_; }
   /// Coherent snapshot of the counters (by value: the counters mutate
   /// under the mutex on every Get/Put).
   PlanCacheStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return stats_;
   }
 
@@ -89,10 +90,11 @@ class PlanCache {
   // Most-recently-used at the front.
   using LruList = std::list<std::pair<std::string, PreparedQueryPtr>>;
   const size_t capacity_;
-  mutable std::mutex mu_;
-  LruList lru_;
-  std::unordered_map<std::string, LruList::iterator> index_;
-  PlanCacheStats stats_;
+  mutable Mutex mu_;
+  LruList lru_ PA_GUARDED_BY(mu_);
+  std::unordered_map<std::string, LruList::iterator> index_
+      PA_GUARDED_BY(mu_);
+  PlanCacheStats stats_ PA_GUARDED_BY(mu_);
 };
 
 }  // namespace engine

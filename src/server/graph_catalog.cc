@@ -54,7 +54,7 @@ Result<CatalogEntryPtr> GraphCatalog::Get(std::string_view spec) {
   std::shared_ptr<Slot> slot;
   bool loader = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       slot = it->second;
@@ -71,15 +71,15 @@ Result<CatalogEntryPtr> GraphCatalog::Get(std::string_view spec) {
     CatalogEntryPtr entry;
     Status error = Status::OK();
     {
-      std::unique_lock<std::mutex> lock(slot->m);
-      slot->cv.wait(lock, [&] { return slot->done; });
+      MutexLock lock(slot->m);
+      while (!slot->done) slot->cv.Wait(slot->m);
       entry = slot->entry;
       error = slot->error;
     }
     // A "hit" is a Get answered with a graph; waiters on a load that
     // failed got an error, not a hit (the loader counted the error).
     if (entry == nullptr) return error;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++counters_.hits;
     return entry;
   }
@@ -93,14 +93,14 @@ Result<CatalogEntryPtr> GraphCatalog::Get(std::string_view spec) {
   if (!built.ok()) {
     {
       // Errors are not cached: remove the latch so a later Get retries.
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       entries_.erase(key);
       ++counters_.errors;
     }
-    std::lock_guard<std::mutex> lock(slot->m);
+    MutexLock lock(slot->m);
     slot->error = built.status();
     slot->done = true;
-    slot->cv.notify_all();
+    slot->cv.NotifyAll();
     return built.status();
   }
   auto entry = std::make_shared<CatalogEntry>();
@@ -113,28 +113,30 @@ Result<CatalogEntryPtr> GraphCatalog::Get(std::string_view spec) {
   entry->stats.load_us = MicrosSince(start);
   CatalogEntryPtr shared = std::move(entry);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++counters_.loads;
   }
-  std::lock_guard<std::mutex> lock(slot->m);
+  MutexLock lock(slot->m);
   slot->entry = shared;
   slot->done = true;
-  slot->cv.notify_all();
+  slot->cv.NotifyAll();
   return shared;
 }
 
 size_t GraphCatalog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   size_t n = 0;
-  for (const auto& [key, slot] : entries_) {
-    std::lock_guard<std::mutex> slot_lock(slot->m);
+  for (const auto& kv : entries_) {
+    // Counting only — unordered iteration order never reaches a caller.
+    Slot* slot = kv.second.get();
+    MutexLock slot_lock(slot->m);
     if (slot->done && slot->entry != nullptr) ++n;
   }
   return n;
 }
 
 CatalogCounters GraphCatalog::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return counters_;
 }
 

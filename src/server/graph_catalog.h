@@ -18,15 +18,15 @@
 /// opens. Failed loads are not cached (the latch is removed), so a
 /// mistyped CSV path can be retried after fixing the file.
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "graph/property_graph.h"
 
 namespace pathalg {
@@ -77,16 +77,18 @@ class GraphCatalog {
   /// Per-spec load latch: the loader builds with the catalog lock
   /// released; racers wait on `cv` until `done`.
   struct Slot {
-    std::mutex m;
-    std::condition_variable cv;
-    bool done = false;
-    CatalogEntryPtr entry;  // null when the load failed
-    Status error = Status::OK();
+    Mutex m;
+    CondVar cv;
+    bool done PA_GUARDED_BY(m) = false;
+    /// Null when the load failed.
+    CatalogEntryPtr entry PA_GUARDED_BY(m);
+    Status error PA_GUARDED_BY(m) = Status::OK();
   };
 
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<Slot>> entries_;
-  CatalogCounters counters_;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Slot>> entries_
+      PA_GUARDED_BY(mu_);
+  CatalogCounters counters_ PA_GUARDED_BY(mu_);
 };
 
 }  // namespace server

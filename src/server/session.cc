@@ -42,7 +42,7 @@ SessionManager::SessionManager(GraphCatalog* catalog,
 Result<std::unique_ptr<ServerSession>> SessionManager::Open(
     std::string_view graph_spec) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (options_.max_sessions != 0 &&
         counters_.active >= options_.max_sessions) {
       ++counters_.rejected;
@@ -60,12 +60,12 @@ Result<std::unique_ptr<ServerSession>> SessionManager::Open(
                          : graph_spec;
   Result<CatalogEntryPtr> entry = catalog_->Get(spec);
   if (!entry.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     --counters_.active;  // undo the claim; nothing opened, nothing closed
     return entry.status();
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++counters_.opened;
     if (counters_.active > counters_.peak_active) {
       counters_.peak_active = counters_.active;
@@ -81,13 +81,13 @@ std::string SessionManager::BusyLine() const {
 }
 
 void SessionManager::ReleaseSlot() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   --counters_.active;
   ++counters_.closed;
 }
 
 SessionCounters SessionManager::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return counters_;
 }
 

@@ -45,11 +45,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "engine/query_engine.h"
 #include "engine/serve.h"
 #include "engine/workload_file.h"
@@ -155,8 +156,8 @@ class SessionManager {
   GraphCatalog* const catalog_;
   SessionManagerOptions options_;
   std::shared_ptr<engine::PlanCache> shared_cache_;
-  mutable std::mutex mu_;
-  SessionCounters counters_;
+  mutable Mutex mu_;
+  SessionCounters counters_ PA_GUARDED_BY(mu_);
 };
 
 }  // namespace server

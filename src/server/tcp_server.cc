@@ -10,28 +10,34 @@
 #include <csignal>
 #include <cstring>
 #include <memory>
-#include <mutex>
-#include <condition_variable>
 #include <unordered_set>
 #include <utility>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 
 namespace pathalg {
 namespace server {
 
 struct TcpServer::Impl {
-  SessionManager* manager = nullptr;
+  /// Set once at construction, immutable afterwards (no guard needed).
+  SessionManager* const manager;
 
-  std::mutex mu;
-  std::condition_variable cv;
-  int listener = -1;
-  uint16_t port = 0;
-  bool accepting = false;      // the accept loop is (or is being) started
-  bool accept_running = false; // the accept-loop task is live
-  bool stopping = false;
-  std::unordered_set<int> connections;  // fds with live handlers
-  size_t handlers_running = 0;
+  explicit Impl(SessionManager* m) : manager(m) {}
+
+  Mutex mu;
+  CondVar cv;
+  int listener PA_GUARDED_BY(mu) = -1;
+  uint16_t port PA_GUARDED_BY(mu) = 0;
+  /// The accept loop is (or is being) started.
+  bool accepting PA_GUARDED_BY(mu) = false;
+  /// The accept-loop task is live.
+  bool accept_running PA_GUARDED_BY(mu) = false;
+  bool stopping PA_GUARDED_BY(mu) = false;
+  /// Fds with live handlers.
+  std::unordered_set<int> connections PA_GUARDED_BY(mu);
+  size_t handlers_running PA_GUARDED_BY(mu) = 0;
   /// Refusal tasks in flight. Each holds a pool worker for its bounded
   /// drain, and Submit grows the pool per unfinished task — so a
   /// connection flood against a full gate must not fan out one task per
@@ -44,15 +50,15 @@ struct TcpServer::Impl {
   /// Registers a freshly-accepted fd unless the server is stopping (in
   /// which case the caller must close it). Guards the Stop() sweep: a fd
   /// registered here is guaranteed to receive Stop's shutdown().
-  bool RegisterConnection(int fd) {
-    std::lock_guard<std::mutex> lock(mu);
+  bool RegisterConnection(int fd) PA_EXCLUDES(mu) {
+    MutexLock lock(mu);
     if (stopping) return false;
     connections.insert(fd);
     ++handlers_running;
     return true;
   }
 
-  void UnregisterConnection(int fd) {
+  void UnregisterConnection(int fd) PA_EXCLUDES(mu) {
     {
       // Notify under the mutex: Stop() may destroy this Impl (and the
       // cv) the moment it observes handlers_running == 0, which it can
@@ -60,10 +66,10 @@ struct TcpServer::Impl {
       // a destroyed cv. The close stays outside (it touches only the fd)
       // and after the erase, so Stop's shutdown sweep never sees a
       // closed — possibly reused — descriptor in `connections`.
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       connections.erase(fd);
       --handlers_running;
-      cv.notify_all();
+      cv.NotifyAll();
     }
     close(fd);
   }
@@ -128,11 +134,17 @@ struct TcpServer::Impl {
     close(fd);
   }
 
-  void AcceptLoop() {
+  /// `listener_fd` is passed by value: the accept loop runs for the
+  /// whole listener lifetime, and reading the mu-guarded `listener`
+  /// member without the lock (as this loop once did) is exactly the kind
+  /// of convention-only discipline the thread-safety annotations exist
+  /// to reject. Stop() still reaches the loop through the member — same
+  /// fd, shutdown() under the lock.
+  void AcceptLoop(const int listener_fd) PA_EXCLUDES(mu) {
     for (;;) {
-      const int fd = accept(listener, nullptr, nullptr);
+      const int fd = accept(listener_fd, nullptr, nullptr);
       if (fd < 0) {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         if (stopping) break;
         continue;  // transient accept failure; keep serving
       }
@@ -176,71 +188,72 @@ struct TcpServer::Impl {
       });
     }
     // Notify under the mutex (see UnregisterConnection).
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     accept_running = false;
-    cv.notify_all();
+    cv.NotifyAll();
   }
 };
 
-TcpServer::TcpServer(SessionManager* manager) : impl_(new Impl()) {
-  impl_->manager = manager;
-}
+TcpServer::TcpServer(SessionManager* manager) : impl_(new Impl(manager)) {}
 
 TcpServer::~TcpServer() { Stop(); }
 
 Status TcpServer::Start(const TcpServerOptions& options) {
-  std::unique_lock<std::mutex> lock(impl_->mu);
-  if (impl_->accepting) {
-    return Status::InvalidArgument("server already started");
+  int listener = -1;
+  {
+    MutexLock lock(impl_->mu);
+    if (impl_->accepting) {
+      return Status::InvalidArgument("server already started");
+    }
+    // A client closing its end mid-response must not SIGPIPE-kill the
+    // process; writes then fail with EPIPE and the handler drops the
+    // connection.
+    std::signal(SIGPIPE, SIG_IGN);
+    listener = socket(AF_INET, SOCK_STREAM, 0);
+    if (listener < 0) return Status::Internal("socket() failed");
+    int one = 1;
+    setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(options.port);
+    if (bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      close(listener);
+      return Status::Internal("bind() failed (port in use?)");
+    }
+    socklen_t len = sizeof(addr);
+    if (getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+      close(listener);
+      return Status::Internal("getsockname() failed");
+    }
+    if (listen(listener, options.backlog) < 0) {
+      close(listener);
+      return Status::Internal("listen() failed");
+    }
+    impl_->listener = listener;
+    impl_->port = ntohs(addr.sin_port);
+    impl_->accepting = true;
+    impl_->accept_running = true;
+    impl_->stopping = false;
   }
-  // A client closing its end mid-response must not SIGPIPE-kill the
-  // process; writes then fail with EPIPE and the handler drops the
-  // connection.
-  std::signal(SIGPIPE, SIG_IGN);
-  const int listener = socket(AF_INET, SOCK_STREAM, 0);
-  if (listener < 0) return Status::Internal("socket() failed");
-  int one = 1;
-  setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(options.port);
-  if (bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    close(listener);
-    return Status::Internal("bind() failed (port in use?)");
-  }
-  socklen_t len = sizeof(addr);
-  if (getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
-    close(listener);
-    return Status::Internal("getsockname() failed");
-  }
-  if (listen(listener, options.backlog) < 0) {
-    close(listener);
-    return Status::Internal("listen() failed");
-  }
-  impl_->listener = listener;
-  impl_->port = ntohs(addr.sin_port);
-  impl_->accepting = true;
-  impl_->accept_running = true;
-  impl_->stopping = false;
-  lock.unlock();
   Impl* impl = impl_.get();
-  ThreadPool::Shared().Submit([impl] { impl->AcceptLoop(); });
+  ThreadPool::Shared().Submit([impl, listener] { impl->AcceptLoop(listener); });
   return Status::OK();
 }
 
 uint16_t TcpServer::port() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   return impl_->port;
 }
 
 bool TcpServer::running() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   return impl_->accept_running;
 }
 
 void TcpServer::Stop() {
-  std::unique_lock<std::mutex> lock(impl_->mu);
+  MutexLock lock(impl_->mu);
   if (!impl_->accepting) return;
   impl_->stopping = true;
   // Unblock the accept loop, then every connection read. shutdown()
@@ -248,18 +261,18 @@ void TcpServer::Stop() {
   // reads from it.
   if (impl_->listener >= 0) shutdown(impl_->listener, SHUT_RDWR);
   for (int fd : impl_->connections) shutdown(fd, SHUT_RDWR);
-  impl_->cv.wait(lock, [&] {
-    return !impl_->accept_running && impl_->handlers_running == 0;
-  });
+  while (impl_->accept_running || impl_->handlers_running != 0) {
+    impl_->cv.Wait(impl_->mu);
+  }
   if (impl_->listener >= 0) close(impl_->listener);
   impl_->listener = -1;
   impl_->accepting = false;
-  impl_->cv.notify_all();
+  impl_->cv.NotifyAll();
 }
 
 void TcpServer::WaitUntilStopped() {
-  std::unique_lock<std::mutex> lock(impl_->mu);
-  impl_->cv.wait(lock, [&] { return !impl_->accepting; });
+  MutexLock lock(impl_->mu);
+  while (impl_->accepting) impl_->cv.Wait(impl_->mu);
 }
 
 }  // namespace server

@@ -1,0 +1,213 @@
+// Concurrency stress for the two process-wide sharing surfaces the
+// server hands every session: the GraphCatalog (load-once graph store)
+// and the shared PlanCache (thread-safe LRU). Unlike server_test.cc's
+// protocol-level coverage, these tests hammer the raw components from
+// detached ThreadPool tasks — the same execution substrate the real
+// server uses for its accept loop and connection handlers — with far
+// more contention than the protocol tests generate: mixed hot/cold/bad
+// catalog specs racing per-spec latches, and cache traffic sized to
+// force continuous LRU eviction during concurrent Get/Put/Clear/stats.
+//
+// The suite names carry "Stress" so CI's TSan job picks them up (see
+// .github/workflows/ci.yml and the tsan test preset): under TSan these
+// are the torture tests for the Mutex/CondVar discipline that the
+// thread-safety annotations (common/thread_annotations.h) check
+// statically.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "engine/plan_cache.h"
+#include "gql/query.h"
+#include "server/graph_catalog.h"
+
+namespace pathalg {
+namespace {
+
+using engine::PlanCache;
+using engine::PreparedQuery;
+using engine::PreparedQueryPtr;
+using server::CatalogEntryPtr;
+using server::GraphCatalog;
+
+/// Submits `count` copies of `task` as detached pool tasks and blocks
+/// until all have finished. Detached tasks never report completion
+/// (ThreadPool::Submit is fire-and-forget by contract), so completion is
+/// counted here.
+void RunOnPool(size_t count, const std::function<void(size_t)>& task) {
+  auto done = std::make_shared<std::atomic<size_t>>(0);
+  for (size_t i = 0; i < count; ++i) {
+    ThreadPool::Shared().Submit([task, done, i] {
+      task(i);
+      done->fetch_add(1, std::memory_order_release);
+    });
+  }
+  while (done->load(std::memory_order_acquire) < count) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GraphCatalog under task-level contention
+// ---------------------------------------------------------------------------
+
+TEST(CatalogStressTest, MixedSpecsLoadOncePerSpecUnderContention) {
+  GraphCatalog catalog;
+  // Three distinct good specs, interleaved so every spec's per-entry
+  // latch sees racers while other specs' Gets run concurrently.
+  const std::vector<std::string> specs = {
+      "skewed persons=40 seed=3",
+      "social persons=30 seed=7",
+      "grid",
+  };
+  constexpr size_t kTasks = 48;
+  std::vector<CatalogEntryPtr> got(kTasks);
+  RunOnPool(kTasks, [&](size_t i) {
+    auto e = catalog.Get(specs[i % specs.size()]);
+    if (e.ok()) got[i] = *e;
+  });
+  // Every Get succeeded, and all Gets of one spec share one instance.
+  for (size_t i = 0; i < kTasks; ++i) {
+    ASSERT_NE(got[i], nullptr) << "task " << i;
+    EXPECT_EQ(got[i].get(), got[i % specs.size()].get());
+  }
+  EXPECT_EQ(catalog.counters().loads, specs.size());
+  EXPECT_EQ(catalog.counters().hits, kTasks - specs.size());
+  EXPECT_EQ(catalog.counters().errors, 0u);
+  EXPECT_EQ(catalog.size(), specs.size());
+}
+
+TEST(CatalogStressTest, BadSpecsErrorConcurrentlyAndAreNeverCached) {
+  GraphCatalog catalog;
+  constexpr size_t kTasks = 32;
+  std::atomic<size_t> errors{0};
+  std::atomic<size_t> good{0};
+  RunOnPool(kTasks, [&](size_t i) {
+    if (i % 2 == 0) {
+      auto e = catalog.Get("no-such-generator");
+      if (!e.ok()) errors.fetch_add(1);
+    } else {
+      auto e = catalog.Get("cycle");
+      if (e.ok() && *e != nullptr) good.fetch_add(1);
+    }
+  });
+  // Every bad Get errored (whether it raced as the loader or as a
+  // waiter on a failing load), every good Get succeeded, and the failed
+  // spec left nothing behind: only the good graph is in the catalog.
+  EXPECT_EQ(errors.load(), kTasks / 2);
+  EXPECT_EQ(good.load(), kTasks / 2);
+  EXPECT_EQ(catalog.size(), 1u);
+  EXPECT_EQ(catalog.counters().loads, 1u);
+  EXPECT_GE(catalog.counters().errors, 1u);
+  // The error latch was removed each time: a retry after the storm still
+  // errors (not a poisoned cache hit) and a fresh good Get still shares.
+  EXPECT_FALSE(catalog.Get("no-such-generator").ok());
+  EXPECT_TRUE(catalog.Get("cycle").ok());
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache under task-level contention
+// ---------------------------------------------------------------------------
+
+/// One shared prepared entry: contents never matter here (the cache
+/// stores opaque shared_ptrs), contention on the map/list/stats does.
+PreparedQueryPtr MakeEntry() {
+  auto prepared = std::make_shared<PreparedQuery>();
+  auto parsed = Query::Parse("MATCH ANY SHORTEST WALK p = (x)-[:Knows+]->(y)");
+  EXPECT_TRUE(parsed.ok());
+  if (parsed.ok()) prepared->query = std::move(parsed).value();
+  prepared->effective_plan = prepared->query.plan();
+  return prepared;
+}
+
+TEST(PlanCacheStressTest, EvictionChurnKeepsInvariantsUnderContention) {
+  // Capacity far below the working set: every task's Put storm forces
+  // evictions while other tasks Get, Clear, and snapshot stats.
+  constexpr size_t kCapacity = 8;
+  constexpr size_t kTasks = 24;
+  constexpr size_t kOpsPerTask = 200;
+  constexpr size_t kKeySpace = 64;
+  PlanCache cache(kCapacity);
+  const PreparedQueryPtr entry = MakeEntry();
+  std::atomic<uint64_t> hits_seen{0};
+  RunOnPool(kTasks, [&](size_t t) {
+    for (size_t op = 0; op < kOpsPerTask; ++op) {
+      const std::string key =
+          "q" + std::to_string((t * 7 + op * 13) % kKeySpace);
+      switch ((t + op) % 4) {
+        case 0:
+          cache.Put(key, entry);
+          break;
+        case 1: {
+          PreparedQueryPtr got = cache.Get(key);
+          // A hit must hand back a live entry even if another task
+          // evicts or clears it this instant (entries are shared_ptr).
+          if (got != nullptr) {
+            hits_seen.fetch_add(1);
+            EXPECT_NE(got->effective_plan, nullptr);
+          }
+          break;
+        }
+        case 2: {
+          engine::PlanCacheStats stats = cache.stats();
+          // Counter coherence under the lock: a snapshot can never show
+          // more evictions than insertions.
+          EXPECT_LE(stats.evictions, stats.insertions);
+          EXPECT_LE(cache.size(), kCapacity);
+          break;
+        }
+        case 3:
+          if (op % 50 == 0) {
+            cache.Clear();
+          } else {
+            cache.Put(key, entry);
+          }
+          break;
+      }
+    }
+  });
+  const engine::PlanCacheStats stats = cache.stats();
+  EXPECT_LE(cache.size(), kCapacity);
+  EXPECT_LE(stats.evictions, stats.insertions);
+  EXPECT_GT(stats.hits + stats.misses, 0u);
+  EXPECT_EQ(stats.hits, hits_seen.load());
+}
+
+TEST(PlanCacheStressTest, SharedCatalogAndCacheTogetherUnderLoad) {
+  // The server's actual sharing shape: one catalog + one cache touched
+  // by every "session" task. Tasks alternate graph lookups and plan
+  // cache traffic so both mutexes interleave within each task — the
+  // cross-component schedule the protocol tests only lightly exercise.
+  GraphCatalog catalog;
+  PlanCache cache(4);
+  const PreparedQueryPtr entry = MakeEntry();
+  constexpr size_t kTasks = 32;
+  std::atomic<size_t> graph_failures{0};
+  RunOnPool(kTasks, [&](size_t t) {
+    const std::string spec = (t % 2 == 0) ? "diamond" : "chain";
+    for (size_t op = 0; op < 50; ++op) {
+      auto e = catalog.Get(spec);
+      if (!e.ok() || *e == nullptr || (*e)->graph == nullptr) {
+        graph_failures.fetch_add(1);
+        continue;
+      }
+      const std::string key = "plan" + std::to_string(op % 10);
+      if (cache.Get(key) == nullptr) cache.Put(key, entry);
+    }
+  });
+  EXPECT_EQ(graph_failures.load(), 0u);
+  EXPECT_EQ(catalog.counters().loads, 2u);
+  EXPECT_LE(cache.size(), 4u);
+}
+
+}  // namespace
+}  // namespace pathalg

@@ -1,0 +1,577 @@
+#!/usr/bin/env python3
+"""Project-specific determinism lint for the path-algebra engine.
+
+The engine's correctness surface is a *determinism contract*: parallel
+evaluation must equal serial evaluation byte-for-byte, and a served
+session's responses (under `!timing off`) must be byte-identical to a
+serial single-client run. Generic static analyzers can't know that; this
+lint flags the project-specific hazards that silently break it:
+
+  unordered-iteration   a range-for over an std::unordered_{map,set,...}
+                        whose body feeds an order-sensitive sink (PathSet
+                        Insert/InsertHashed, push_back/emplace_back merge
+                        loops, response-string appends, stream writes).
+                        Hash-order iteration must go through a sorted or
+                        chunk-order merge instead.
+  raw-random            rand()/srand()/rand_r/drand48/lrand48,
+                        std::random_device, arc4random outside
+                        tests/fuzz_util.h (the one blessed home for
+                        seeded randomness helpers). Seeded std::mt19937
+                        engines are fine anywhere and are not flagged.
+  clock-in-response     a wall-clock value (MicrosSince/..._us/..._ms/
+                        ::now()) appended to a protocol response string
+                        in a response-producing file without a `timings`
+                        guard in view. `"STAT ...` lines are exempt: the
+                        `!stats` surface is the protocol's one declared
+                        nondeterministic response.
+  raw-clock             clock primitives other than common/timing.h's
+                        SteadyClock/MicrosSince (steady_clock spelled
+                        raw, system_clock, high_resolution_clock,
+                        gettimeofday, time(NULL), clock(), localtime,
+                        ...) outside common/timing.h. One clock, one
+                        entry point.
+
+Escape hatch: a finding is suppressed when the flagged line, or the line
+above it, carries
+
+    // determinism-lint: allow(<rule-id>)     (or allow(all))
+
+Use it with a comment explaining why the site is safe.
+
+Engines: the default regex engine needs nothing but Python and works on
+arbitrary file lists (fixtures included). When clang-query is available
+and a compilation database is given (-p), the hybrid engine additionally
+asks clang-query for type-accurate unordered-container range-for
+candidates (catching cases the regex tier can't see, e.g. containers
+reached through an index or a method return); the sink/allow
+classification is shared. clang-query failures fall back to regex-only
+with a note — the lint never fails because tooling is missing.
+
+Exit status: 0 = clean, 1 = findings, 2 = usage/setup error.
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+RULES = {
+    "unordered-iteration":
+        "range-for over an unordered container into an order-sensitive sink",
+    "raw-random":
+        "rand()/random_device-style nondeterministic randomness",
+    "clock-in-response":
+        "wall-clock value in a protocol response without a timings guard",
+    "raw-clock":
+        "clock primitive other than common/timing.h's SteadyClock",
+}
+
+ALLOW_RE = re.compile(r"determinism-lint:\s*allow\(([a-z\-]+|all)\)")
+
+SOURCE_EXTS = (".cc", ".cpp", ".cxx", ".h", ".hpp")
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blanks out comments, string and char literals, preserving line
+    structure and column offsets so reported positions stay exact."""
+    out = []
+    i, n = 0, len(text)
+    state = None  # None | 'line' | 'block' | '"' | "'"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state is None:
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"' or c == "'":
+                state = c
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif state == "line":
+            if c == "\n":
+                state = None
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = None
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+            i += 1
+        else:  # inside a string/char literal
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == state:
+                state = None
+                out.append(c)
+            else:
+                out.append(c if c == "\n" else " ")
+            i += 1
+    return "".join(out)
+
+
+class SourceFile:
+    def __init__(self, path):
+        self.path = path
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            self.raw = f.read()
+        self.clean = strip_comments_and_strings(self.raw)
+        self.raw_lines = self.raw.splitlines()
+        self.clean_lines = self.clean.splitlines()
+
+    def allowed(self, line_no, rule):
+        """True when line_no (1-based) or the line above carries an
+        allow() comment for `rule`."""
+        for ln in (line_no, line_no - 1):
+            if 1 <= ln <= len(self.raw_lines):
+                m = ALLOW_RE.search(self.raw_lines[ln - 1])
+                if m and m.group(1) in (rule, "all"):
+                    return True
+        return False
+
+    def line_of(self, offset):
+        return self.clean.count("\n", 0, offset) + 1
+
+
+# --------------------------------------------------------------------------
+# Rule: unordered-iteration
+# --------------------------------------------------------------------------
+
+UNORDERED_DECL_RE = re.compile(
+    r"(?<![\w:])(?:std::)?unordered_(?:map|multimap|set|multiset)\s*<")
+
+# Order-sensitive sinks. Deliberately NOT here: lowercase .insert()/
+# .emplace() (inserting into another associative container is
+# order-insensitive), integer accumulation (commutative).
+SINK_RES = [
+    (re.compile(r"\.Insert(?:Hashed)?\s*\("), "PathSet insert"),
+    (re.compile(r"\.(?:push_back|emplace_back)\s*\("), "sequence append"),
+    (re.compile(r"(?:\*\s*)?\w*(?:out|os|resp|str|text|buf|line)\w*\s*\+=",
+                re.IGNORECASE), "string append"),
+    (re.compile(r"<<"), "stream write"),
+]
+
+
+def unordered_identifiers(files):
+    """Names declared (anywhere in the scanned set) as a direct
+    unordered container. Vector-of-unordered etc. deliberately do not
+    match — iterating the outer vector is ordered."""
+    names = set()
+    for sf in files:
+        for m in UNORDERED_DECL_RE.finditer(sf.clean):
+            start = m.end() - 1  # at '<'
+            tail = sf.clean[start:start + 600]
+            depth, j = 0, 0
+            while j < len(tail):
+                if tail[j] == "<":
+                    depth += 1
+                elif tail[j] == ">":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j += 1
+            ident = re.match(r"\s*(?:const\s+)?[&*]?\s*([A-Za-z_]\w*)",
+                             tail[j + 1:])
+            if ident:
+                names.add(ident.group(1))
+    return names
+
+
+def find_range_fors(sf):
+    """Yields (line_no, range_expr, body_text) for each range-based for."""
+    clean = sf.clean
+    for m in re.finditer(r"\bfor\s*\(", clean):
+        open_paren = m.end() - 1
+        depth, j = 0, open_paren
+        colon = -1
+        while j < len(clean):
+            c = clean[j]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            elif c == ":" and depth == 1:
+                # skip '::'
+                if clean[j - 1] != ":" and (j + 1 >= len(clean)
+                                            or clean[j + 1] != ":"):
+                    colon = j
+            j += 1
+        if colon < 0 or j >= len(clean):
+            continue  # classic for, or unbalanced
+        range_expr = clean[colon + 1:j].strip()
+        # Body: a braced block or a single statement.
+        k = j + 1
+        while k < len(clean) and clean[k] in " \t\n":
+            k += 1
+        if k < len(clean) and clean[k] == "{":
+            depth, b = 0, k
+            while b < len(clean):
+                if clean[b] == "{":
+                    depth += 1
+                elif clean[b] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                b += 1
+            body = clean[k:b + 1]
+            body_end = b
+        else:
+            end = clean.find(";", k)
+            body = clean[k:end + 1] if end >= 0 else clean[k:]
+            body_end = end if end >= 0 else len(clean) - 1
+        yield sf.line_of(m.start()), sf.line_of(body_end), range_expr, body
+
+
+def check_unordered_iteration(sf, unordered_names, extra_candidates=None):
+    findings = []
+    extra = extra_candidates or set()
+    for line_no, end_line, range_expr, body in find_range_fors(sf):
+        expr = range_expr.lstrip("*& ").strip()
+        is_unordered = ("unordered" in expr
+                        or (re.fullmatch(r"(?:this->)?[A-Za-z_]\w*", expr)
+                            and expr.replace("this->", "") in unordered_names)
+                        or line_no in extra)
+        if not is_unordered:
+            continue
+        # An allow() on any line of the loop (the sink line included)
+        # suppresses the whole loop, not just the for-statement line.
+        allowed = any(sf.allowed(ln, "unordered-iteration")
+                      for ln in range(line_no, end_line + 1))
+        for sink_re, sink_name in SINK_RES:
+            if sink_re.search(body):
+                if not allowed:
+                    findings.append(Finding(
+                        sf.path, line_no, "unordered-iteration",
+                        f"iterates '{expr}' (hash order) into an "
+                        f"order-sensitive sink ({sink_name}); merge in "
+                        f"sorted/chunk order instead"))
+                break
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: raw-random
+# --------------------------------------------------------------------------
+
+RANDOM_RES = [
+    re.compile(r"\bs?rand\s*\("),
+    re.compile(r"\brand_r\s*\("),
+    re.compile(r"\b[dl]rand48\s*\("),
+    re.compile(r"\brandom_device\b"),
+    re.compile(r"\barc4random\w*\s*\("),
+]
+
+
+def check_raw_random(sf):
+    findings = []
+    for i, line in enumerate(sf.clean_lines, 1):
+        for rx in RANDOM_RES:
+            m = rx.search(line)
+            if m and not sf.allowed(i, "raw-random"):
+                findings.append(Finding(
+                    sf.path, i, "raw-random",
+                    f"'{m.group(0).strip()}' is nondeterministic; use a "
+                    f"seeded std::mt19937 (see tests/fuzz_util.h)"))
+                break
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: clock-in-response
+# --------------------------------------------------------------------------
+
+RESPONSE_APPEND_RE = re.compile(
+    r"(?:\*\s*out\b|\bout\b|\bresponse\b|\*\s*os\b|\bos\b)\s*(?:\+=|<<)")
+TIMING_TOKEN_RE = re.compile(r"MicrosSince\s*\(|::now\s*\(|_us\b|_ms\b")
+GUARD_WINDOW = 25  # lines scanned upward for a `timing`/`timings` guard
+
+
+def is_response_file(sf):
+    return '"OK ' in sf.raw or '"ERR ' in sf.raw
+
+
+def check_clock_in_response(sf):
+    if not is_response_file(sf):
+        return []
+    findings = []
+    for i, line in enumerate(sf.clean_lines, 1):
+        if not (RESPONSE_APPEND_RE.search(line)
+                and TIMING_TOKEN_RE.search(line)):
+            continue
+        raw = sf.raw_lines[i - 1] if i <= len(sf.raw_lines) else ""
+        if '"STAT' in raw:
+            continue  # !stats: the declared nondeterministic surface
+        window = sf.clean_lines[max(0, i - 1 - GUARD_WINDOW):i - 1]
+        if any(re.search(r"\btimings?\b", w) for w in window):
+            continue
+        if sf.allowed(i, "clock-in-response"):
+            continue
+        findings.append(Finding(
+            sf.path, i, "clock-in-response",
+            "wall-clock value flows into a response line with no "
+            "`timings` guard in view; `!timing off` responses must be "
+            "byte-deterministic"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: raw-clock
+# --------------------------------------------------------------------------
+
+CLOCK_RES = [
+    re.compile(r"\bgettimeofday\s*\("),
+    re.compile(r"\bsystem_clock\b"),
+    re.compile(r"\bhigh_resolution_clock\b"),
+    re.compile(r"\bsteady_clock\b"),  # raw spelling; use the SteadyClock alias
+    re.compile(r"\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)"),
+    re.compile(r"\bclock\s*\(\s*\)"),
+    re.compile(r"\b(?:localtime|gmtime|ctime|strftime)\s*\("),
+]
+
+
+def check_raw_clock(sf):
+    findings = []
+    for i, line in enumerate(sf.clean_lines, 1):
+        for rx in CLOCK_RES:
+            m = rx.search(line)
+            if m and not sf.allowed(i, "raw-clock"):
+                findings.append(Finding(
+                    sf.path, i, "raw-clock",
+                    f"'{m.group(0).strip()}' bypasses common/timing.h; "
+                    f"use SteadyClock/MicrosSince"))
+                break
+    return findings
+
+
+# --------------------------------------------------------------------------
+# clang-query hybrid tier (optional)
+# --------------------------------------------------------------------------
+
+CLANG_QUERY_MATCHER = (
+    "match cxxForRangeStmt(hasRangeInit(expr(hasType(hasUnqualifiedDesugaredType("
+    "recordType(hasDeclaration(classTemplateSpecializationDecl("
+    "matchesName(\"::std::unordered_\")))))))))"
+)
+
+
+def clang_query_candidates(binary, build_dir, paths, verbose):
+    """Returns {abs_path: {line, ...}} of unordered range-for locations,
+    or None when clang-query is unusable (caller falls back to regex)."""
+    try:
+        cmd = ([binary, "-p", build_dir, "-c", "set output diag",
+                "-c", CLANG_QUERY_MATCHER] + paths)
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=600)
+        if proc.returncode != 0 and not proc.stdout:
+            if verbose:
+                print(f"note: clang-query failed ({proc.stderr[:200]}); "
+                      f"regex tier only", file=sys.stderr)
+            return None
+        candidates = {}
+        for m in re.finditer(r"^(/[^\s:]+):(\d+):\d+:", proc.stdout,
+                             re.MULTILINE):
+            candidates.setdefault(m.group(1), set()).add(int(m.group(2)))
+        return candidates
+    except Exception as e:  # missing binary, timeout, parse error
+        if verbose:
+            print(f"note: clang-query unavailable ({e}); regex tier only",
+                  file=sys.stderr)
+        return None
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+def files_from_compile_db(build_dir, root):
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        sys.exit(f"error: no compile_commands.json in {build_dir} "
+                 f"(configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON)")
+    with open(db_path) as f:
+        db = json.load(f)
+    files = set()
+    for entry in db:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", ""), entry["file"]))
+        if path.startswith(os.path.join(root, "")):
+            files.add(path)
+    # Headers never appear in a compilation database; the contract lives
+    # in src/ headers too (inline PlanCache methods, catalog Slot).
+    for dirpath, _, names in os.walk(os.path.join(root, "src")):
+        for name in names:
+            if name.endswith((".h", ".hpp")):
+                files.add(os.path.join(dirpath, name))
+    return sorted(files)
+
+
+def in_src(root, path):
+    return os.path.normpath(path).startswith(
+        os.path.join(os.path.normpath(root), "src") + os.sep)
+
+
+def run_lint(args):
+    root = os.path.abspath(args.root)
+    explicit = bool(args.files)
+    if explicit:
+        paths = [os.path.abspath(p) for p in args.files]
+    else:
+        paths = files_from_compile_db(os.path.abspath(args.build_dir), root)
+    paths = [p for p in paths if p.endswith(SOURCE_EXTS)]
+
+    sources = []
+    for p in paths:
+        try:
+            sources.append(SourceFile(p))
+        except OSError as e:
+            sys.exit(f"error: cannot read {p}: {e}")
+
+    unordered_names = unordered_identifiers(sources)
+
+    cq_candidates = None
+    if not explicit and args.engine in ("auto", "clang-query"):
+        binary = args.clang_query or shutil.which("clang-query")
+        if binary:
+            src_ccs = [s.path for s in sources
+                       if in_src(root, s.path) and not s.path.endswith(".h")]
+            cq_candidates = clang_query_candidates(
+                binary, os.path.abspath(args.build_dir), src_ccs,
+                args.verbose)
+        elif args.engine == "clang-query":
+            sys.exit("error: --engine clang-query but no clang-query binary "
+                     "found (pass --clang-query)")
+
+    findings = []
+    for sf in sources:
+        # Fixture/explicit mode applies every rule to every given file;
+        # tree mode scopes rules to where the contract lives.
+        scoped_src = explicit or in_src(root, sf.path)
+        fuzz_home = sf.path.endswith(os.path.join("tests", "fuzz_util.h"))
+        timing_home = sf.path.endswith(os.path.join("common", "timing.h"))
+        if scoped_src:
+            extra = (cq_candidates or {}).get(sf.path)
+            findings += check_unordered_iteration(sf, unordered_names, extra)
+            if not timing_home:
+                findings += check_raw_clock(sf)
+            findings += check_clock_in_response(sf)
+        if not fuzz_home:
+            findings += check_raw_random(sf)
+
+    findings.sort(key=lambda f: (f.path, f.line))
+    for f in findings:
+        print(f)
+    if findings:
+        print(f"\ndeterminism-lint: {len(findings)} finding(s) across "
+              f"{len(sources)} file(s). Suppress a verified-safe site with "
+              f"// determinism-lint: allow(<rule>).")
+        return 1
+    if args.verbose:
+        print(f"determinism-lint: clean ({len(sources)} files)")
+    return 0
+
+
+def run_self_test(fixtures_dir):
+    """Asserts each bad_<rule>.cc fixture trips exactly its rule and each
+    ok_*.cc fixture is clean."""
+    fixtures = sorted(os.listdir(fixtures_dir))
+    failures = []
+    for name in fixtures:
+        if not name.endswith(SOURCE_EXTS):
+            continue
+        path = os.path.join(fixtures_dir, name)
+        sf = SourceFile(path)
+        names = unordered_identifiers([sf])
+        found = set()
+        for f in (check_unordered_iteration(sf, names)
+                  + check_raw_random(sf)
+                  + check_clock_in_response(sf)
+                  + check_raw_clock(sf)):
+            found.add(f.rule)
+        if name.startswith("bad_"):
+            expected = name[len("bad_"):].rsplit(".", 1)[0].replace("_", "-")
+            if expected not in RULES:
+                failures.append(f"{name}: unknown expected rule '{expected}'")
+            elif expected not in found:
+                failures.append(
+                    f"{name}: expected [{expected}], lint found "
+                    f"{sorted(found) or 'nothing'}")
+            else:
+                print(f"PASS {name}: flagged [{expected}]")
+        elif name.startswith("ok_"):
+            if found:
+                failures.append(f"{name}: expected clean, lint found "
+                                f"{sorted(found)}")
+            else:
+                print(f"PASS {name}: clean")
+    if not any(n.startswith("bad_") for n in fixtures):
+        failures.append("no bad_* fixtures found")
+    for f in failures:
+        print(f"FAIL {f}")
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("-p", "--build-dir", default="build",
+                        help="build dir holding compile_commands.json")
+    parser.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: the lint's grandparent dir)")
+    parser.add_argument("--files", nargs="+",
+                        help="lint exactly these files (all rules apply; "
+                             "no compilation database needed)")
+    parser.add_argument("--engine", choices=["auto", "regex", "clang-query"],
+                        default="auto",
+                        help="auto = regex, plus clang-query when available")
+    parser.add_argument("--clang-query", help="clang-query binary to use")
+    parser.add_argument("--self-test", metavar="FIXTURES_DIR",
+                        help="assert the seeded-violation fixtures behave")
+    parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args()
+
+    if args.list_rules:
+        for rule, desc in RULES.items():
+            print(f"{rule:22} {desc}")
+        return 0
+    if args.self_test:
+        return run_self_test(args.self_test)
+    return run_lint(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+// Lint fixture: wall-clock value in a protocol response line with no
+// `timings` guard in view. The '"OK ' literal below marks this file as
+// response-producing, which is what scopes the rule onto it.
+// Expect: [clock-in-response]; nothing else.
+#include <cstdint>
+#include <string>
+
+namespace pathalg {
+uint64_t MicrosSince(uint64_t start);
+}
+
+void Respond(std::string* out, uint64_t start, size_t paths) {
+  *out += "OK " + std::to_string(paths) + " paths";
+  // BAD: elapsed time appended unconditionally — `!timing off` responses
+  // are no longer byte-identical to a serial run.
+  *out += " (" + std::to_string(pathalg::MicrosSince(start)) + "_us)";
+  *out += "\n";
+}

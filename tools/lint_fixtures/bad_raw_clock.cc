@@ -1,0 +1,17 @@
+// Lint fixture: clock primitives bypassing common/timing.h.
+// Expect: [raw-clock] findings; nothing else.
+#include <chrono>
+#include <ctime>
+
+long WallMicros() {
+  // BAD: system_clock is wall time — NTP steps move it backwards.
+  auto now = std::chrono::system_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             now.time_since_epoch())
+      .count();
+}
+
+long Epoch() {
+  // BAD: time(NULL) — second-granularity wall clock.
+  return static_cast<long>(time(nullptr));
+}

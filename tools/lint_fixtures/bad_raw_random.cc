@@ -1,0 +1,15 @@
+// Lint fixture: nondeterministic randomness outside tests/fuzz_util.h.
+// Expect: [raw-random] findings; nothing else.
+#include <cstdlib>
+#include <random>
+
+int PickShard(int shards) {
+  // BAD: rand() — unseeded libc state, differs per run and per libc.
+  return rand() % shards;
+}
+
+unsigned SeedFromEntropy() {
+  // BAD: random_device — fresh entropy defeats replayable fuzz failures.
+  std::random_device rd;
+  return rd();
+}

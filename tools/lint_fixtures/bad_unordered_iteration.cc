@@ -1,0 +1,36 @@
+// Lint fixture: hash-order iteration feeding order-sensitive sinks.
+// Expect: [unordered-iteration] findings; nothing else.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct PathSet {
+  void Insert(int) {}
+};
+
+std::string RenderCounts(const std::unordered_map<std::string, int>& counts) {
+  std::string out;
+  // BAD: response text assembled in hash order — byte-identity across
+  // runs (and standard-library versions) is gone.
+  for (const auto& kv : counts) {
+    out += kv.first + "=" + std::to_string(kv.second) + "\n";
+  }
+  return out;
+}
+
+void MergeInto(PathSet* merged, const std::unordered_set<int>& partial) {
+  // BAD: PathSet insertion order follows the hash table's bucket walk.
+  for (int id : partial) {
+    merged->Insert(id);
+  }
+}
+
+std::vector<int> Collect(const std::unordered_set<int>& ids) {
+  std::vector<int> ordered;
+  // BAD: sequence append from an unordered range.
+  for (int id : ids) {
+    ordered.push_back(id);
+  }
+  return ordered;
+}

@@ -1,0 +1,26 @@
+// Lint fixture: the same hazards as the bad_* fixtures, each suppressed
+// with the inline escape hatch. Expect: clean.
+#include <cstdlib>
+#include <ctime>
+#include <string>
+#include <unordered_map>
+
+std::string RenderDebugDump(const std::unordered_map<std::string, int>& m) {
+  std::string out;
+  // Debug-only dump, never compared byte-for-byte.
+  // determinism-lint: allow(unordered-iteration)
+  for (const auto& kv : m) {
+    out += kv.first + "\n";
+  }
+  return out;
+}
+
+int JitterForBackoffOnly() {
+  // Retry jitter: nondeterminism is the point here.
+  return rand() % 16;  // determinism-lint: allow(raw-random)
+}
+
+long LogTimestamp() {
+  // Log-line timestamp, not a measured duration.
+  return static_cast<long>(time(nullptr));  // determinism-lint: allow(raw-clock)
+}

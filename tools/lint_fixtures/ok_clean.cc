@@ -1,0 +1,56 @@
+// Lint fixture: deterministic idioms the lint must NOT flag.
+// Expect: clean.
+#include <algorithm>
+#include <map>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+// Seeded engine: replayable, allowed anywhere.
+int SeededPick(int shards) {
+  std::mt19937_64 rng(42);
+  return static_cast<int>(rng() % shards);
+}
+
+// Ordered container iteration into a string: deterministic. (Named
+// distinctly from the unordered maps below: the lint resolves container
+// kinds by identifier, so reusing one name for both kinds would FP.)
+std::string RenderSorted(const std::map<std::string, int>& sorted_counts) {
+  std::string out;
+  for (const auto& kv : sorted_counts) {
+    out += kv.first + "\n";
+  }
+  return out;
+}
+
+// Unordered iteration into another associative container:
+// order-insensitive, must not be flagged.
+std::unordered_set<int> CopySet(const std::unordered_set<int>& in) {
+  std::unordered_set<int> copy;
+  for (int id : in) {
+    copy.insert(id);
+  }
+  return copy;
+}
+
+// Unordered iteration for commutative accumulation: fine.
+size_t CountPositive(const std::unordered_map<std::string, int>& m) {
+  size_t n = 0;
+  for (const auto& kv : m) {
+    if (kv.second > 0) ++n;
+  }
+  return n;
+}
+
+// Sort-then-emit: the canonical fix for hash-order output.
+std::vector<std::string> SortedKeys(
+    const std::unordered_map<std::string, int>& m) {
+  std::vector<std::string> keys;
+  for (const auto& kv : m) {
+    keys.push_back(kv.first);  // determinism-lint: allow(unordered-iteration)
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
