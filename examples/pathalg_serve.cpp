@@ -17,6 +17,11 @@
 //                                          # answered OK (CI smoke gate)
 //   pathalg_serve --threads 4              # parallel operator evaluation
 //                                          # (0 = hardware concurrency)
+//   pathalg_serve --snapshot <file.snap>   # graph from a binary snapshot
+//                                          # (mmap'd, storage/)
+//   pathalg_serve --snapshot-dir cache/    # persist generator graphs as
+//                                          # snapshots; later starts mmap
+//                                          # them instead of rebuilding
 //
 // Examples:
 //   printf 'MATCH ANY SHORTEST TRAIL p = (x)-[:Knows+]->(y)\n!stats\n'
@@ -70,6 +75,7 @@ int ServePipe(server::SessionManager& manager, size_t min_ok) {
 
 int main(int argc, char** argv) {
   std::string graph_spec;
+  std::string snapshot_dir;
   int port = -1;
   size_t min_ok = 0;
   size_t threads = 1;
@@ -104,6 +110,14 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Fail("--csv needs a path");
       graph_spec = std::string("csv ") + v;
+    } else if (arg == "--snapshot") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--snapshot needs a path");
+      graph_spec = std::string("snapshot ") + v;
+    } else if (arg == "--snapshot-dir") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--snapshot-dir needs a directory");
+      snapshot_dir = v;
     } else if (arg == "--port") {
       size_t value = 0;
       if (!next_size("--port", &value)) return 1;
@@ -119,14 +133,17 @@ int main(int argc, char** argv) {
       if (!next_size("--max-sessions", &max_sessions)) return 1;
     } else {
       std::fprintf(stderr,
-                   "usage: pathalg_serve [--graph <spec> | --csv <file>] "
+                   "usage: pathalg_serve [--graph <spec> | --csv <file> | "
+                   "--snapshot <file>] [--snapshot-dir <dir>] "
                    "[--port N] [--max-sessions N] [--min-ok N] "
                    "[--threads N]\n");
       return arg == "--help" ? 0 : 1;
     }
   }
 
-  server::GraphCatalog catalog;
+  server::GraphCatalogOptions catalog_options;
+  catalog_options.snapshot_dir = snapshot_dir;
+  server::GraphCatalog catalog(catalog_options);
   server::SessionManagerOptions options;
   options.max_sessions = max_sessions;
   options.default_graph_spec = graph_spec;

@@ -1,0 +1,99 @@
+#ifndef PATHALG_COMMON_FLAT_ARRAY_H_
+#define PATHALG_COMMON_FLAT_ARRAY_H_
+
+/// \file flat_array.h
+/// A flat, immutable-after-construction array of trivially copyable
+/// elements that either *owns* its storage (a std::vector moved in) or
+/// *views* storage owned by someone else — in practice a section of a
+/// memory-mapped graph snapshot (src/storage/), whose mapping the owning
+/// PropertyGraph keeps alive. Readers are oblivious to which: operator[],
+/// data() and iteration behave identically, which is what lets
+/// PropertyGraph::OutEdges() serve CSR runs zero-copy straight out of a
+/// mapping through the same code path that serves freshly built graphs.
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace pathalg {
+
+template <typename T>
+class FlatArray {
+  static_assert(std::is_trivially_copyable<T>::value,
+                "FlatArray sections are raw bytes on disk");
+
+ public:
+  FlatArray() = default;
+
+  /// Owning: adopts `v`'s buffer.
+  explicit FlatArray(std::vector<T> v) : owned_(std::move(v)) {
+    data_ = owned_.data();
+    size_ = owned_.size();
+  }
+
+  /// Non-owning view of `[data, data + size)`; the caller guarantees the
+  /// backing storage outlives this array (PropertyGraph holds the
+  /// mapping keepalive).
+  static FlatArray View(const T* data, size_t size) {
+    FlatArray a;
+    a.data_ = data;
+    a.size_ = size;
+    return a;
+  }
+
+  FlatArray(const FlatArray& other) { CopyFrom(other); }
+  FlatArray& operator=(const FlatArray& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  FlatArray(FlatArray&& other) noexcept { MoveFrom(std::move(other)); }
+  FlatArray& operator=(FlatArray&& other) noexcept {
+    if (this != &other) MoveFrom(std::move(other));
+    return *this;
+  }
+
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  /// True when this array owns its elements (vs. viewing a mapping).
+  bool owns() const { return owned_.data() == data_ || size_ == 0; }
+
+ private:
+  void CopyFrom(const FlatArray& other) {
+    // A copy always owns: a view into someone else's mapping cannot
+    // promise the keepalive travels with it.
+    owned_.assign(other.begin(), other.end());
+    data_ = owned_.data();
+    size_ = owned_.size();
+  }
+  void MoveFrom(FlatArray&& other) {
+    if (other.owned_.data() == other.data_) {
+      // Owning: the vector move transfers the heap buffer, so the view
+      // pointers stay valid.
+      owned_ = std::move(other.owned_);
+      data_ = owned_.data();
+      size_ = owned_.size();
+    } else {
+      owned_.clear();
+      data_ = other.data_;
+      size_ = other.size_;
+    }
+    other.owned_.clear();
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+  std::vector<T> owned_;
+};
+
+}  // namespace pathalg
+
+#endif  // PATHALG_COMMON_FLAT_ARRAY_H_

@@ -6,6 +6,7 @@
 
 #include "common/str_util.h"
 #include "graph/csv.h"
+#include "storage/snapshot_reader.h"
 #include "workload/figure1.h"
 #include "workload/generators.h"
 
@@ -84,10 +85,12 @@ Result<GraphSpec> ParseGraphSpec(std::string_view spec) {
   }
   GraphSpec parsed;
   parsed.kind = std::string(words[0]);
-  if (parsed.kind == "csv") {
-    std::string path(StripWhitespace(spec.substr(spec.find("csv") + 3)));
+  if (parsed.kind == "csv" || parsed.kind == "snapshot") {
+    std::string path(StripWhitespace(
+        spec.substr(spec.find(parsed.kind) + parsed.kind.size())));
     if (path.empty()) {
-      return Status::ParseError("'csv' graph spec needs a file path");
+      return Status::ParseError("'" + parsed.kind +
+                                "' graph spec needs a file path");
     }
     parsed.kv.emplace_back("path", std::move(path));
     return parsed;
@@ -97,7 +100,7 @@ Result<GraphSpec> ParseGraphSpec(std::string_view spec) {
     return Status::ParseError(
         "unknown graph kind '" + parsed.kind +
         "' (expected figure1, social, skewed, cycle, chain, diamond, grid, "
-        "random or csv <path>)");
+        "random, csv <path> or snapshot <path>)");
   }
   for (size_t i = 1; i < words.size(); ++i) {
     size_t eq = words[i].find('=');
@@ -296,6 +299,11 @@ Result<PropertyGraph> BuildWorkloadGraph(std::string_view spec) {
     std::ostringstream buffer;
     buffer << file.rdbuf();
     return LoadGraphFromCsv(buffer.str());
+  }
+  if (parsed.kind == "snapshot") {
+    // mmap mode: topology is served zero-copy from the file; property
+    // columns decode on first access (storage/snapshot_reader.h).
+    return storage::SnapshotReader::Open(parsed.Str("path", ""));
   }
   if (parsed.kind == "social") {
     SocialGraphOptions o;

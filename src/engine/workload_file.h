@@ -26,6 +26,9 @@
 ///   csv <path>             (path validated at load, not parse, time —
 ///                          a recorded workload may travel to another
 ///                          machine before the file does)
+///   snapshot <path>        (binary snapshot, storage/snapshot_reader.h;
+///                          mmap'd zero-copy — same late path validation
+///                          as csv)
 ///
 /// Unknown directives, malformed key=value pairs and misplaced metadata
 /// are hard errors with line numbers — a workload that silently drops a

@@ -4,6 +4,41 @@
 
 namespace pathalg {
 
+PropertyGraph::PropertyGraph(const PropertyGraph& other) { *this = other; }
+
+PropertyGraph& PropertyGraph::operator=(const PropertyGraph& other) {
+  if (this == &other) return *this;
+  // Decode everything on the source first so the member-wise copy below
+  // captures complete owned representations; the copy then drops lazy_,
+  // making it a plain owned graph independent of any mapping.
+  other.EnsureNodeProps();
+  other.EnsureEdgeProps();
+  other.EnsureNames();
+  node_labels_ = other.node_labels_;
+  node_props_ = other.node_props_;
+  node_names_ = other.node_names_;
+  edge_src_ = other.edge_src_;
+  edge_dst_ = other.edge_dst_;
+  edge_labels_ = other.edge_labels_;
+  edge_props_ = other.edge_props_;
+  edge_names_ = other.edge_names_;
+  labels_ = other.labels_;
+  label_index_ = other.label_index_;
+  prop_keys_ = other.prop_keys_;
+  prop_key_index_ = other.prop_key_index_;
+  csr_out_offsets_ = other.csr_out_offsets_;
+  csr_out_edges_ = other.csr_out_edges_;
+  csr_out_labels_ = other.csr_out_labels_;
+  csr_in_offsets_ = other.csr_in_offsets_;
+  csr_in_edges_ = other.csr_in_edges_;
+  csr_in_labels_ = other.csr_in_labels_;
+  label_offsets_ = other.label_offsets_;
+  label_edges_ = other.label_edges_;
+  node_name_index_ = other.node_name_index_;
+  lazy_.reset();
+  return *this;
+}
+
 LabelId PropertyGraph::FindLabel(std::string_view name) const {
   auto it = label_index_.find(std::string(name));
   return it == label_index_.end() ? kNoLabel : it->second;
@@ -27,13 +62,62 @@ const Value* LookupProp(const PropertyList& props, PropKeyId key) {
 }
 }  // namespace
 
+void PropertyGraph::EnsureNodeProps() const {
+  if (lazy_ == nullptr) return;
+  PropertyGraph* self = const_cast<PropertyGraph*>(this);
+  std::call_once(lazy_->node_props_once, [self] {
+    self->lazy_->decode_node_props(self);
+    self->lazy_->node_props_done.store(true, std::memory_order_release);
+  });
+}
+
+void PropertyGraph::EnsureEdgeProps() const {
+  if (lazy_ == nullptr) return;
+  PropertyGraph* self = const_cast<PropertyGraph*>(this);
+  std::call_once(lazy_->edge_props_once, [self] {
+    self->lazy_->decode_edge_props(self);
+    self->lazy_->edge_props_done.store(true, std::memory_order_release);
+  });
+}
+
+void PropertyGraph::EnsureNames() const {
+  if (lazy_ == nullptr) return;
+  PropertyGraph* self = const_cast<PropertyGraph*>(this);
+  std::call_once(lazy_->names_once, [self] {
+    self->lazy_->decode_names(self);
+    self->lazy_->names_done.store(true, std::memory_order_release);
+  });
+}
+
+bool PropertyGraph::node_props_materialized() const {
+  return lazy_ == nullptr ||
+         lazy_->node_props_done.load(std::memory_order_acquire);
+}
+
+bool PropertyGraph::edge_props_materialized() const {
+  return lazy_ == nullptr ||
+         lazy_->edge_props_done.load(std::memory_order_acquire);
+}
+
+bool PropertyGraph::names_materialized() const {
+  return lazy_ == nullptr ||
+         lazy_->names_done.load(std::memory_order_acquire);
+}
+
+std::pair<const void*, size_t> PropertyGraph::backing_span() const {
+  if (lazy_ == nullptr) return {nullptr, 0};
+  return {lazy_->backing_data, lazy_->backing_size};
+}
+
 const Value* PropertyGraph::NodeProperty(NodeId n, PropKeyId key) const {
   if (!IsValidNode(n) || key == kInvalidId) return nullptr;
+  EnsureNodeProps();
   return LookupProp(node_props_[n], key);
 }
 
 const Value* PropertyGraph::EdgeProperty(EdgeId e, PropKeyId key) const {
   if (!IsValidEdge(e) || key == kInvalidId) return nullptr;
+  EnsureEdgeProps();
   return LookupProp(edge_props_[e], key);
 }
 
@@ -54,9 +138,9 @@ NeighborRange PropertyGraph::EdgesWithLabel(LabelId label) const {
   return CsrSlice(label_offsets_, label_edges_, label);
 }
 
-NeighborRange PropertyGraph::LabelSlice(const std::vector<uint32_t>& offsets,
-                                        const std::vector<EdgeId>& edges,
-                                        const std::vector<LabelId>& labels,
+NeighborRange PropertyGraph::LabelSlice(const FlatArray<uint32_t>& offsets,
+                                        const FlatArray<EdgeId>& edges,
+                                        const FlatArray<LabelId>& labels,
                                         uint32_t key, LabelId label) {
   if (size_t{key} + 1 >= offsets.size() || label == kNoLabel) {
     return NeighborRange();
@@ -79,6 +163,7 @@ NeighborRange PropertyGraph::InEdgesWithLabel(NodeId n, LabelId label) const {
 }
 
 NodeId PropertyGraph::FindNodeByName(std::string_view name) const {
+  EnsureNames();
   auto it = node_name_index_.find(std::string(name));
   return it == node_name_index_.end() ? kInvalidId : it->second;
 }
@@ -96,26 +181,25 @@ NodeId PropertyGraph::FindNodeByProperty(std::string_view key,
 
 NodeId GraphBuilder::AddNode(
     std::string_view label, std::vector<std::pair<std::string, Value>> props) {
-  NodeId id = static_cast<NodeId>(graph_.num_nodes());
+  NodeId id = static_cast<NodeId>(num_nodes());
   return AddNamedNode("n" + std::to_string(id + 1), label, std::move(props));
 }
 
 NodeId GraphBuilder::AddNamedNode(
     std::string name, std::string_view label,
     std::vector<std::pair<std::string, Value>> props) {
-  NodeId id = static_cast<NodeId>(graph_.num_nodes());
-  graph_.node_labels_.push_back(label.empty() ? kNoLabel
-                                              : InternLabel(label));
-  graph_.node_props_.push_back(InternProps(std::move(props)));
-  graph_.node_name_index_.emplace(name, id);
-  graph_.node_names_.push_back(std::move(name));
+  NodeId id = static_cast<NodeId>(num_nodes());
+  node_labels_.push_back(label.empty() ? kNoLabel : InternLabel(label));
+  node_props_.push_back(InternProps(std::move(props)));
+  node_name_index_.emplace(name, id);
+  node_names_.push_back(std::move(name));
   return id;
 }
 
 Result<EdgeId> GraphBuilder::AddEdge(
     NodeId src, NodeId dst, std::string_view label,
     std::vector<std::pair<std::string, Value>> props) {
-  EdgeId id = static_cast<EdgeId>(graph_.num_edges());
+  EdgeId id = static_cast<EdgeId>(num_edges());
   return AddNamedEdge("e" + std::to_string(id + 1), src, dst, label,
                       std::move(props));
 }
@@ -123,18 +207,17 @@ Result<EdgeId> GraphBuilder::AddEdge(
 Result<EdgeId> GraphBuilder::AddNamedEdge(
     std::string name, NodeId src, NodeId dst, std::string_view label,
     std::vector<std::pair<std::string, Value>> props) {
-  if (!graph_.IsValidNode(src) || !graph_.IsValidNode(dst)) {
+  if (src >= num_nodes() || dst >= num_nodes()) {
     return Status::InvalidArgument(
         "edge '" + name + "' references unknown node id " +
-        std::to_string(graph_.IsValidNode(src) ? dst : src));
+        std::to_string(src >= num_nodes() ? src : dst));
   }
-  EdgeId id = static_cast<EdgeId>(graph_.num_edges());
-  graph_.edge_src_.push_back(src);
-  graph_.edge_dst_.push_back(dst);
-  graph_.edge_labels_.push_back(label.empty() ? kNoLabel
-                                              : InternLabel(label));
-  graph_.edge_props_.push_back(InternProps(std::move(props)));
-  graph_.edge_names_.push_back(std::move(name));
+  EdgeId id = static_cast<EdgeId>(num_edges());
+  edge_src_.push_back(src);
+  edge_dst_.push_back(dst);
+  edge_labels_.push_back(label.empty() ? kNoLabel : InternLabel(label));
+  edge_props_.push_back(InternProps(std::move(props)));
+  edge_names_.push_back(std::move(name));
   return id;
 }
 
@@ -175,51 +258,76 @@ void BuildCsrDirection(size_t num_keys, size_t num_edges, KeyFn key,
 }  // namespace
 
 PropertyGraph GraphBuilder::Build() {
-  PropertyGraph g = std::move(graph_);
-  graph_ = PropertyGraph();
-  const size_t num_edges = g.num_edges();
+  PropertyGraph g;
+  const size_t num_edges = edge_src_.size();
+  const size_t num_nodes = node_labels_.size();
 
+  std::vector<uint32_t> out_offsets, in_offsets;
+  std::vector<EdgeId> out_edges, in_edges;
+  std::vector<LabelId> out_labels, in_labels;
   BuildCsrDirection(
-      g.num_nodes(), num_edges, [&](EdgeId e) { return g.edge_src_[e]; },
-      g.edge_labels_, g.csr_out_offsets_, g.csr_out_edges_,
-      g.csr_out_labels_);
+      num_nodes, num_edges, [&](EdgeId e) { return edge_src_[e]; },
+      edge_labels_, out_offsets, out_edges, out_labels);
   BuildCsrDirection(
-      g.num_nodes(), num_edges, [&](EdgeId e) { return g.edge_dst_[e]; },
-      g.edge_labels_, g.csr_in_offsets_, g.csr_in_edges_,
-      g.csr_in_labels_);
+      num_nodes, num_edges, [&](EdgeId e) { return edge_dst_[e]; },
+      edge_labels_, in_offsets, in_edges, in_labels);
 
   // Global label CSR over labelled edges only; kNoLabel edges (key ==
   // UINT32_MAX) have no bucket by construction.
-  const size_t num_labels = g.labels_.size();
-  g.label_offsets_.assign(num_labels + 1, 0);
+  const size_t num_labels = labels_.size();
+  std::vector<uint32_t> label_offsets(num_labels + 1, 0);
   for (EdgeId e = 0; e < num_edges; ++e) {
-    if (g.edge_labels_[e] != kNoLabel) g.label_offsets_[g.edge_labels_[e] + 1]++;
+    if (edge_labels_[e] != kNoLabel) label_offsets[edge_labels_[e] + 1]++;
   }
   for (size_t l = 0; l < num_labels; ++l) {
-    g.label_offsets_[l + 1] += g.label_offsets_[l];
+    label_offsets[l + 1] += label_offsets[l];
   }
-  g.label_edges_.assign(g.label_offsets_[num_labels], 0);
-  std::vector<uint32_t> cursor(g.label_offsets_.begin(),
-                               g.label_offsets_.end() - 1);
+  std::vector<EdgeId> label_edges(label_offsets[num_labels], 0);
+  std::vector<uint32_t> cursor(label_offsets.begin(),
+                               label_offsets.end() - 1);
   for (EdgeId e = 0; e < num_edges; ++e) {
-    if (g.edge_labels_[e] != kNoLabel) {
-      g.label_edges_[cursor[g.edge_labels_[e]]++] = e;
+    if (edge_labels_[e] != kNoLabel) {
+      label_edges[cursor[edge_labels_[e]]++] = e;
     }
   }
+
+  g.node_labels_ = FlatArray<LabelId>(std::move(node_labels_));
+  g.node_props_ = std::move(node_props_);
+  g.node_names_ = std::move(node_names_);
+  g.edge_src_ = FlatArray<NodeId>(std::move(edge_src_));
+  g.edge_dst_ = FlatArray<NodeId>(std::move(edge_dst_));
+  g.edge_labels_ = FlatArray<LabelId>(std::move(edge_labels_));
+  g.edge_props_ = std::move(edge_props_);
+  g.edge_names_ = std::move(edge_names_);
+  g.labels_ = std::move(labels_);
+  g.label_index_ = std::move(label_index_);
+  g.prop_keys_ = std::move(prop_keys_);
+  g.prop_key_index_ = std::move(prop_key_index_);
+  g.node_name_index_ = std::move(node_name_index_);
+  g.csr_out_offsets_ = FlatArray<uint32_t>(std::move(out_offsets));
+  g.csr_out_edges_ = FlatArray<EdgeId>(std::move(out_edges));
+  g.csr_out_labels_ = FlatArray<LabelId>(std::move(out_labels));
+  g.csr_in_offsets_ = FlatArray<uint32_t>(std::move(in_offsets));
+  g.csr_in_edges_ = FlatArray<EdgeId>(std::move(in_edges));
+  g.csr_in_labels_ = FlatArray<LabelId>(std::move(in_labels));
+  g.label_offsets_ = FlatArray<uint32_t>(std::move(label_offsets));
+  g.label_edges_ = FlatArray<EdgeId>(std::move(label_edges));
+
+  *this = GraphBuilder();
   return g;
 }
 
 LabelId GraphBuilder::InternLabel(std::string_view name) {
-  auto [it, inserted] = graph_.label_index_.emplace(
-      std::string(name), static_cast<LabelId>(graph_.labels_.size()));
-  if (inserted) graph_.labels_.emplace_back(name);
+  auto [it, inserted] = label_index_.emplace(
+      std::string(name), static_cast<LabelId>(labels_.size()));
+  if (inserted) labels_.emplace_back(name);
   return it->second;
 }
 
 PropKeyId GraphBuilder::InternPropKey(std::string_view name) {
-  auto [it, inserted] = graph_.prop_key_index_.emplace(
-      std::string(name), static_cast<PropKeyId>(graph_.prop_keys_.size()));
-  if (inserted) graph_.prop_keys_.emplace_back(name);
+  auto [it, inserted] = prop_key_index_.emplace(
+      std::string(name), static_cast<PropKeyId>(prop_keys_.size()));
+  if (inserted) prop_keys_.emplace_back(name);
   return it->second;
 }
 

@@ -26,9 +26,23 @@
 /// vector-of-vectors adjacency it replaced soaked behind the
 /// PATHALG_LEGACY_ADJACENCY option through PRs 3–4 and was then deleted;
 /// the NFA baseline remains the differential reference.)
+///
+/// Storage modes (PR 7): every flat array above is a `FlatArray` that
+/// either owns its elements (graphs built by `GraphBuilder`, or loaded
+/// from a snapshot in copy mode) or views sections of a memory-mapped
+/// binary snapshot (src/storage/) zero-copy — `OutEdges`/`EdgesWithLabel`
+/// are oblivious to where the arrays live. For mapped graphs the property
+/// columns and display names are *lazy*: they stay encoded in the mapping
+/// until the first property/name access materializes them (per side, via
+/// std::call_once — safe under concurrent sessions), so a label-only
+/// query after an mmap open never pays for columns it does not read.
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -36,11 +50,18 @@
 #include <utility>
 #include <vector>
 
+#include "common/flat_array.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "graph/value.h"
 
 namespace pathalg {
+
+namespace storage {
+class SnapshotAccess;
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace storage
 
 using NodeId = uint32_t;
 using EdgeId = uint32_t;
@@ -76,11 +97,20 @@ class NeighborRange {
   const EdgeId* end_ = nullptr;
 };
 
-/// Immutable property graph. Construct via GraphBuilder.
+/// Immutable property graph. Construct via GraphBuilder or open from a
+/// binary snapshot (storage/snapshot_reader.h).
 class PropertyGraph {
  public:
   /// Constructs the empty graph; populate via GraphBuilder.
   PropertyGraph() = default;
+
+  /// Copying a mapped graph materializes it: the copy owns every array
+  /// (FlatArray copies always own) and all lazy sections are decoded
+  /// first, so the copy never depends on the original's mapping.
+  PropertyGraph(const PropertyGraph& other);
+  PropertyGraph& operator=(const PropertyGraph& other);
+  PropertyGraph(PropertyGraph&&) noexcept = default;
+  PropertyGraph& operator=(PropertyGraph&&) noexcept = default;
 
   size_t num_nodes() const { return node_labels_.size(); }
   size_t num_edges() const { return edge_src_.size(); }
@@ -116,15 +146,19 @@ class PropertyGraph {
   }
   size_t num_labels() const { return labels_.size(); }
 
-  /// ν: property access; nullptr when the property is not set.
+  /// ν: property access; nullptr when the property is not set. On a
+  /// mapped graph the first call materializes that side's property
+  /// column out of the snapshot (thread-safe, once).
   const Value* NodeProperty(NodeId n, PropKeyId key) const;
   const Value* EdgeProperty(EdgeId e, PropKeyId key) const;
   const Value* NodeProperty(NodeId n, std::string_view key) const;
   const Value* EdgeProperty(EdgeId e, std::string_view key) const;
   const PropertyList& NodeProperties(NodeId n) const {
+    EnsureNodeProps();
     return node_props_[n];
   }
   const PropertyList& EdgeProperties(EdgeId e) const {
+    EnsureEdgeProps();
     return edge_props_[e];
   }
 
@@ -155,19 +189,49 @@ class PropertyGraph {
 
   /// Display names ("n1", "e7", ...) used by printers and tests. Builder
   /// assigns "n{i+1}"/"e{i+1}" unless the caller provided explicit names.
-  const std::string& NodeName(NodeId n) const { return node_names_[n]; }
-  const std::string& EdgeName(EdgeId e) const { return edge_names_[e]; }
+  /// On a mapped graph the first call materializes the name pools.
+  const std::string& NodeName(NodeId n) const {
+    EnsureNames();
+    return node_names_[n];
+  }
+  const std::string& EdgeName(EdgeId e) const {
+    EnsureNames();
+    return edge_names_[e];
+  }
   /// Reverse display-name lookup, for tests/loaders; kInvalidId if unknown.
   NodeId FindNodeByName(std::string_view name) const;
 
   /// First node whose property `key` equals `value`; kInvalidId if none.
   NodeId FindNodeByProperty(std::string_view key, const Value& value) const;
 
+  /// Storage introspection (tests, `graph_convert --info`).
+  enum class StorageMode {
+    kOwned,   // built by GraphBuilder or loaded in snapshot copy mode
+    kMapped,  // flat arrays view a memory-mapped snapshot zero-copy
+  };
+  StorageMode storage_mode() const {
+    return lazy_ == nullptr ? StorageMode::kOwned : StorageMode::kMapped;
+  }
+  /// Whether the property columns / display names have been decoded into
+  /// private memory. Always true for owned graphs; for mapped graphs
+  /// flips on first access — the "first query touches no columns"
+  /// acceptance tests pin this.
+  bool node_props_materialized() const;
+  bool edge_props_materialized() const;
+  bool names_materialized() const;
+  /// The mapped snapshot's [base, base+size) byte range, or {nullptr, 0}
+  /// for owned graphs — lets tests assert CSR ranges really point into
+  /// the mapping.
+  std::pair<const void*, size_t> backing_span() const;
+
  private:
   friend class GraphBuilder;
+  friend class storage::SnapshotAccess;
+  friend class storage::SnapshotReader;
+  friend class storage::SnapshotWriter;
 
-  static NeighborRange CsrSlice(const std::vector<uint32_t>& offsets,
-                                const std::vector<EdgeId>& edges,
+  static NeighborRange CsrSlice(const FlatArray<uint32_t>& offsets,
+                                const FlatArray<EdgeId>& edges,
                                 uint32_t key) {
     // size_t arithmetic: key + 1 must not wrap for key == kNoLabel.
     if (size_t{key} + 1 >= offsets.size()) return NeighborRange();
@@ -177,18 +241,43 @@ class PropertyGraph {
 
   /// Binary-searches the (label-sorted) CSR run of `key` for the sub-run
   /// carrying `label`. `labels` is parallel to `edges`.
-  static NeighborRange LabelSlice(const std::vector<uint32_t>& offsets,
-                                  const std::vector<EdgeId>& edges,
-                                  const std::vector<LabelId>& labels,
+  static NeighborRange LabelSlice(const FlatArray<uint32_t>& offsets,
+                                  const FlatArray<EdgeId>& edges,
+                                  const FlatArray<LabelId>& labels,
                                   uint32_t key, LabelId label);
 
-  std::vector<LabelId> node_labels_;
+  /// Lazy-decode state for snapshot-mapped graphs. The decode hooks are
+  /// installed by storage::SnapshotReader and write the owned
+  /// representations (node_props_/edge_props_/names + name index) out of
+  /// the mapped sections; `backing` keeps the mapping alive.
+  struct LazySections {
+    std::function<void(PropertyGraph*)> decode_node_props;
+    std::function<void(PropertyGraph*)> decode_edge_props;
+    std::function<void(PropertyGraph*)> decode_names;
+    std::once_flag node_props_once;
+    std::once_flag edge_props_once;
+    std::once_flag names_once;
+    std::atomic<bool> node_props_done{false};
+    std::atomic<bool> edge_props_done{false};
+    std::atomic<bool> names_done{false};
+    std::shared_ptr<const void> backing;
+    const void* backing_data = nullptr;
+    size_t backing_size = 0;
+  };
+
+  /// Materialization is logically const (it decodes immutable data the
+  /// graph already owns a view of), hence the const_cast inside.
+  void EnsureNodeProps() const;
+  void EnsureEdgeProps() const;
+  void EnsureNames() const;
+
+  FlatArray<LabelId> node_labels_;
   std::vector<PropertyList> node_props_;
   std::vector<std::string> node_names_;
 
-  std::vector<NodeId> edge_src_;
-  std::vector<NodeId> edge_dst_;
-  std::vector<LabelId> edge_labels_;
+  FlatArray<NodeId> edge_src_;
+  FlatArray<NodeId> edge_dst_;
+  FlatArray<LabelId> edge_labels_;
   std::vector<PropertyList> edge_props_;
   std::vector<std::string> edge_names_;
 
@@ -200,20 +289,25 @@ class PropertyGraph {
   // CSR adjacency (see file comment for the layout). The *_labels_ arrays
   // are parallel to the *_edges_ arrays and carry each edge's label so
   // per-(node,label) binary searches never chase edge_labels_ indirection.
-  std::vector<uint32_t> csr_out_offsets_;
-  std::vector<EdgeId> csr_out_edges_;
-  std::vector<LabelId> csr_out_labels_;
-  std::vector<uint32_t> csr_in_offsets_;
-  std::vector<EdgeId> csr_in_edges_;
-  std::vector<LabelId> csr_in_labels_;
-  std::vector<uint32_t> label_offsets_;
-  std::vector<EdgeId> label_edges_;
+  FlatArray<uint32_t> csr_out_offsets_;
+  FlatArray<EdgeId> csr_out_edges_;
+  FlatArray<LabelId> csr_out_labels_;
+  FlatArray<uint32_t> csr_in_offsets_;
+  FlatArray<EdgeId> csr_in_edges_;
+  FlatArray<LabelId> csr_in_labels_;
+  FlatArray<uint32_t> label_offsets_;
+  FlatArray<EdgeId> label_edges_;
 
   std::unordered_map<std::string, NodeId> node_name_index_;
+
+  // Null for owned graphs; set by SnapshotReader in mapped mode.
+  std::unique_ptr<LazySections> lazy_;
 };
 
 /// Mutable builder for PropertyGraph. Node/edge ids are assigned densely in
-/// insertion order; edges validate their endpoints eagerly.
+/// insertion order; edges validate their endpoints eagerly. The builder
+/// stages into growable vectors and `Build()` freezes them into the
+/// graph's flat arrays.
 class GraphBuilder {
  public:
   GraphBuilder() = default;
@@ -235,8 +329,8 @@ class GraphBuilder {
                               std::string_view label = {},
                               std::vector<std::pair<std::string, Value>> props = {});
 
-  size_t num_nodes() const { return graph_.num_nodes(); }
-  size_t num_edges() const { return graph_.num_edges(); }
+  size_t num_nodes() const { return node_labels_.size(); }
+  size_t num_edges() const { return edge_src_.size(); }
 
   /// Finalizes adjacency and label indexes and returns the graph.
   /// The builder is left empty.
@@ -248,7 +342,19 @@ class GraphBuilder {
   PropertyList InternProps(
       std::vector<std::pair<std::string, Value>> props);
 
-  PropertyGraph graph_;
+  std::vector<LabelId> node_labels_;
+  std::vector<PropertyList> node_props_;
+  std::vector<std::string> node_names_;
+  std::vector<NodeId> edge_src_;
+  std::vector<NodeId> edge_dst_;
+  std::vector<LabelId> edge_labels_;
+  std::vector<PropertyList> edge_props_;
+  std::vector<std::string> edge_names_;
+  std::vector<std::string> labels_;
+  std::unordered_map<std::string, LabelId> label_index_;
+  std::vector<std::string> prop_keys_;
+  std::unordered_map<std::string, PropKeyId> prop_key_index_;
+  std::unordered_map<std::string, NodeId> node_name_index_;
 };
 
 }  // namespace pathalg

@@ -1,36 +1,61 @@
 #include "server/graph_catalog.h"
 
+#ifdef _WIN32
+#include <direct.h>
+#else
+#include <sys/stat.h>
+#include <sys/types.h>
+#endif
+
+#include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "common/str_util.h"
 #include "common/timing.h"
 #include "engine/workload_file.h"
+#include "storage/snapshot_format.h"
+#include "storage/snapshot_reader.h"
+#include "storage/snapshot_writer.h"
 
 namespace pathalg {
 namespace server {
 
 namespace {
 
-/// True when `stripped` is a `csv` spec ("csv" alone or "csv <path>").
-bool IsCsvSpec(std::string_view stripped) {
-  return stripped == "csv" || StartsWith(stripped, "csv ") ||
-         StartsWith(stripped, "csv\t");
+/// True when `stripped` starts with the word `kind` ("csv" alone or
+/// "csv <path>").
+bool IsKind(std::string_view stripped, std::string_view kind) {
+  if (!StartsWith(stripped, kind)) return false;
+  return stripped.size() == kind.size() || stripped[kind.size()] == ' ' ||
+         stripped[kind.size()] == '\t';
+}
+
+/// Specs that name a file on disk keep their payload byte-for-byte; they
+/// are also the specs the snapshot cache must never shadow.
+bool IsPathSpec(std::string_view stripped) {
+  return IsKind(stripped, "csv") || IsKind(stripped, "snapshot");
 }
 
 /// Canonical catalog key: surrounding whitespace stripped, inner runs of
 /// whitespace collapsed to one space. "social persons=40  seed=7" and
 /// " social persons=40 seed=7 " must hit the same entry, and the empty
-/// default spec maps to "figure1" so it shares that entry too. `csv`
-/// specs keep their payload byte-for-byte (after trimming) — a file path
-/// may legitimately contain interior whitespace runs, and collapsing
-/// them would silently point the key at a different file than the
-/// `# graph` directive the same spec round-trips through.
+/// default spec maps to "figure1" so it shares that entry too. `csv` and
+/// `snapshot` specs keep their payload byte-for-byte (after trimming) — a
+/// file path may legitimately contain interior whitespace runs, and
+/// collapsing them would silently point the key at a different file than
+/// the `# graph` directive the same spec round-trips through.
 std::string CanonicalSpec(std::string_view spec) {
   const std::string_view stripped = StripWhitespace(spec);
-  if (IsCsvSpec(stripped)) {
-    const std::string_view path = StripWhitespace(stripped.substr(3));
-    if (path.empty()) return std::string(stripped);  // rejected at build
-    return "csv " + std::string(path);
+  if (IsPathSpec(stripped)) {
+    const size_t kind_len = stripped.find_first_of(" \t");
+    if (kind_len == std::string_view::npos) {
+      return std::string(stripped);  // bare kind; rejected at build
+    }
+    const std::string_view kind = stripped.substr(0, kind_len);
+    const std::string_view path = StripWhitespace(stripped.substr(kind_len));
+    if (path.empty()) return std::string(kind);  // rejected at build
+    return std::string(kind) + " " + std::string(path);
   }
   std::string out;
   bool pending_space = false;
@@ -47,7 +72,44 @@ std::string CanonicalSpec(std::string_view spec) {
   return out;
 }
 
+/// Cache filename for a canonical generator spec: a readable slug plus an
+/// FNV-1a hash of the full spec, so distinct specs can never collide even
+/// when the slug truncates. Pure function of the spec — stable across
+/// processes, which is what makes the cache survive restarts.
+std::string SnapshotCacheName(const std::string& key) {
+  std::string slug;
+  for (char c : key) {
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+        (c >= '0' && c <= '9')) {
+      slug += c;
+    } else {
+      slug += '_';
+    }
+    if (slug.size() >= 48) break;
+  }
+  const uint64_t h = storage::Fnv1a64(key.data(), key.size());
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(h));
+  return slug + "-" + hex + ".snap";
+}
+
 }  // namespace
+
+GraphCatalog::GraphCatalog(GraphCatalogOptions options)
+    : options_(std::move(options)) {
+  // Best-effort create (one level): a missing cache directory should mean
+  // a cold cache, not a silently disabled one. Failure (no permission,
+  // parent missing) leaves the cache off exactly as before — every write
+  // attempt below is already best-effort.
+  if (!options_.snapshot_dir.empty()) {
+#ifdef _WIN32
+    _mkdir(options_.snapshot_dir.c_str());
+#else
+    ::mkdir(options_.snapshot_dir.c_str(), 0755);
+#endif
+  }
+}
 
 Result<CatalogEntryPtr> GraphCatalog::Get(std::string_view spec) {
   const std::string key = CanonicalSpec(spec);
@@ -89,7 +151,7 @@ Result<CatalogEntryPtr> GraphCatalog::Get(std::string_view spec) {
   // recorded `# graph` directives can never drift apart — a workload
   // recorded on any catalog graph loads.
   const SteadyClock::time_point start = SteadyClock::now();
-  Result<PropertyGraph> built = engine::BuildWorkloadGraph(key);
+  Result<PropertyGraph> built = LoadGraph(key);
   if (!built.ok()) {
     {
       // Errors are not cached: remove the latch so a later Get retries.
@@ -121,6 +183,57 @@ Result<CatalogEntryPtr> GraphCatalog::Get(std::string_view spec) {
   slot->done = true;
   slot->cv.NotifyAll();
   return shared;
+}
+
+Result<PropertyGraph> GraphCatalog::LoadGraph(const std::string& key) {
+  const bool cacheable =
+      !options_.snapshot_dir.empty() && !IsPathSpec(key);
+  if (!cacheable) return engine::BuildWorkloadGraph(key);
+
+  const std::string cache_path =
+      options_.snapshot_dir + "/" + SnapshotCacheName(key);
+  // A cached snapshot mmaps in without rebuilding — the fast-restart
+  // path. Any failure (missing, truncated, corrupt, version-skewed) falls
+  // through to a rebuild that overwrites the bad file.
+  Result<PropertyGraph> cached = storage::SnapshotReader::Open(cache_path);
+  if (cached.ok()) {
+    {
+      MutexLock lock(mu_);
+      ++counters_.snapshot_hits;
+    }
+    TouchCacheFile(cache_path);
+    return cached;
+  }
+  {
+    MutexLock lock(mu_);
+    ++counters_.snapshot_misses;
+  }
+  PATHALG_ASSIGN_OR_RETURN(PropertyGraph built,
+                           engine::BuildWorkloadGraph(key));
+  // Persisting is best-effort: an unwritable cache dir degrades to
+  // build-every-start, it must not fail the Get.
+  if (storage::SnapshotWriter::Write(built, cache_path).ok()) {
+    TouchCacheFile(cache_path);
+  }
+  return built;
+}
+
+void GraphCatalog::TouchCacheFile(const std::string& path) {
+  std::vector<std::string> evicted;
+  {
+    MutexLock lock(mu_);
+    auto it = std::find(cache_lru_.begin(), cache_lru_.end(), path);
+    if (it != cache_lru_.end()) cache_lru_.erase(it);
+    cache_lru_.push_back(path);
+    while (cache_lru_.size() > options_.max_snapshot_files) {
+      evicted.push_back(cache_lru_.front());
+      cache_lru_.erase(cache_lru_.begin());
+      ++counters_.snapshot_evictions;
+    }
+  }
+  // Unlink outside the lock; on POSIX an already-mmap'd evictee stays
+  // readable through its mapping until the graph drops it.
+  for (const std::string& p : evicted) std::remove(p.c_str());
 }
 
 size_t GraphCatalog::size() const {

@@ -8,7 +8,14 @@
 /// cost one build, not a thousand. Specs are the `# graph` workload specs
 /// (engine/workload_file.h: figure1, social ..., skewed ..., cycle,
 /// chain, diamond, grid, random) plus `csv <path>` for graphs loaded from
-/// a CSV file.
+/// a CSV file and `snapshot <path>` for binary snapshots (storage/),
+/// which mmap in without a rebuild.
+///
+/// With GraphCatalogOptions::snapshot_dir set the catalog also *writes*
+/// snapshots: the first build of a generator spec persists one, and later
+/// cold Gets (in this or any future server process) mmap it instead of
+/// regenerating — the fast-restart path. Cache files are LRU-evicted
+/// beyond max_snapshot_files.
 ///
 /// Thread-safe, and a build never holds the catalog map lock: each spec
 /// gets a per-entry latch — the first Get installs it and builds outside
@@ -23,6 +30,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "common/mutex.h"
 #include "common/result.h"
@@ -56,11 +64,30 @@ struct CatalogCounters {
   uint64_t loads = 0;   // cold Get calls that built a graph
   uint64_t hits = 0;    // Get calls answered from the catalog
   uint64_t errors = 0;  // Get calls whose spec failed to parse/build
+  /// Snapshot-cache traffic (only moves when snapshot_dir is configured):
+  /// a cold Get served by mmap'ing a cached snapshot file / a cold Get
+  /// that had to build from the generator / cache files removed by LRU.
+  uint64_t snapshot_hits = 0;
+  uint64_t snapshot_misses = 0;
+  uint64_t snapshot_evictions = 0;
+};
+
+struct GraphCatalogOptions {
+  /// When non-empty, first builds of generator specs persist a binary
+  /// snapshot under this directory (created if missing, one level) and
+  /// later cold Gets — including in future server processes — mmap it
+  /// instead of rebuilding. `csv`/`snapshot` specs are never cached:
+  /// they already name a file.
+  std::string snapshot_dir;
+  /// Cache files kept per catalog before least-recently-used ones are
+  /// deleted (only files this catalog touched are ever evicted).
+  size_t max_snapshot_files = 64;
 };
 
 class GraphCatalog {
  public:
   GraphCatalog() = default;
+  explicit GraphCatalog(GraphCatalogOptions options);
   GraphCatalog(const GraphCatalog&) = delete;
   GraphCatalog& operator=(const GraphCatalog&) = delete;
 
@@ -85,10 +112,23 @@ class GraphCatalog {
     Status error PA_GUARDED_BY(m) = Status::OK();
   };
 
+  /// Loads `key` (a canonical spec), going through the snapshot cache
+  /// when it is enabled and `key` is a generator spec.
+  Result<PropertyGraph> LoadGraph(const std::string& key);
+
+  /// Marks `path` most-recently-used in the cache LRU, evicting (deleting)
+  /// the oldest cache files beyond max_snapshot_files.
+  void TouchCacheFile(const std::string& path);
+
+  const GraphCatalogOptions options_;
+
   mutable Mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<Slot>> entries_
       PA_GUARDED_BY(mu_);
   CatalogCounters counters_ PA_GUARDED_BY(mu_);
+  /// Snapshot cache files this catalog created or reused, oldest use
+  /// first.
+  std::vector<std::string> cache_lru_ PA_GUARDED_BY(mu_);
 };
 
 }  // namespace server

@@ -100,6 +100,10 @@ std::string SessionManager::StatsLines() const {
          " catalog_loads=" + std::to_string(cat.loads) +
          " catalog_hits=" + std::to_string(cat.hits) +
          " catalog_errors=" + std::to_string(cat.errors) + "\n";
+  out += "STAT snapshot_hits=" + std::to_string(cat.snapshot_hits) +
+         " snapshot_misses=" + std::to_string(cat.snapshot_misses) +
+         " snapshot_evictions=" + std::to_string(cat.snapshot_evictions) +
+         "\n";
   out += "STAT sessions_active=" + std::to_string(ses.active) +
          " sessions_peak=" + std::to_string(ses.peak_active) +
          " sessions_opened=" + std::to_string(ses.opened) +

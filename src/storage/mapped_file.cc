@@ -1,0 +1,88 @@
+#include "storage/mapped_file.h"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(_WIN32)
+#include <cstdio>
+#else
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace pathalg::storage {
+
+Result<std::shared_ptr<MappedFile>> MappedFile::Open(const std::string& path) {
+  auto mf = std::shared_ptr<MappedFile>(new MappedFile());
+#if defined(_WIN32)
+  // Portable fallback: read the whole file into a private buffer.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::fseek(f, 0, SEEK_END);
+  long len = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (len < 0) {
+    std::fclose(f);
+    return Status::InvalidArgument("cannot stat '" + path + "'");
+  }
+  mf->fallback_.resize(static_cast<size_t>(len));
+  if (len > 0 &&
+      std::fread(mf->fallback_.data(), 1, mf->fallback_.size(), f) !=
+          mf->fallback_.size()) {
+    std::fclose(f);
+    return Status::InvalidArgument("short read on '" + path + "'");
+  }
+  std::fclose(f);
+  mf->data_ = mf->fallback_.data();
+  mf->size_ = mf->fallback_.size();
+#else
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such snapshot file: '" + path + "'");
+    }
+    return Status::InvalidArgument("cannot open '" + path +
+                                   "': " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::InvalidArgument("cannot stat '" + path +
+                                   "': " + std::strerror(errno));
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::InvalidArgument("snapshot path is not a regular file: '" +
+                                   path + "'");
+  }
+  mf->size_ = static_cast<size_t>(st.st_size);
+  if (mf->size_ > 0) {
+    void* p = ::mmap(nullptr, mf->size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (p == MAP_FAILED) {
+      ::close(fd);
+      return Status::InvalidArgument("mmap failed on '" + path +
+                                     "': " + std::strerror(errno));
+    }
+    mf->data_ = p;
+    mf->mapped_ = true;
+  }
+  // The mapping keeps its own reference to the file; the descriptor is no
+  // longer needed.
+  ::close(fd);
+#endif
+  return mf;
+}
+
+MappedFile::~MappedFile() {
+#if !defined(_WIN32)
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<void*>(data_), size_);
+  }
+#endif
+}
+
+}  // namespace pathalg::storage

@@ -1,0 +1,49 @@
+#ifndef PATHALG_STORAGE_MAPPED_FILE_H_
+#define PATHALG_STORAGE_MAPPED_FILE_H_
+
+/// \file mapped_file.h
+/// Read-only memory mapping of a whole file. On POSIX this is mmap(2), so
+/// opening a multi-gigabyte snapshot costs a handful of syscalls and pages
+/// fault in on demand — the out-of-core path the ROADMAP asks for. On
+/// platforms without mmap the file is read into a private buffer, which
+/// keeps the API (and callers) identical at the cost of eager I/O.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pathalg::storage {
+
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Fails with NotFound when the file does not
+  /// exist and InvalidArgument on I/O errors. Empty files map to a valid
+  /// object with size() == 0.
+  static Result<std::shared_ptr<MappedFile>> Open(const std::string& path);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const void* data() const { return data_; }
+  size_t size() const { return size_; }
+
+  /// True when the contents live in a kernel mapping rather than a private
+  /// buffer (introspection for tests; copy-mode readers don't care).
+  bool is_mapped() const { return mapped_; }
+
+ private:
+  MappedFile() = default;
+
+  const void* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<unsigned char> fallback_;  // used when mmap is unavailable
+};
+
+}  // namespace pathalg::storage
+
+#endif  // PATHALG_STORAGE_MAPPED_FILE_H_

@@ -1,0 +1,127 @@
+#ifndef PATHALG_STORAGE_SNAPSHOT_FORMAT_H_
+#define PATHALG_STORAGE_SNAPSHOT_FORMAT_H_
+
+/// \file snapshot_format.h
+/// On-disk layout of a PropertyGraph binary snapshot (format version 1).
+///
+///   offset 0    SnapshotHeader          (64 bytes)
+///   offset 64   SectionEntry[section_count]   (32 bytes each)
+///   ...         sections, each 64-byte aligned, zero-padded between
+///
+/// All integers are little-endian host-width fields; the header carries an
+/// endianness canary so a wrong-endian file fails cleanly instead of
+/// decoding garbage. Every section has an FNV-1a-64 checksum in its table
+/// entry, and the table itself is checksummed in the header, so any
+/// single-byte corruption is detected before data is interpreted.
+///
+/// Sections are written in ascending SectionId order with deterministic
+/// content (no timestamps, no pointers, no hash-map iteration order), so
+/// serializing the same logical graph always yields byte-identical files —
+/// the round-trip tests pin `Serialize(Open(Serialize(g))) == Serialize(g)`.
+///
+/// Fixed-width array sections are raw element dumps (the same bytes a
+/// FlatArray views when the file is mmap'd). Variable-length string data
+/// uses a string-table layout:
+///
+///   [count u64][offsets u64[count+1]][blob bytes]
+///
+/// where string i is blob[offsets[i], offsets[i+1]).
+///
+/// Property columns are struct-of-arrays per side (node/edge):
+///   PropOffsets  u64[num_objects + 1]   object i owns entries
+///                                       [offsets[i], offsets[i+1])
+///   PropKeys     u32[total_entries]     interned PropKeyId, sorted per object
+///   PropTypes    u8 [total_entries]     Value::Type
+///   PropPayloads u64[total_entries]     bool: 0/1; int/double: bit cast;
+///                                       string: index into PropStrings pool
+///   PropStrings  string table           unique string payloads, first-use
+///                                       order
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace pathalg::storage {
+
+inline constexpr char kSnapshotMagic[8] = {'P', 'A', 'L', 'G',
+                                           'S', 'N', 'A', 'P'};
+inline constexpr uint32_t kSnapshotVersion = 1;
+inline constexpr uint32_t kEndianCanary = 0x01020304;
+inline constexpr size_t kSectionAlignment = 64;
+
+/// Identifies a section's meaning. Values are part of the on-disk format:
+/// never renumber, only append.
+enum class SectionId : uint32_t {
+  kNodeLabels = 1,       // LabelId[num_nodes]
+  kEdgeSrc = 2,          // NodeId[num_edges]
+  kEdgeDst = 3,          // NodeId[num_edges]
+  kEdgeLabels = 4,       // LabelId[num_edges]
+  kCsrOutOffsets = 5,    // u32[num_nodes + 1]
+  kCsrOutEdges = 6,      // EdgeId[num_edges]
+  kCsrOutLabels = 7,     // LabelId[num_edges]
+  kCsrInOffsets = 8,     // u32[num_nodes + 1]
+  kCsrInEdges = 9,       // EdgeId[num_edges]
+  kCsrInLabels = 10,     // LabelId[num_edges]
+  kLabelOffsets = 11,    // u32[num_labels + 1]
+  kLabelEdges = 12,      // EdgeId[count of labelled edges]
+  kLabelNames = 13,      // string table
+  kPropKeyNames = 14,    // string table
+  kNodeNames = 15,       // string table
+  kEdgeNames = 16,       // string table
+  kNodePropOffsets = 17,  // u64[num_nodes + 1]
+  kNodePropKeys = 18,     // u32
+  kNodePropTypes = 19,    // u8
+  kNodePropPayloads = 20,  // u64
+  kNodePropStrings = 21,   // string table
+  kEdgePropOffsets = 22,   // u64[num_edges + 1]
+  kEdgePropKeys = 23,      // u32
+  kEdgePropTypes = 24,     // u8
+  kEdgePropPayloads = 25,  // u64
+  kEdgePropStrings = 26,   // string table
+};
+
+inline constexpr uint32_t kSectionCount = 26;
+
+struct SnapshotHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t endian;         // kEndianCanary as written by the producer
+  uint32_t section_count;
+  uint32_t reserved0;
+  uint64_t num_nodes;
+  uint64_t num_edges;
+  uint64_t file_size;      // total bytes, cross-checked against the file
+  uint64_t table_checksum; // FNV-1a-64 over the section-table bytes
+  uint64_t reserved1;
+};
+static_assert(sizeof(SnapshotHeader) == 64, "header is one alignment unit");
+
+struct SectionEntry {
+  uint32_t id;        // SectionId
+  uint32_t reserved;
+  uint64_t offset;    // from file start; multiple of kSectionAlignment
+  uint64_t size;      // payload bytes (excluding alignment padding)
+  uint64_t checksum;  // FNV-1a-64 over the payload bytes
+};
+static_assert(sizeof(SectionEntry) == 32, "entries are packed");
+
+/// FNV-1a 64-bit: simple, dependency-free, and good enough to catch the
+/// corruption classes the robustness tests inject (bit flips, truncation,
+/// swapped runs). Not cryptographic.
+inline uint64_t Fnv1a64(const void* data, size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline size_t AlignUp(size_t n) {
+  return (n + kSectionAlignment - 1) & ~(kSectionAlignment - 1);
+}
+
+}  // namespace pathalg::storage
+
+#endif  // PATHALG_STORAGE_SNAPSHOT_FORMAT_H_

@@ -1,0 +1,629 @@
+#include "storage/snapshot_reader.h"
+
+#include <array>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "storage/mapped_file.h"
+#include "storage/snapshot_format.h"
+
+namespace pathalg::storage {
+namespace {
+
+struct SectionView {
+  const unsigned char* data = nullptr;
+  size_t size = 0;
+  bool present = false;
+};
+
+/// The snapshot image after header/table validation: every section located
+/// and bounds-checked, nothing decoded yet.
+struct ParsedImage {
+  const unsigned char* base = nullptr;
+  size_t size = 0;
+  SnapshotHeader header;
+  // Indexed by SectionId value (1-based; slot 0 unused).
+  std::array<SectionView, kSectionCount + 1> sections;
+
+  const SectionView& at(SectionId id) const {
+    return sections[static_cast<uint32_t>(id)];
+  }
+};
+
+Status ParseImage(const void* data, size_t size, bool verify_checksums,
+                  ParsedImage& out) {
+  out.base = static_cast<const unsigned char*>(data);
+  out.size = size;
+  if (size < sizeof(SnapshotHeader)) {
+    return Status::InvalidArgument(
+        "snapshot truncated: " + std::to_string(size) +
+        " bytes is smaller than the header");
+  }
+  std::memcpy(&out.header, out.base, sizeof(SnapshotHeader));
+  const SnapshotHeader& h = out.header;
+  if (std::memcmp(h.magic, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Status::InvalidArgument("bad magic: not a pathalg snapshot file");
+  }
+  if (h.endian != kEndianCanary) {
+    return Status::InvalidArgument(
+        "snapshot endianness mismatch: written on an incompatible platform");
+  }
+  if (h.version != kSnapshotVersion) {
+    return Status::InvalidArgument(
+        "unsupported snapshot version " + std::to_string(h.version) +
+        " (this build reads version " + std::to_string(kSnapshotVersion) +
+        ")");
+  }
+  if (h.file_size != size) {
+    return Status::InvalidArgument(
+        "snapshot truncated: header says " + std::to_string(h.file_size) +
+        " bytes, file has " + std::to_string(size));
+  }
+  if (h.section_count != kSectionCount) {
+    return Status::InvalidArgument(
+        "snapshot section table has " + std::to_string(h.section_count) +
+        " entries, expected " + std::to_string(kSectionCount));
+  }
+  const size_t table_bytes = size_t{h.section_count} * sizeof(SectionEntry);
+  if (sizeof(SnapshotHeader) + table_bytes > size) {
+    return Status::InvalidArgument(
+        "snapshot truncated inside the section table");
+  }
+  const unsigned char* table = out.base + sizeof(SnapshotHeader);
+  if (Fnv1a64(table, table_bytes) != h.table_checksum) {
+    return Status::InvalidArgument("section table checksum mismatch");
+  }
+  for (uint32_t i = 0; i < h.section_count; ++i) {
+    SectionEntry e;
+    std::memcpy(&e, table + size_t{i} * sizeof(SectionEntry), sizeof(e));
+    if (e.id == 0 || e.id > kSectionCount) {
+      return Status::InvalidArgument("unknown section id " +
+                                     std::to_string(e.id));
+    }
+    SectionView& v = out.sections[e.id];
+    if (v.present) {
+      return Status::InvalidArgument("duplicate section id " +
+                                     std::to_string(e.id));
+    }
+    if (e.offset % kSectionAlignment != 0) {
+      return Status::InvalidArgument("section " + std::to_string(e.id) +
+                                     " is misaligned");
+    }
+    if (e.offset > size || e.size > size - e.offset) {
+      return Status::InvalidArgument(
+          "section " + std::to_string(e.id) +
+          " extends past end of file (offset " + std::to_string(e.offset) +
+          ", size " + std::to_string(e.size) + ")");
+    }
+    v.data = out.base + e.offset;
+    v.size = e.size;
+    v.present = true;
+    if (verify_checksums && Fnv1a64(v.data, v.size) != e.checksum) {
+      return Status::InvalidArgument("checksum mismatch in section " +
+                                     std::to_string(e.id));
+    }
+  }
+  for (uint32_t id = 1; id <= kSectionCount; ++id) {
+    if (!out.sections[id].present) {
+      return Status::InvalidArgument("missing section id " +
+                                     std::to_string(id));
+    }
+  }
+  return Status::OK();
+}
+
+/// A typed view of a fixed-width array section with an exact element count.
+template <typename T>
+Result<const T*> TypedSection(const ParsedImage& img, SectionId id,
+                              size_t expected_count, const char* what) {
+  const SectionView& v = img.at(id);
+  if (v.size != expected_count * sizeof(T)) {
+    return Status::InvalidArgument(
+        std::string("section ") + what + " has " + std::to_string(v.size) +
+        " bytes, expected " + std::to_string(expected_count * sizeof(T)));
+  }
+  return reinterpret_cast<const T*>(v.data);
+}
+
+struct StringTable {
+  uint64_t count = 0;
+  const uint64_t* offsets = nullptr;  // count + 1 entries
+  const char* blob = nullptr;
+  uint64_t blob_size = 0;
+
+  std::string Get(uint64_t i) const {
+    return std::string(blob + offsets[i], offsets[i + 1] - offsets[i]);
+  }
+};
+
+Result<StringTable> ParseStringTable(const ParsedImage& img, SectionId id,
+                                     const char* what) {
+  const SectionView& v = img.at(id);
+  StringTable t;
+  if (v.size < sizeof(uint64_t)) {
+    return Status::InvalidArgument(std::string("string table ") + what +
+                                   " is truncated");
+  }
+  std::memcpy(&t.count, v.data, sizeof(uint64_t));
+  // count+1 offsets must fit after the count word; guard the multiply.
+  if (t.count > (v.size - sizeof(uint64_t)) / sizeof(uint64_t)) {
+    return Status::InvalidArgument(std::string("string table ") + what +
+                                   " count is out of bounds");
+  }
+  const size_t offsets_bytes = (t.count + 1) * sizeof(uint64_t);
+  if (sizeof(uint64_t) + offsets_bytes > v.size) {
+    return Status::InvalidArgument(std::string("string table ") + what +
+                                   " offsets are truncated");
+  }
+  t.offsets = reinterpret_cast<const uint64_t*>(v.data + sizeof(uint64_t));
+  t.blob = reinterpret_cast<const char*>(v.data + sizeof(uint64_t) +
+                                         offsets_bytes);
+  t.blob_size = v.size - sizeof(uint64_t) - offsets_bytes;
+  if (t.offsets[0] != 0) {
+    return Status::InvalidArgument(std::string("string table ") + what +
+                                   " does not start at offset 0");
+  }
+  for (uint64_t i = 0; i < t.count; ++i) {
+    if (t.offsets[i + 1] < t.offsets[i]) {
+      return Status::InvalidArgument(std::string("string table ") + what +
+                                     " offsets are not monotonic");
+    }
+  }
+  if (t.offsets[t.count] != t.blob_size) {
+    return Status::InvalidArgument(std::string("string table ") + what +
+                                   " blob size mismatch");
+  }
+  return t;
+}
+
+template <typename T>
+Status ValidateOffsets(const T* o, size_t num_keys, uint64_t expected_total,
+                       const char* what) {
+  if (o[0] != 0) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " offsets do not start at 0");
+  }
+  for (size_t i = 0; i < num_keys; ++i) {
+    if (o[i + 1] < o[i]) {
+      return Status::InvalidArgument(std::string(what) +
+                                     " offsets are not monotonic");
+    }
+  }
+  if (o[num_keys] != expected_total) {
+    return Status::InvalidArgument(
+        std::string(what) + " offsets cover " + std::to_string(o[num_keys]) +
+        " entries, expected " + std::to_string(expected_total));
+  }
+  return Status::OK();
+}
+
+Status ValidateIds(const uint32_t* ids, size_t count, uint32_t limit,
+                   bool allow_no_label, const char* what) {
+  for (size_t i = 0; i < count; ++i) {
+    if (ids[i] >= limit && !(allow_no_label && ids[i] == kNoLabel)) {
+      return Status::InvalidArgument(std::string(what) + "[" +
+                                     std::to_string(i) + "] = " +
+                                     std::to_string(ids[i]) +
+                                     " is out of range");
+    }
+  }
+  return Status::OK();
+}
+
+/// All typed pointers into a validated image, ready to wrap or decode.
+struct DecodedLayout {
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+  size_t num_labels = 0;
+  size_t num_prop_keys = 0;
+  size_t num_label_edges = 0;
+
+  const uint32_t* node_labels = nullptr;
+  const uint32_t* edge_src = nullptr;
+  const uint32_t* edge_dst = nullptr;
+  const uint32_t* edge_labels = nullptr;
+  const uint32_t* csr_out_offsets = nullptr;
+  const uint32_t* csr_out_edges = nullptr;
+  const uint32_t* csr_out_labels = nullptr;
+  const uint32_t* csr_in_offsets = nullptr;
+  const uint32_t* csr_in_edges = nullptr;
+  const uint32_t* csr_in_labels = nullptr;
+  const uint32_t* label_offsets = nullptr;
+  const uint32_t* label_edges = nullptr;
+
+  StringTable label_names;
+  StringTable prop_key_names;
+  StringTable node_names;
+  StringTable edge_names;
+
+  struct PropSide {
+    const uint64_t* offsets = nullptr;  // num_objects + 1
+    uint64_t total = 0;
+    const uint32_t* keys = nullptr;
+    const uint8_t* types = nullptr;
+    const uint64_t* payloads = nullptr;
+    StringTable strings;
+  };
+  PropSide node_props;
+  PropSide edge_props;
+};
+
+Status ParsePropSide(const ParsedImage& img, size_t num_objects,
+                     size_t num_prop_keys, SectionId offsets_id,
+                     SectionId keys_id, SectionId types_id,
+                     SectionId payloads_id, SectionId strings_id,
+                     const char* what, DecodedLayout::PropSide& side) {
+  PATHALG_ASSIGN_OR_RETURN(
+      side.offsets,
+      TypedSection<uint64_t>(img, offsets_id, num_objects + 1, what));
+  side.total = side.offsets[num_objects];
+  PATHALG_RETURN_NOT_OK(
+      ValidateOffsets(side.offsets, num_objects, side.total, what));
+  PATHALG_ASSIGN_OR_RETURN(
+      side.keys, TypedSection<uint32_t>(img, keys_id, side.total, what));
+  PATHALG_ASSIGN_OR_RETURN(
+      side.types, TypedSection<uint8_t>(img, types_id, side.total, what));
+  PATHALG_ASSIGN_OR_RETURN(
+      side.payloads,
+      TypedSection<uint64_t>(img, payloads_id, side.total, what));
+  PATHALG_ASSIGN_OR_RETURN(side.strings,
+                           ParseStringTable(img, strings_id, what));
+  PATHALG_RETURN_NOT_OK(ValidateIds(side.keys, side.total,
+                                    static_cast<uint32_t>(num_prop_keys),
+                                    false, what));
+  for (uint64_t i = 0; i < side.total; ++i) {
+    if (side.types[i] > static_cast<uint8_t>(Value::Type::kString)) {
+      return Status::InvalidArgument(std::string(what) +
+                                     " has an unknown value type tag " +
+                                     std::to_string(side.types[i]));
+    }
+    if (side.types[i] == static_cast<uint8_t>(Value::Type::kString) &&
+        side.payloads[i] >= side.strings.count) {
+      return Status::InvalidArgument(std::string(what) +
+                                     " string payload index out of range");
+    }
+  }
+  return Status::OK();
+}
+
+/// Validates every section of `img` and fills `out` with typed pointers.
+/// After this returns OK, all decode paths (eager and lazy) can trust the
+/// data unconditionally.
+Status ParseLayout(const ParsedImage& img, DecodedLayout& out) {
+  out.num_nodes = img.header.num_nodes;
+  out.num_edges = img.header.num_edges;
+  // Dense 32-bit ids: a count that cannot be represented rejects early
+  // (also guards the (count+1) arithmetic below).
+  if (out.num_nodes >= kInvalidId || out.num_edges >= kInvalidId) {
+    return Status::InvalidArgument("snapshot node/edge count out of range");
+  }
+
+  PATHALG_ASSIGN_OR_RETURN(
+      out.label_names, ParseStringTable(img, SectionId::kLabelNames, "labels"));
+  PATHALG_ASSIGN_OR_RETURN(
+      out.prop_key_names,
+      ParseStringTable(img, SectionId::kPropKeyNames, "prop keys"));
+  out.num_labels = out.label_names.count;
+  out.num_prop_keys = out.prop_key_names.count;
+  if (out.num_labels >= kNoLabel) {
+    return Status::InvalidArgument("snapshot label count out of range");
+  }
+
+  const size_t n = out.num_nodes, e = out.num_edges, l = out.num_labels;
+  PATHALG_ASSIGN_OR_RETURN(out.node_labels,
+                           TypedSection<uint32_t>(img, SectionId::kNodeLabels,
+                                                  n, "node labels"));
+  PATHALG_ASSIGN_OR_RETURN(
+      out.edge_src,
+      TypedSection<uint32_t>(img, SectionId::kEdgeSrc, e, "edge sources"));
+  PATHALG_ASSIGN_OR_RETURN(
+      out.edge_dst,
+      TypedSection<uint32_t>(img, SectionId::kEdgeDst, e, "edge targets"));
+  PATHALG_ASSIGN_OR_RETURN(out.edge_labels,
+                           TypedSection<uint32_t>(img, SectionId::kEdgeLabels,
+                                                  e, "edge labels"));
+  PATHALG_ASSIGN_OR_RETURN(
+      out.csr_out_offsets,
+      TypedSection<uint32_t>(img, SectionId::kCsrOutOffsets, n + 1,
+                             "out-CSR offsets"));
+  PATHALG_ASSIGN_OR_RETURN(
+      out.csr_out_edges,
+      TypedSection<uint32_t>(img, SectionId::kCsrOutEdges, e,
+                             "out-CSR edges"));
+  PATHALG_ASSIGN_OR_RETURN(
+      out.csr_out_labels,
+      TypedSection<uint32_t>(img, SectionId::kCsrOutLabels, e,
+                             "out-CSR labels"));
+  PATHALG_ASSIGN_OR_RETURN(
+      out.csr_in_offsets,
+      TypedSection<uint32_t>(img, SectionId::kCsrInOffsets, n + 1,
+                             "in-CSR offsets"));
+  PATHALG_ASSIGN_OR_RETURN(
+      out.csr_in_edges,
+      TypedSection<uint32_t>(img, SectionId::kCsrInEdges, e, "in-CSR edges"));
+  PATHALG_ASSIGN_OR_RETURN(
+      out.csr_in_labels,
+      TypedSection<uint32_t>(img, SectionId::kCsrInLabels, e,
+                             "in-CSR labels"));
+  PATHALG_ASSIGN_OR_RETURN(
+      out.label_offsets,
+      TypedSection<uint32_t>(img, SectionId::kLabelOffsets, l + 1,
+                             "label-CSR offsets"));
+  // The label partition covers labelled edges only, so its length comes
+  // from its own offsets array (≤ num_edges).
+  {
+    const SectionView& v = img.at(SectionId::kLabelEdges);
+    if (v.size % sizeof(uint32_t) != 0) {
+      return Status::InvalidArgument("label-CSR edges section is ragged");
+    }
+    out.num_label_edges = v.size / sizeof(uint32_t);
+    if (out.num_label_edges > e) {
+      return Status::InvalidArgument(
+          "label-CSR edges section larger than the edge count");
+    }
+    out.label_edges = reinterpret_cast<const uint32_t*>(v.data);
+  }
+
+  const auto lim_n = static_cast<uint32_t>(n);
+  const auto lim_e = static_cast<uint32_t>(e);
+  const auto lim_l = static_cast<uint32_t>(l);
+  PATHALG_RETURN_NOT_OK(
+      ValidateIds(out.node_labels, n, lim_l, true, "node labels"));
+  PATHALG_RETURN_NOT_OK(
+      ValidateIds(out.edge_src, e, lim_n, false, "edge sources"));
+  PATHALG_RETURN_NOT_OK(
+      ValidateIds(out.edge_dst, e, lim_n, false, "edge targets"));
+  PATHALG_RETURN_NOT_OK(
+      ValidateIds(out.edge_labels, e, lim_l, true, "edge labels"));
+  PATHALG_RETURN_NOT_OK(
+      ValidateOffsets(out.csr_out_offsets, n, e, "out-CSR"));
+  PATHALG_RETURN_NOT_OK(ValidateOffsets(out.csr_in_offsets, n, e, "in-CSR"));
+  PATHALG_RETURN_NOT_OK(ValidateOffsets(out.label_offsets, l,
+                                        out.num_label_edges, "label-CSR"));
+  PATHALG_RETURN_NOT_OK(
+      ValidateIds(out.csr_out_edges, e, lim_e, false, "out-CSR edges"));
+  PATHALG_RETURN_NOT_OK(
+      ValidateIds(out.csr_in_edges, e, lim_e, false, "in-CSR edges"));
+  PATHALG_RETURN_NOT_OK(ValidateIds(out.label_edges, out.num_label_edges,
+                                    lim_e, false, "label-CSR edges"));
+  PATHALG_RETURN_NOT_OK(
+      ValidateIds(out.csr_out_labels, e, lim_l, true, "out-CSR labels"));
+  PATHALG_RETURN_NOT_OK(
+      ValidateIds(out.csr_in_labels, e, lim_l, true, "in-CSR labels"));
+
+  PATHALG_ASSIGN_OR_RETURN(
+      out.node_names, ParseStringTable(img, SectionId::kNodeNames,
+                                       "node names"));
+  PATHALG_ASSIGN_OR_RETURN(
+      out.edge_names, ParseStringTable(img, SectionId::kEdgeNames,
+                                       "edge names"));
+  if (out.node_names.count != n) {
+    return Status::InvalidArgument("node name count mismatch");
+  }
+  if (out.edge_names.count != e) {
+    return Status::InvalidArgument("edge name count mismatch");
+  }
+
+  PATHALG_RETURN_NOT_OK(ParsePropSide(
+      img, n, out.num_prop_keys, SectionId::kNodePropOffsets,
+      SectionId::kNodePropKeys, SectionId::kNodePropTypes,
+      SectionId::kNodePropPayloads, SectionId::kNodePropStrings,
+      "node props", out.node_props));
+  PATHALG_RETURN_NOT_OK(ParsePropSide(
+      img, e, out.num_prop_keys, SectionId::kEdgePropOffsets,
+      SectionId::kEdgePropKeys, SectionId::kEdgePropTypes,
+      SectionId::kEdgePropPayloads, SectionId::kEdgePropStrings,
+      "edge props", out.edge_props));
+  return Status::OK();
+}
+
+Value DecodeValue(uint8_t type, uint64_t payload, const StringTable& pool) {
+  switch (static_cast<Value::Type>(type)) {
+    case Value::Type::kNull:
+      return Value();
+    case Value::Type::kBool:
+      return Value(payload != 0);
+    case Value::Type::kInt: {
+      int64_t i;
+      std::memcpy(&i, &payload, sizeof(i));
+      return Value(i);
+    }
+    case Value::Type::kDouble: {
+      double d;
+      std::memcpy(&d, &payload, sizeof(d));
+      return Value(d);
+    }
+    case Value::Type::kString:
+      return Value(pool.Get(payload));
+  }
+  return Value();
+}
+
+std::vector<PropertyList> DecodeProps(const DecodedLayout::PropSide& side,
+                                      size_t num_objects) {
+  std::vector<PropertyList> out(num_objects);
+  for (size_t i = 0; i < num_objects; ++i) {
+    PropertyList& list = out[i];
+    list.reserve(side.offsets[i + 1] - side.offsets[i]);
+    for (uint64_t j = side.offsets[i]; j < side.offsets[i + 1]; ++j) {
+      list.emplace_back(side.keys[j],
+                        DecodeValue(side.types[j], side.payloads[j],
+                                    side.strings));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> DecodeStrings(const StringTable& t) {
+  std::vector<std::string> out;
+  out.reserve(t.count);
+  for (uint64_t i = 0; i < t.count; ++i) out.push_back(t.Get(i));
+  return out;
+}
+
+template <typename Map>
+Map BuildIndex(const std::vector<std::string>& names) {
+  Map index;
+  index.reserve(names.size());
+  for (uint32_t i = 0; i < names.size(); ++i) {
+    index.emplace(names[i], i);  // first occurrence wins, like GraphBuilder
+  }
+  return index;
+}
+
+template <typename T>
+std::vector<T> CopyArray(const T* data, size_t count) {
+  return std::vector<T>(data, data + count);
+}
+
+}  // namespace
+
+/// PropertyGraph friend through which the reader writes private fields.
+/// Defined only in this translation unit.
+class SnapshotAccess {
+ public:
+  /// Builds the graph from a validated layout. `backing` is non-null for
+  /// mapped mode (and keeps the mapping alive through the graph).
+  static PropertyGraph Assemble(const DecodedLayout& d,
+                                std::shared_ptr<const MappedFile> backing);
+};
+
+PropertyGraph SnapshotAccess::Assemble(
+    const DecodedLayout& d, std::shared_ptr<const MappedFile> backing) {
+  PropertyGraph g;
+  const size_t n = d.num_nodes, e = d.num_edges;
+
+  if (backing == nullptr) {
+    g.node_labels_ = FlatArray<LabelId>(CopyArray(d.node_labels, n));
+    g.edge_src_ = FlatArray<NodeId>(CopyArray(d.edge_src, e));
+    g.edge_dst_ = FlatArray<NodeId>(CopyArray(d.edge_dst, e));
+    g.edge_labels_ = FlatArray<LabelId>(CopyArray(d.edge_labels, e));
+    g.csr_out_offsets_ =
+        FlatArray<uint32_t>(CopyArray(d.csr_out_offsets, n + 1));
+    g.csr_out_edges_ = FlatArray<EdgeId>(CopyArray(d.csr_out_edges, e));
+    g.csr_out_labels_ = FlatArray<LabelId>(CopyArray(d.csr_out_labels, e));
+    g.csr_in_offsets_ = FlatArray<uint32_t>(CopyArray(d.csr_in_offsets, n + 1));
+    g.csr_in_edges_ = FlatArray<EdgeId>(CopyArray(d.csr_in_edges, e));
+    g.csr_in_labels_ = FlatArray<LabelId>(CopyArray(d.csr_in_labels, e));
+    g.label_offsets_ =
+        FlatArray<uint32_t>(CopyArray(d.label_offsets, d.num_labels + 1));
+    g.label_edges_ = FlatArray<EdgeId>(CopyArray(d.label_edges,
+                                                 d.num_label_edges));
+  } else {
+    g.node_labels_ = FlatArray<LabelId>::View(d.node_labels, n);
+    g.edge_src_ = FlatArray<NodeId>::View(d.edge_src, e);
+    g.edge_dst_ = FlatArray<NodeId>::View(d.edge_dst, e);
+    g.edge_labels_ = FlatArray<LabelId>::View(d.edge_labels, e);
+    g.csr_out_offsets_ = FlatArray<uint32_t>::View(d.csr_out_offsets, n + 1);
+    g.csr_out_edges_ = FlatArray<EdgeId>::View(d.csr_out_edges, e);
+    g.csr_out_labels_ = FlatArray<LabelId>::View(d.csr_out_labels, e);
+    g.csr_in_offsets_ = FlatArray<uint32_t>::View(d.csr_in_offsets, n + 1);
+    g.csr_in_edges_ = FlatArray<EdgeId>::View(d.csr_in_edges, e);
+    g.csr_in_labels_ = FlatArray<LabelId>::View(d.csr_in_labels, e);
+    g.label_offsets_ =
+        FlatArray<uint32_t>::View(d.label_offsets, d.num_labels + 1);
+    g.label_edges_ = FlatArray<EdgeId>::View(d.label_edges,
+                                             d.num_label_edges);
+  }
+
+  // Label & prop-key interning tables are tiny: always decoded eagerly so
+  // FindLabel/σ planning needs no lazy hop.
+  g.labels_ = DecodeStrings(d.label_names);
+  g.label_index_ =
+      BuildIndex<std::unordered_map<std::string, LabelId>>(g.labels_);
+  g.prop_keys_ = DecodeStrings(d.prop_key_names);
+  g.prop_key_index_ =
+      BuildIndex<std::unordered_map<std::string, PropKeyId>>(g.prop_keys_);
+
+  if (backing == nullptr) {
+    g.node_props_ = DecodeProps(d.node_props, n);
+    g.edge_props_ = DecodeProps(d.edge_props, e);
+    g.node_names_ = DecodeStrings(d.node_names);
+    g.edge_names_ = DecodeStrings(d.edge_names);
+    g.node_name_index_ =
+        BuildIndex<std::unordered_map<std::string, NodeId>>(g.node_names_);
+    return g;
+  }
+
+  // Mapped mode: park decode hooks over the validated layout; they fire at
+  // most once each, on first property/name access. The hooks capture `d`
+  // by value (plain pointers into the mapping, which `backing` outlives).
+  auto lazy = std::make_unique<PropertyGraph::LazySections>();
+  lazy->backing_data = backing->data();
+  lazy->backing_size = backing->size();
+  lazy->decode_node_props = [d, n](PropertyGraph* pg) {
+    pg->node_props_ = DecodeProps(d.node_props, n);
+  };
+  lazy->decode_edge_props = [d, e](PropertyGraph* pg) {
+    pg->edge_props_ = DecodeProps(d.edge_props, e);
+  };
+  lazy->decode_names = [d](PropertyGraph* pg) {
+    pg->node_names_ = DecodeStrings(d.node_names);
+    pg->edge_names_ = DecodeStrings(d.edge_names);
+    pg->node_name_index_ =
+        BuildIndex<std::unordered_map<std::string, NodeId>>(pg->node_names_);
+  };
+  lazy->backing = std::shared_ptr<const void>(backing, backing->data());
+  g.lazy_ = std::move(lazy);
+  return g;
+}
+
+Result<PropertyGraph> SnapshotReader::Open(const std::string& path,
+                                           const OpenOptions& options) {
+  PATHALG_ASSIGN_OR_RETURN(std::shared_ptr<MappedFile> mf,
+                           MappedFile::Open(path));
+  ParsedImage img;
+  Status st = ParseImage(mf->data(), mf->size(), options.verify_checksums,
+                         img);
+  if (!st.ok()) {
+    return Status(st.code(), "snapshot '" + path + "': " + st.message());
+  }
+  DecodedLayout layout;
+  st = ParseLayout(img, layout);
+  if (!st.ok()) {
+    return Status(st.code(), "snapshot '" + path + "': " + st.message());
+  }
+  return SnapshotAccess::Assemble(layout, options.mode == OpenMode::kMap
+                                   ? std::move(mf)
+                                   : nullptr);
+}
+
+Result<PropertyGraph> SnapshotReader::FromBuffer(const void* data, size_t size,
+                                                 bool verify_checksums) {
+  // Re-align: callers hand arbitrary buffers (std::string payloads in
+  // tests); the typed section views need 8-byte alignment.
+  std::vector<uint64_t> aligned((size + sizeof(uint64_t) - 1) /
+                                sizeof(uint64_t));
+  if (size > 0) std::memcpy(aligned.data(), data, size);
+  ParsedImage img;
+  PATHALG_RETURN_NOT_OK(
+      ParseImage(aligned.data(), size, verify_checksums, img));
+  DecodedLayout layout;
+  PATHALG_RETURN_NOT_OK(ParseLayout(img, layout));
+  return SnapshotAccess::Assemble(layout, nullptr);
+}
+
+Result<SnapshotReader::Info> SnapshotReader::Probe(const std::string& path) {
+  PATHALG_ASSIGN_OR_RETURN(std::shared_ptr<MappedFile> mf,
+                           MappedFile::Open(path));
+  if (mf->size() < sizeof(SnapshotHeader)) {
+    return Status::InvalidArgument("snapshot '" + path +
+                                   "': file smaller than the header");
+  }
+  SnapshotHeader h;
+  std::memcpy(&h, mf->data(), sizeof(h));
+  if (std::memcmp(h.magic, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return Status::InvalidArgument("snapshot '" + path +
+                                   "': bad magic: not a pathalg snapshot");
+  }
+  Info info;
+  info.version = h.version;
+  info.section_count = h.section_count;
+  info.num_nodes = h.num_nodes;
+  info.num_edges = h.num_edges;
+  info.file_size = h.file_size;
+  return info;
+}
+
+}  // namespace pathalg::storage

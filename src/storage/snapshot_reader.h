@@ -1,0 +1,73 @@
+#ifndef PATHALG_STORAGE_SNAPSHOT_READER_H_
+#define PATHALG_STORAGE_SNAPSHOT_READER_H_
+
+/// \file snapshot_reader.h
+/// Opens binary graph snapshots written by SnapshotWriter. Two modes:
+///
+///  - kCopy: every section is copied into graph-owned vectors and decoded
+///    eagerly. Portable, no lifetime coupling to the file.
+///  - kMap (default): the file is mmap'd and the query-hot flat arrays
+///    (CSR offsets/edges/labels, label partitions, src/dst) are served
+///    zero-copy straight out of the mapping; property columns and display
+///    names stay encoded until first access (PropertyGraph's lazy
+///    sections). Opening is O(validation), not O(decode) — the
+///    `--snapshot-dir` fast-restart path.
+///
+/// Every open fully validates structure (magic, version, endianness,
+/// section table bounds and alignment, offset-array monotonicity, id
+/// ranges) before any array is trusted, and verifies per-section checksums
+/// unless `verify_checksums` is cleared, so a corrupt or truncated file
+/// always fails with a clean Status — never UB. The lazy decode hooks run
+/// only over data that already passed validation.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "graph/property_graph.h"
+
+namespace pathalg::storage {
+
+enum class OpenMode {
+  kCopy,  // copy sections into owned vectors, decode everything eagerly
+  kMap,   // zero-copy views over an mmap; lazy property/name decode
+};
+
+struct OpenOptions {
+  OpenMode mode = OpenMode::kMap;
+  /// Verify per-section FNV checksums (and the table checksum) at open.
+  /// Clearing this skips the full-file scan; structural validation still
+  /// runs.
+  bool verify_checksums = true;
+};
+
+class SnapshotReader {
+ public:
+  using OpenMode = ::pathalg::storage::OpenMode;
+  using OpenOptions = ::pathalg::storage::OpenOptions;
+
+  /// Opens the snapshot at `path`.
+  static Result<PropertyGraph> Open(const std::string& path,
+                                    const OpenOptions& options = {});
+
+  /// Decodes a snapshot image held in memory (always copy mode — the
+  /// buffer need not outlive the graph). Used by the round-trip and
+  /// corruption tests.
+  static Result<PropertyGraph> FromBuffer(const void* data, size_t size,
+                                          bool verify_checksums = true);
+
+  /// Header-only metadata, for `graph_convert --info` and cache probes.
+  struct Info {
+    uint32_t version = 0;
+    uint32_t section_count = 0;
+    uint64_t num_nodes = 0;
+    uint64_t num_edges = 0;
+    uint64_t file_size = 0;
+  };
+  static Result<Info> Probe(const std::string& path);
+};
+
+}  // namespace pathalg::storage
+
+#endif  // PATHALG_STORAGE_SNAPSHOT_READER_H_

@@ -1,0 +1,227 @@
+#include "storage/snapshot_writer.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "storage/snapshot_format.h"
+
+namespace pathalg::storage {
+namespace {
+
+void AppendBytes(std::string& out, const void* data, size_t size) {
+  out.append(static_cast<const char*>(data), size);
+}
+
+template <typename T>
+void AppendPod(std::string& out, const T& v) {
+  static_assert(std::is_trivially_copyable<T>::value, "raw bytes only");
+  AppendBytes(out, &v, sizeof(v));
+}
+
+template <typename T>
+std::string ArraySection(const FlatArray<T>& a) {
+  std::string out;
+  AppendBytes(out, a.data(), a.size() * sizeof(T));
+  return out;
+}
+
+/// [count u64][offsets u64[count+1]][blob] — see snapshot_format.h.
+std::string StringTableSection(const std::vector<std::string>& strings) {
+  std::string out;
+  AppendPod(out, static_cast<uint64_t>(strings.size()));
+  uint64_t off = 0;
+  AppendPod(out, off);
+  for (const std::string& s : strings) {
+    off += s.size();
+    AppendPod(out, off);
+  }
+  for (const std::string& s : strings) out.append(s);
+  return out;
+}
+
+uint64_t BitCast(double d) {
+  uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+uint64_t BitCast(int64_t i) {
+  uint64_t u;
+  std::memcpy(&u, &i, sizeof(u));
+  return u;
+}
+
+struct PropColumns {
+  std::string offsets;   // u64[count + 1]
+  std::string keys;      // u32 per entry
+  std::string types;     // u8 per entry
+  std::string payloads;  // u64 per entry
+  std::string strings;   // string table of unique string payloads
+};
+
+PropColumns EncodeProps(const std::vector<PropertyList>& props) {
+  PropColumns c;
+  std::vector<std::string> pool;
+  std::unordered_map<std::string, uint64_t> pool_index;
+  uint64_t total = 0;
+  AppendPod(c.offsets, total);
+  for (const PropertyList& list : props) {
+    total += list.size();
+    AppendPod(c.offsets, total);
+    for (const auto& [key, value] : list) {
+      AppendPod(c.keys, static_cast<uint32_t>(key));
+      AppendPod(c.types, static_cast<uint8_t>(value.type()));
+      uint64_t payload = 0;
+      switch (value.type()) {
+        case Value::Type::kNull:
+          break;
+        case Value::Type::kBool:
+          payload = value.AsBool() ? 1 : 0;
+          break;
+        case Value::Type::kInt:
+          payload = BitCast(value.AsInt());
+          break;
+        case Value::Type::kDouble:
+          payload = BitCast(value.AsDouble());
+          break;
+        case Value::Type::kString: {
+          // Pool unique strings in first-use order — deterministic because
+          // the order is driven by the (id-ordered) property scan, never by
+          // hash-map iteration.
+          auto [it, inserted] = pool_index.emplace(
+              value.AsString(), static_cast<uint64_t>(pool.size()));
+          if (inserted) pool.push_back(value.AsString());
+          payload = it->second;
+          break;
+        }
+      }
+      AppendPod(c.payloads, payload);
+    }
+  }
+  c.strings = StringTableSection(pool);
+  return c;
+}
+
+}  // namespace
+
+std::string SnapshotWriter::Serialize(const PropertyGraph& g) {
+  // Lazy sections must be decoded before they can be re-encoded.
+  g.EnsureNodeProps();
+  g.EnsureEdgeProps();
+  g.EnsureNames();
+
+  PropColumns node_cols = EncodeProps(g.node_props_);
+  PropColumns edge_cols = EncodeProps(g.edge_props_);
+
+  // Payloads in ascending SectionId order (the on-disk order).
+  std::vector<std::pair<SectionId, std::string>> sections;
+  sections.reserve(kSectionCount);
+  sections.emplace_back(SectionId::kNodeLabels, ArraySection(g.node_labels_));
+  sections.emplace_back(SectionId::kEdgeSrc, ArraySection(g.edge_src_));
+  sections.emplace_back(SectionId::kEdgeDst, ArraySection(g.edge_dst_));
+  sections.emplace_back(SectionId::kEdgeLabels, ArraySection(g.edge_labels_));
+  sections.emplace_back(SectionId::kCsrOutOffsets,
+                        ArraySection(g.csr_out_offsets_));
+  sections.emplace_back(SectionId::kCsrOutEdges,
+                        ArraySection(g.csr_out_edges_));
+  sections.emplace_back(SectionId::kCsrOutLabels,
+                        ArraySection(g.csr_out_labels_));
+  sections.emplace_back(SectionId::kCsrInOffsets,
+                        ArraySection(g.csr_in_offsets_));
+  sections.emplace_back(SectionId::kCsrInEdges, ArraySection(g.csr_in_edges_));
+  sections.emplace_back(SectionId::kCsrInLabels,
+                        ArraySection(g.csr_in_labels_));
+  sections.emplace_back(SectionId::kLabelOffsets,
+                        ArraySection(g.label_offsets_));
+  sections.emplace_back(SectionId::kLabelEdges, ArraySection(g.label_edges_));
+  sections.emplace_back(SectionId::kLabelNames, StringTableSection(g.labels_));
+  sections.emplace_back(SectionId::kPropKeyNames,
+                        StringTableSection(g.prop_keys_));
+  sections.emplace_back(SectionId::kNodeNames,
+                        StringTableSection(g.node_names_));
+  sections.emplace_back(SectionId::kEdgeNames,
+                        StringTableSection(g.edge_names_));
+  sections.emplace_back(SectionId::kNodePropOffsets,
+                        std::move(node_cols.offsets));
+  sections.emplace_back(SectionId::kNodePropKeys, std::move(node_cols.keys));
+  sections.emplace_back(SectionId::kNodePropTypes, std::move(node_cols.types));
+  sections.emplace_back(SectionId::kNodePropPayloads,
+                        std::move(node_cols.payloads));
+  sections.emplace_back(SectionId::kNodePropStrings,
+                        std::move(node_cols.strings));
+  sections.emplace_back(SectionId::kEdgePropOffsets,
+                        std::move(edge_cols.offsets));
+  sections.emplace_back(SectionId::kEdgePropKeys, std::move(edge_cols.keys));
+  sections.emplace_back(SectionId::kEdgePropTypes, std::move(edge_cols.types));
+  sections.emplace_back(SectionId::kEdgePropPayloads,
+                        std::move(edge_cols.payloads));
+  sections.emplace_back(SectionId::kEdgePropStrings,
+                        std::move(edge_cols.strings));
+
+  // Lay out: header | table | aligned sections. Zero padding between
+  // sections keeps the output a pure function of the payload bytes.
+  const size_t table_bytes = sections.size() * sizeof(SectionEntry);
+  size_t cursor = AlignUp(sizeof(SnapshotHeader) + table_bytes);
+  std::vector<SectionEntry> table;
+  table.reserve(sections.size());
+  for (const auto& [id, payload] : sections) {
+    SectionEntry e{};
+    e.id = static_cast<uint32_t>(id);
+    e.offset = cursor;
+    e.size = payload.size();
+    e.checksum = Fnv1a64(payload.data(), payload.size());
+    table.push_back(e);
+    cursor = AlignUp(cursor + payload.size());
+  }
+
+  SnapshotHeader header{};
+  std::memcpy(header.magic, kSnapshotMagic, sizeof(kSnapshotMagic));
+  header.version = kSnapshotVersion;
+  header.endian = kEndianCanary;
+  header.section_count = static_cast<uint32_t>(sections.size());
+  header.num_nodes = g.num_nodes();
+  header.num_edges = g.num_edges();
+  header.file_size = cursor;
+  header.table_checksum = Fnv1a64(table.data(), table_bytes);
+
+  std::string out;
+  out.reserve(cursor);
+  AppendPod(out, header);
+  AppendBytes(out, table.data(), table_bytes);
+  for (size_t i = 0; i < sections.size(); ++i) {
+    out.resize(table[i].offset, '\0');
+    out.append(sections[i].second);
+  }
+  out.resize(cursor, '\0');
+  return out;
+}
+
+Status SnapshotWriter::Write(const PropertyGraph& g, const std::string& path) {
+  std::string image = Serialize(g);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot create snapshot file '" + tmp +
+                                   "'");
+  }
+  size_t written = image.empty()
+                       ? 0
+                       : std::fwrite(image.data(), 1, image.size(), f);
+  bool flushed = std::fclose(f) == 0;
+  if (written != image.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::InvalidArgument("short write on snapshot file '" + tmp +
+                                   "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::InvalidArgument("cannot move snapshot into place at '" +
+                                   path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace pathalg::storage

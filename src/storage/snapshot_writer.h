@@ -1,0 +1,32 @@
+#ifndef PATHALG_STORAGE_SNAPSHOT_WRITER_H_
+#define PATHALG_STORAGE_SNAPSHOT_WRITER_H_
+
+/// \file snapshot_writer.h
+/// Serializes a PropertyGraph into the versioned binary snapshot format
+/// (snapshot_format.h). The writer is deterministic: the same logical
+/// graph always produces byte-identical output, regardless of whether the
+/// source graph was freshly built or itself loaded from a snapshot — the
+/// round-trip tests pin this, and it is what makes the catalog's
+/// `--snapshot-dir` cache files stable across server restarts.
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/property_graph.h"
+
+namespace pathalg::storage {
+
+class SnapshotWriter {
+ public:
+  /// Serializes `g` into an in-memory snapshot image.
+  static std::string Serialize(const PropertyGraph& g);
+
+  /// Serializes `g` and writes it to `path` (via a same-directory temp
+  /// file + rename, so concurrent readers never observe a half-written
+  /// snapshot).
+  static Status Write(const PropertyGraph& g, const std::string& path);
+};
+
+}  // namespace pathalg::storage
+
+#endif  // PATHALG_STORAGE_SNAPSHOT_WRITER_H_

@@ -1,0 +1,217 @@
+// The storage subsystem's differential harness: a snapshot-loaded graph
+// must be *indistinguishable* from the freshly built graph it was written
+// from. Seeded random multigraphs × random top-closure regexes (the same
+// trial family as tests/fuzz_util.h) are evaluated on the fresh graph and
+// on its write→reopen twin — in copy mode AND mmap mode — and the answers
+// must match byte for byte (same paths, same insertion order) across all
+// four bag semantics, plus walk on DAGs where its answer sets are finite.
+//
+// The served half pins the same contract one layer up: a ServerSession on
+// a `snapshot <path>` catalog spec must produce the identical response
+// transcript (with `!timing off`) and the identical `STAT graph_nodes=`
+// line as a session on the generator spec the snapshot was written from.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz_util.h"
+#include "plan/evaluator.h"
+#include "regex/compile.h"
+#include "regex/parser.h"
+#include "server/graph_catalog.h"
+#include "server/session.h"
+#include "storage/snapshot_reader.h"
+#include "storage/snapshot_writer.h"
+#include "workload/generators.h"
+
+namespace pathalg {
+namespace {
+
+using storage::SnapshotReader;
+using storage::SnapshotWriter;
+
+const std::vector<std::string> kRegexLabels = {"a", "b", "c", "d"};
+const std::vector<std::string> kGraphLabels = {"a", "b", "c"};
+
+constexpr size_t kTrialsPerSemantics = 120;
+
+std::string TempPath(const std::string& stem) {
+  return ::testing::TempDir() + "pathalg_snapshot_diff_" + stem;
+}
+
+PropertyGraph TrialGraph(std::mt19937_64& rng, bool acyclic) {
+  UniformMultigraphOptions opts;
+  opts.num_nodes = 4 + rng() % 5;   // 4..8
+  opts.num_edges = 6 + rng() % 9;   // 6..14
+  opts.labels = kGraphLabels;
+  opts.unlabeled_percent = 15;
+  opts.acyclic = acyclic;
+  opts.seed = rng();
+  return MakeUniformMultigraph(opts);
+}
+
+/// Evaluates `regex_text` on `fresh` and on `reopened`, requiring
+/// byte-identical answers (or byte-identical errors).
+::testing::AssertionResult CompareEval(const PropertyGraph& fresh,
+                                       const PropertyGraph& reopened,
+                                       const std::string& regex_text,
+                                       PathSemantics semantics,
+                                       const std::string& context) {
+  auto fail = [&](const std::string& what) {
+    return ::testing::AssertionFailure()
+           << context << " regex `" << regex_text << "` semantics "
+           << PathSemanticsToString(semantics) << ": " << what;
+  };
+  auto regex = ParseRegex(regex_text);
+  if (!regex.ok()) return fail("regex parse: " + regex.status().ToString());
+  CompileOptions copts;
+  copts.semantics = semantics;
+  PlanPtr plan = CompileRegex(*regex, copts);
+
+  Result<PathSet> lhs = Evaluate(fresh, plan);
+  Result<PathSet> rhs = Evaluate(reopened, plan);
+  if (lhs.ok() != rhs.ok()) {
+    return fail("fresh " + lhs.status().ToString() + " vs snapshot " +
+                rhs.status().ToString());
+  }
+  if (!lhs.ok()) {
+    if (lhs.status().ToString() != rhs.status().ToString()) {
+      return fail("error mismatch: " + lhs.status().ToString() + " vs " +
+                  rhs.status().ToString());
+    }
+    return ::testing::AssertionSuccess();
+  }
+  if (lhs->paths() != rhs->paths()) {
+    return fail("fresh (" + std::to_string(lhs->size()) +
+                " paths) != snapshot byte-for-byte (" +
+                std::to_string(rhs->size()) + " paths)\n  fresh: " +
+                lhs->ToString(fresh) + "\n  snapshot: " +
+                rhs->ToString(reopened));
+  }
+  return ::testing::AssertionSuccess();
+}
+
+void RunFuzzLoop(PathSemantics semantics, bool acyclic_graphs) {
+  // Unique per (semantics, graph family): CTest runs each TEST as its own
+  // process, possibly in parallel — the suites must not race on one file.
+  const std::string path =
+      TempPath("fuzz_" + std::string(PathSemanticsToString(semantics)) +
+               (acyclic_graphs ? "_dag" : "") + ".snap");
+  for (uint64_t trial = 1; trial <= kTrialsPerSemantics; ++trial) {
+    // Offset from the CSR/parallel harness streams so the three suites
+    // explore different graphs.
+    const uint64_t seed =
+        trial * 48611u * 65537u + static_cast<uint64_t>(semantics);
+    std::mt19937_64 rng(seed);
+    PropertyGraph fresh = TrialGraph(rng, acyclic_graphs);
+    std::string regex = fuzz::RandomTopClosureRegex(rng, kRegexLabels);
+    const std::string context =
+        "trial " + std::to_string(trial) + " seed " + std::to_string(seed);
+
+    ASSERT_TRUE(SnapshotWriter::Write(fresh, path).ok()) << context;
+    storage::OpenOptions copy_opts;
+    copy_opts.mode = storage::OpenMode::kCopy;
+    Result<PropertyGraph> copied = SnapshotReader::Open(path, copy_opts);
+    ASSERT_TRUE(copied.ok()) << context << ": " << copied.status().ToString();
+    Result<PropertyGraph> mapped = SnapshotReader::Open(path);
+    ASSERT_TRUE(mapped.ok()) << context << ": " << mapped.status().ToString();
+
+    EXPECT_TRUE(
+        CompareEval(fresh, *copied, regex, semantics, context + " [copy]"));
+    EXPECT_TRUE(
+        CompareEval(fresh, *mapped, regex, semantics, context + " [mmap]"));
+    if (::testing::Test::HasFailure()) break;  // one repro is enough
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotDifferentialFuzz, Trail) {
+  RunFuzzLoop(PathSemantics::kTrail, false);
+}
+TEST(SnapshotDifferentialFuzz, Acyclic) {
+  RunFuzzLoop(PathSemantics::kAcyclic, false);
+}
+TEST(SnapshotDifferentialFuzz, Simple) {
+  RunFuzzLoop(PathSemantics::kSimple, false);
+}
+TEST(SnapshotDifferentialFuzz, Shortest) {
+  RunFuzzLoop(PathSemantics::kShortest, false);
+}
+TEST(SnapshotDifferentialFuzz, WalkOnRandomDags) {
+  RunFuzzLoop(PathSemantics::kWalk, true);
+}
+
+// ---------------------------------------------------------------------------
+// Served sessions: generator spec vs snapshot spec, identical transcripts.
+// ---------------------------------------------------------------------------
+
+/// Runs `lines` through one fresh session of `manager` opened on
+/// `graph_spec`; returns the concatenated response stream.
+std::string RunScript(server::SessionManager& manager,
+                      const std::string& graph_spec,
+                      const std::vector<std::string>& lines) {
+  auto session = manager.Open(graph_spec);
+  EXPECT_TRUE(session.ok()) << session.status().ToString();
+  if (!session.ok()) return {};
+  std::string out;
+  for (const std::string& line : lines) {
+    if (!(*session)->HandleLine(line, &out)) break;
+  }
+  return out;
+}
+
+/// The `STAT graph_nodes=...` line of a transcript ("" if absent).
+std::string GraphStatLine(const std::string& transcript) {
+  std::istringstream in(transcript);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("STAT graph_nodes=", 0) == 0) return line;
+  }
+  return {};
+}
+
+TEST(SnapshotDifferentialFuzz, ServedSessionTranscriptsMatch) {
+  const std::string spec = "social persons=50 seed=11";
+  const std::string path = TempPath("served.snap");
+
+  // Write the snapshot from the catalog's own build of the spec, so both
+  // sessions serve the same logical graph.
+  server::GraphCatalog catalog;
+  auto entry = catalog.Get(spec);
+  ASSERT_TRUE(entry.ok()) << entry.status().ToString();
+  ASSERT_TRUE(SnapshotWriter::Write(*(*entry)->graph, path).ok());
+
+  server::SessionManager manager(&catalog, {});
+  // `!timing off` makes query responses deterministic ("OK <n> paths");
+  // one query per path semantics, then the graph stats.
+  const std::vector<std::string> queries = {
+      "!timing off",
+      "MATCH ALL TRAIL p = (?x)-[:Knows+]->(?y)",
+      "MATCH ALL ACYCLIC p = (?x)-[:Likes/:Has_creator]->(?y)",
+      "MATCH ALL SIMPLE p = (?x)-[(:Likes/:Has_creator)+]->(?y)",
+      "MATCH ANY SHORTEST p = (?x)-[:Knows+]->(?y)",
+  };
+  const std::string fresh_out = RunScript(manager, spec, queries);
+  const std::string snap_out = RunScript(manager, "snapshot " + path, queries);
+  EXPECT_EQ(fresh_out, snap_out);
+  EXPECT_NE(fresh_out.find("OK "), std::string::npos) << fresh_out;
+
+  // !stats transcripts differ in catalog counters across sessions, so the
+  // graph line is compared on its own.
+  const std::string fresh_stats = RunScript(manager, spec, {"!stats"});
+  const std::string snap_stats =
+      RunScript(manager, "snapshot " + path, {"!stats"});
+  const std::string fresh_line = GraphStatLine(fresh_stats);
+  ASSERT_FALSE(fresh_line.empty()) << fresh_stats;
+  EXPECT_EQ(fresh_line, GraphStatLine(snap_stats));
+
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pathalg
