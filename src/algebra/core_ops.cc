@@ -16,8 +16,10 @@ PathSet Select(const PropertyGraph& g, const PathSet& s,
       ++parallel_stats->serial_fallbacks;
     }
     PathSet out;
-    for (const Path& p : in) {
-      if (condition.Evaluate(g, p)) out.Insert(p);
+    for (size_t i = 0; i < in.size(); ++i) {
+      if (condition.Evaluate(g, in[i])) {
+        out.InsertHashed(in[i], s.hash_of(i));
+      }
     }
     return out;
   }
@@ -35,7 +37,7 @@ PathSet Select(const PropertyGraph& g, const PathSet& s,
         std::vector<std::pair<Path, size_t>>& mine = kept[chunk];
         for (size_t i = begin; i < end; ++i) {
           if (condition.Evaluate(g, in[i])) {
-            mine.emplace_back(in[i], in[i].Hash());
+            mine.emplace_back(in[i], s.hash_of(i));
           }
         }
       });
@@ -94,25 +96,31 @@ PathSet Join(const PathSet& s1, const PathSet& s2,
   return out;
 }
 
+// ∪/∩/∖ move whole sets around without changing any path, so every hash
+// is already known (PathSet::hash_of) — no rehashing.
+
 PathSet Union(const PathSet& s1, const PathSet& s2) {
   PathSet out;
-  for (const Path& p : s1) out.Insert(p);
-  for (const Path& p : s2) out.Insert(p);
+  out.Reserve(s1.size() + s2.size());
+  for (size_t i = 0; i < s1.size(); ++i) out.InsertHashed(s1[i], s1.hash_of(i));
+  for (size_t i = 0; i < s2.size(); ++i) out.InsertHashed(s2[i], s2.hash_of(i));
   return out;
 }
 
 PathSet Intersect(const PathSet& s1, const PathSet& s2) {
   PathSet out;
-  for (const Path& p : s1) {
-    if (s2.Contains(p)) out.Insert(p);
+  for (size_t i = 0; i < s1.size(); ++i) {
+    const size_t h = s1.hash_of(i);
+    if (s2.ContainsHashed(s1[i], h)) out.InsertHashed(s1[i], h);
   }
   return out;
 }
 
 PathSet Difference(const PathSet& s1, const PathSet& s2) {
   PathSet out;
-  for (const Path& p : s1) {
-    if (!s2.Contains(p)) out.Insert(p);
+  for (size_t i = 0; i < s1.size(); ++i) {
+    const size_t h = s1.hash_of(i);
+    if (!s2.ContainsHashed(s1[i], h)) out.InsertHashed(s1[i], h);
   }
   return out;
 }

@@ -1,0 +1,71 @@
+#ifndef PATHALG_ALGEBRA_EVAL_BUDGET_H_
+#define PATHALG_ALGEBRA_EVAL_BUDGET_H_
+
+/// \file eval_budget.h
+/// The shared EvalLimits budget contract for every path-enumeration
+/// engine: the three algebra ϕ engines (naive, semi-naive, layered
+/// shortest), the NFA-fused frontier engine (frontier_closure.h) and the
+/// automaton baseline (baseline/automaton_eval.h). The differential
+/// contract — optimized ≡ baseline, including Status and truncation
+/// points — is only as strong as the agreement of their budget edges, so
+/// the edges are specified once, here, and every engine implements this
+/// text:
+///
+/// **max_paths** — counts *distinct* result paths. The budget trips at
+/// the moment a (max_paths+1)-th distinct admissible path is discovered;
+/// re-discovering an already-emitted path never trips (duplicate
+/// discovery order is an engine artifact, so a duplicate-sensitive check
+/// would make the trip point engine-dependent). Base paths and
+/// zero-length paths count like any other result. The trip predicate is
+/// therefore a pure function of (graph, query, semantics, limits):
+/// |answer| > max_paths. With truncate=true the engine returns exactly
+/// min(|answer|, max_paths) paths — which max_paths paths is the
+/// engine's own (deterministic, thread-count-independent) enumeration
+/// order, and every returned path belongs to the full answer.
+///
+/// **max_path_length** — a silent filter while enumerating: paths longer
+/// than the cap are never produced. Engines track a `dropped` flag that
+/// is set when an *admissible* candidate was suppressed by the cap
+/// (semantics are checked before length, so a candidate that would fail
+/// the restrictor anyway never sets the flag). The flag is consulted
+/// only at the natural end of a complete enumeration: truncate=false
+/// reports BudgetExhausted("max_path_length"), truncate=true returns the
+/// capped answer. kShortest treats the cap as a pure filter on both
+/// sides (pairs whose minimal path exceeds the cap are absent, never
+/// reported).
+///
+/// **max_iterations** — a fixpoint-round budget for the algebra engines:
+/// round r composes (r+1)-segment paths, and the budget trips iff the
+/// fixpoint has not been verified after max_iterations rounds (i.e. round
+/// max_iterations still discovered a new path — including round 0: a
+/// nonempty filtered base with max_iterations == 0 trips, an empty one
+/// does not). The naive, semi-naive and frontier engines agree exactly
+/// on this predicate; the automaton baseline has no fixpoint and does
+/// not consult max_iterations.
+///
+/// **Precedence** — max_paths is checked during enumeration and returns
+/// immediately; the `dropped` flag is only consulted at a completed
+/// enumeration. When both budgets trip in one evaluation, every engine
+/// reports BudgetExhausted("max_paths"). Pinned by
+/// FrontierDifferentialTest.BudgetPrecedenceMaxPathsBeforeMaxPathLength.
+
+#include <string>
+
+#include "common/status.h"
+
+namespace pathalg {
+
+/// The single Status every engine returns for a tripped budget;
+/// `what` ∈ {"max_paths", "max_iterations", "max_path_length"}.
+/// Identical wording across engines is part of the differential contract
+/// (Status strings are compared byte-for-byte by the parity fuzz).
+inline Status BudgetExhausted(const char* what) {
+  return Status::ResourceExhausted(
+      std::string("path enumeration exceeded budget (") + what +
+      "); the answer set may be infinite under WALK semantics — "
+      "use a restrictor, a length bound, or truncate=true");
+}
+
+}  // namespace pathalg
+
+#endif  // PATHALG_ALGEBRA_EVAL_BUDGET_H_

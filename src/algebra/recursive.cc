@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "algebra/eval_budget.h"
 #include "common/hash.h"
 #include "path/path_index.h"
 
@@ -54,13 +55,6 @@ struct PairHash {
 using BestMap =
     std::unordered_map<std::pair<NodeId, NodeId>, size_t, PairHash>;
 
-Status ExhaustedError(const char* what) {
-  return Status::ResourceExhausted(
-      std::string("phi evaluation exceeded budget (") + what +
-      "); the answer set may be infinite under WALK semantics — "
-      "use a restrictor, a length bound, or truncate=true");
-}
-
 // ---------------------------------------------------------------------------
 // Naive engine: Definition 4.1 verbatim.
 //   ϕ0(S) = S;  ϕi(S) = (ϕ{i-1}(S) ⋈ ϕ0(S)) ∪ ϕ{i-1}(S)  until fixpoint.
@@ -76,10 +70,17 @@ Result<PathSet> RecursiveNaive(const PathSet& base, PathSemantics semantics,
   PathSet acc;  // ϕ_{i}(S), accumulated.
   for (const Path& p : base) {
     if (p.empty()) continue;
+    // Semantics before length: only *admissible* overlong candidates set
+    // `dropped` (the eval_budget.h predicate).
     if (!SatisfiesSemantics(p, semantics)) continue;
     if (p.Len() > limits.max_path_length) {
       dropped = true;
       continue;
+    }
+    if (acc.Contains(p)) continue;  // duplicates never trip the budget
+    if (acc.size() >= limits.max_paths) {
+      if (limits.truncate) return acc;
+      return BudgetExhausted("max_paths");
     }
     if (shortest) {
       auto key = std::make_pair(p.First(), p.Last());
@@ -95,18 +96,32 @@ Result<PathSet> RecursiveNaive(const PathSet& base, PathSemantics semantics,
   std::vector<Path> base_paths(acc.begin(), acc.end());
   PathFirstIndex index(base_paths);
 
-  for (size_t iter = 0; iter < limits.max_iterations; ++iter) {
+  // The budget trips iff the fixpoint is not *verified* within
+  // max_iterations rounds — a nonempty ϕ0 needs round 1 to verify even an
+  // immediate fixpoint, while ϕ0 = ∅ is a fixpoint with zero rounds. This
+  // matches the semi-naive engine's nonempty-frontier loop exactly
+  // (eval_budget.h).
+  bool grew = !acc.empty();
+  size_t rounds = 0;
+  while (grew) {
+    if (rounds == limits.max_iterations) {
+      if (limits.truncate) {
+        return shortest ? KeepShortestPerEndpointPair(acc) : acc;
+      }
+      return BudgetExhausted("max_iterations");
+    }
+    ++rounds;
     // Join the full accumulated set with ϕ0 (this is what makes the naive
     // engine quadratic: older paths are re-joined every round).
     std::vector<Path> generated;
     for (const Path& p1 : acc) {
       for (const Path* p2 : index.ForFirst(p1.Last())) {
         Path q = Path::ConcatUnchecked(p1, *p2);
+        if (!SatisfiesSemantics(q, semantics)) continue;
         if (q.Len() > limits.max_path_length) {
           dropped = true;
           continue;
         }
-        if (!SatisfiesSemantics(q, semantics)) continue;
         if (shortest) {
           auto key = std::make_pair(q.First(), q.Last());
           auto bit = best.find(key);
@@ -118,26 +133,22 @@ Result<PathSet> RecursiveNaive(const PathSet& base, PathSemantics semantics,
         generated.push_back(std::move(q));
       }
     }
-    size_t before = acc.size();
+    const size_t before = acc.size();
     for (Path& q : generated) {
+      if (acc.Contains(q)) continue;  // duplicates never trip the budget
       if (acc.size() >= limits.max_paths) {
         if (limits.truncate) return acc;
-        return ExhaustedError("max_paths");
+        return BudgetExhausted("max_paths");
       }
       acc.Insert(std::move(q));
     }
-    if (acc.size() == before) {
-      // Fixpoint: |ϕi| == |ϕ{i-1}|.
-      if (dropped && !limits.truncate) {
-        return ExhaustedError("max_path_length");
-      }
-      return shortest ? KeepShortestPerEndpointPair(acc) : acc;
-    }
+    grew = acc.size() > before;
   }
-  if (limits.truncate) {
-    return shortest ? KeepShortestPerEndpointPair(acc) : acc;
+  // Fixpoint verified: |ϕi| == |ϕ{i-1}|.
+  if (dropped && !limits.truncate) {
+    return BudgetExhausted("max_path_length");
   }
-  return ExhaustedError("max_iterations");
+  return shortest ? KeepShortestPerEndpointPair(acc) : acc;
 }
 
 // ---------------------------------------------------------------------------
@@ -163,12 +174,20 @@ Result<PathSet> RecursiveSemiNaive(const PathSet& base,
   bool dropped = false;
   for (const Path& p : base) {
     if (p.empty()) continue;
+    // Semantics before length: only *admissible* overlong candidates set
+    // `dropped` (the eval_budget.h predicate).
     if (!SatisfiesSemantics(p, semantics)) continue;
     if (p.Len() > limits.max_path_length) {
       dropped = true;
       continue;
     }
-    if (acc.Insert(p)) frontier.push_back(p);
+    if (acc.Contains(p)) continue;  // duplicates never trip the budget
+    if (acc.size() >= limits.max_paths) {
+      if (limits.truncate) return acc;
+      return BudgetExhausted("max_paths");
+    }
+    acc.Insert(p);
+    frontier.push_back(p);
   }
   std::vector<Path> base_paths(acc.begin(), acc.end());
   // CSR-style dense index of ϕ0 by First(p): the frontier loop probes it
@@ -179,7 +198,7 @@ Result<PathSet> RecursiveSemiNaive(const PathSet& base,
   while (!frontier.empty()) {
     if (++iterations > limits.max_iterations) {
       if (limits.truncate) return acc;
-      return ExhaustedError("max_iterations");
+      return BudgetExhausted("max_iterations");
     }
     // Generate-and-merge in deterministic frontier *segments* rather than
     // one frontier-sized batch: serial generation stops within one
@@ -217,11 +236,13 @@ Result<PathSet> RecursiveSemiNaive(const PathSet& base,
               }
               for (const Path* p2 : index.ForFirst(p1.Last())) {
                 Path q = Path::ConcatUnchecked(p1, *p2);
+                // Semantics before length: only *admissible* overlong
+                // candidates set `dropped` (the eval_budget.h predicate).
+                if (!SatisfiesSemantics(q, semantics)) continue;
                 if (q.Len() > limits.max_path_length) {
                   chunk_dropped[chunk] = 1;
                   continue;
                 }
-                if (!SatisfiesSemantics(q, semantics)) continue;
                 const size_t h = q.Hash();
                 mine.emplace_back(std::move(q), h);
               }
@@ -233,18 +254,20 @@ Result<PathSet> RecursiveSemiNaive(const PathSet& base,
         // cannot change behavior.
         if (chunk_dropped[c] != 0) dropped = true;
         for (auto& [q, h] : candidates[c]) {
+          if (acc.ContainsHashed(q, h)) continue;  // duplicates never trip
           if (acc.size() >= limits.max_paths) {
             if (limits.truncate) return acc;
-            return ExhaustedError("max_paths");
+            return BudgetExhausted("max_paths");
           }
-          if (acc.InsertHashed(q, h)) next.push_back(std::move(q));
+          next.push_back(q);
+          acc.InsertHashed(std::move(q), h);
         }
       }
     }
     frontier = std::move(next);
   }
   if (dropped && !limits.truncate) {
-    return ExhaustedError("max_path_length");
+    return BudgetExhausted("max_path_length");
   }
   return acc;
 }
@@ -297,7 +320,7 @@ Result<PathSet> RecursiveShortestLayered(const PathSet& base,
     while (!heap.empty() && heap.top().Len() == layer_len) {
       if (++pops > limits.max_iterations * 64) {
         if (limits.truncate) return out;
-        return ExhaustedError("max_iterations");
+        return BudgetExhausted("max_iterations");
       }
       Path p = heap.top();
       heap.pop();
@@ -308,7 +331,7 @@ Result<PathSet> RecursiveShortestLayered(const PathSet& base,
       if (!expanded.Insert(p)) continue;  // already handled this exact path
       if (out.size() >= limits.max_paths) {
         if (limits.truncate) return out;
-        return ExhaustedError("max_paths");
+        return BudgetExhausted("max_paths");
       }
       out.Insert(p);
       layer.push_back(std::move(p));

@@ -1,104 +1,79 @@
 #include "baseline/automaton_eval.h"
 
 #include <algorithm>
+#include <limits>
 #include <queue>
-#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
+#include "algebra/eval_budget.h"
 #include "baseline/nfa.h"
+#include "baseline/product_index.h"
+#include "common/thread_pool.h"
 
 namespace pathalg {
 
 namespace {
 
-/// NFA transitions re-indexed by interned graph LabelId for O(1) stepping.
-struct ProductIndex {
-  // forward[state][label] -> next states.
-  std::vector<std::unordered_map<LabelId, std::vector<uint32_t>>> forward;
-  // backward[state][label] -> predecessor states.
-  std::vector<std::unordered_map<LabelId, std::vector<uint32_t>>> backward;
-
-  ProductIndex(const PropertyGraph& g, const Nfa& nfa) {
-    forward.resize(nfa.num_states());
-    backward.resize(nfa.num_states());
-    for (uint32_t s = 0; s < nfa.num_states(); ++s) {
-      for (const Nfa::Transition& tr : nfa.TransitionsFrom(s)) {
-        LabelId l = g.FindLabel(tr.label);
-        if (l == kNoLabel) continue;  // label absent from graph: dead edge
-        forward[s][l].push_back(tr.next);
-        backward[tr.next][l].push_back(s);
-      }
-    }
-  }
-};
-
-class AutomatonEvaluator {
+/// Per-chunk enumeration state: runs the product traversal for a range of
+/// source nodes, writing into a chunk-private PathSet. Paths start at
+/// their source, so per-source outputs are disjoint across sources and a
+/// chunk-local dedup equals the global one; the chunk caps its output at
+/// max_paths + 1 distinct paths — enough for the caller's merge to detect
+/// a global budget trip — and keeps enumerating without inserting past
+/// the cap (the traversal itself is bounded by max_path_length).
+///
+/// Budget edges follow algebra/eval_budget.h: `dropped` is set only when
+/// an *admissible* accepting one-step extension was suppressed by
+/// max_path_length (checked by lookahead at the cap), and is consulted by
+/// the caller only after the complete enumeration. max_iterations has no
+/// fixpoint counterpart here and is not consulted.
+class SourceRunner {
  public:
-  AutomatonEvaluator(const PropertyGraph& g, const RegexPtr& regex,
-                     const AutomatonEvalOptions& options)
-      : g_(g),
-        options_(options),
-        nfa_(Nfa::FromRegex(regex)),
-        index_(g, nfa_) {}
+  SourceRunner(const PropertyGraph& g, const Nfa& nfa,
+               const ProductIndex& index, const AutomatonEvalOptions& options)
+      : g_(g), nfa_(nfa), index_(index), options_(options) {}
 
-  Result<PathSet> Run() {
-    std::vector<NodeId> sources;
-    if (options_.source.has_value()) {
-      if (!g_.IsValidNode(*options_.source)) {
-        return Status::InvalidArgument("unknown source node");
-      }
-      sources.push_back(*options_.source);
+  void Run(NodeId source, PathSet* out) {
+    out_ = out;
+    if (options_.semantics == PathSemantics::kShortest) {
+      RunShortestFrom(source);
     } else {
-      for (NodeId n = 0; n < g_.num_nodes(); ++n) sources.push_back(n);
+      RunDfsFrom(source);
     }
-    for (NodeId s : sources) {
-      Status st = options_.semantics == PathSemantics::kShortest
-                      ? RunShortestFrom(s)
-                      : RunDfsFrom(s);
-      PATHALG_RETURN_NOT_OK(st);
-    }
-    return std::move(out_);
   }
+
+  bool dropped() const { return dropped_; }
 
  private:
   bool TargetOk(NodeId n) const {
     return !options_.target.has_value() || *options_.target == n;
   }
 
-  Status Emit(Path p) {
-    if (out_.size() >= options_.limits.max_paths) {
-      if (options_.limits.truncate) return Status::OK();
-      return Status::ResourceExhausted(
-          "automaton evaluation exceeded max_paths");
-    }
-    out_.Insert(std::move(p));
-    return Status::OK();
+  void Emit(Path p) {
+    // size() > max_paths means the chunk already holds the max_paths + 1
+    // distinct paths the merge needs to see; stop growing.
+    if (out_->size() > options_.limits.max_paths) return;
+    out_->Insert(std::move(p));
   }
 
   // --- DFS enumeration for walk / trail / acyclic / simple ----------------
 
-  Status RunDfsFrom(NodeId source) {
+  void RunDfsFrom(NodeId source) {
     if (nfa_.IsAccepting(nfa_.start()) && TargetOk(source)) {
-      PATHALG_RETURN_NOT_OK(Emit(Path::SingleNode(source)));
+      Emit(Path::SingleNode(source));
     }
     nodes_ = {source};
     edges_.clear();
     used_edges_.clear();
     visited_nodes_ = {source};
-    budget_hit_ = false;
-    PATHALG_RETURN_NOT_OK(Dfs(source, nfa_.start()));
-    if (budget_hit_ && !options_.limits.truncate) {
-      return Status::ResourceExhausted(
-          "automaton WALK enumeration exceeded max_path_length; the answer "
-          "set may be infinite — use a restrictor or truncate=true");
-    }
-    return Status::OK();
+    Dfs(source, nfa_.start());
   }
 
   /// One product step of the DFS: edge `e` under the automaton transitions
   /// `next_states` (all carrying λ(e)).
-  Status DfsStep(EdgeId e, const std::vector<uint32_t>& next_states) {
+  void DfsStep(EdgeId e, const std::vector<uint32_t>& next_states) {
     NodeId next = g_.Target(e);
 
     bool closes_cycle = false;  // simple: next == first, path becomes closed
@@ -106,19 +81,19 @@ class AutomatonEvaluator {
       case PathSemantics::kWalk:
         break;
       case PathSemantics::kTrail:
-        if (used_edges_.count(e) != 0) return Status::OK();
+        if (used_edges_.count(e) != 0) return;
         break;
       case PathSemantics::kAcyclic:
-        if (visited_nodes_.count(next) != 0) return Status::OK();
+        if (visited_nodes_.count(next) != 0) return;
         break;
       case PathSemantics::kSimple:
         if (visited_nodes_.count(next) != 0) {
-          if (next != nodes_.front()) return Status::OK();
+          if (next != nodes_.front()) return;
           closes_cycle = true;
         }
         break;
       case PathSemantics::kShortest:
-        return Status::Internal("shortest uses BFS, not DFS");
+        return;  // shortest uses BFS, never this DFS
     }
 
     nodes_.push_back(next);
@@ -126,46 +101,81 @@ class AutomatonEvaluator {
     used_edges_.insert(e);
     bool newly_visited = visited_nodes_.insert(next).second;
 
-    Status st = Status::OK();
     for (uint32_t next_state : next_states) {
       if (nfa_.IsAccepting(next_state) && TargetOk(next)) {
-        st = Emit(Path(nodes_, edges_));
-        if (!st.ok()) break;
+        Emit(Path(nodes_, edges_));
       }
-      if (!closes_cycle) {
-        st = Dfs(next, next_state);
-        if (!st.ok()) break;
-      }
+      if (!closes_cycle) Dfs(next, next_state);
     }
 
     nodes_.pop_back();
     edges_.pop_back();
     used_edges_.erase(e);
     if (newly_visited) visited_nodes_.erase(next);
-    return st;
   }
 
-  Status Dfs(NodeId node, uint32_t state) {
+  void Dfs(NodeId node, uint32_t state) {
     if (edges_.size() >= options_.limits.max_path_length) {
-      // Only WALK can actually grow without bound, but the cap applies to
-      // all semantics for symmetry with ϕ's EvalLimits.
-      budget_hit_ = true;
-      return Status::OK();
+      // The cap is a silent filter; `dropped` records only *admissible*
+      // suppressed candidates (semantics checked before length —
+      // eval_budget.h), so look one step ahead instead of flagging
+      // unconditionally: a walk that merely touched the cap with no
+      // admissible accepting extension lost nothing.
+      if (!dropped_) dropped_ = HasAdmissibleAcceptingExtension(node, state);
+      return;
     }
-    const auto& by_label = index_.forward[state];
     // Label-partitioned expansion: one CSR slice per live NFA label, each a
-    // contiguous range scan — no per-edge hash probe.
-    for (const auto& [label, next_states] : by_label) {
-      for (EdgeId e : g_.OutEdgesWithLabel(node, label)) {
-        PATHALG_RETURN_NOT_OK(DfsStep(e, next_states));
+    // contiguous range scan — no per-edge hash probe. Arcs are
+    // label-sorted (ProductIndex), so enumeration order is a pure function
+    // of the graph and the regex.
+    for (const ProductIndex::Arc& arc : index_.forward[state]) {
+      for (EdgeId e : g_.OutEdgesWithLabel(node, arc.label)) {
+        DfsStep(e, arc.states);
       }
     }
-    return Status::OK();
+  }
+
+  /// True when some one-edge extension of the current DFS path passes the
+  /// restrictor and lands in an accepting state — i.e. an admissible
+  /// accepting candidate of length max_path_length + 1 exists.
+  bool HasAdmissibleAcceptingExtension(NodeId node, uint32_t state) const {
+    for (const ProductIndex::Arc& arc : index_.forward[state]) {
+      bool accepts = false;
+      for (uint32_t ns : arc.states) {
+        if (nfa_.IsAccepting(ns)) {
+          accepts = true;
+          break;
+        }
+      }
+      if (!accepts) continue;
+      for (EdgeId e : g_.OutEdgesWithLabel(node, arc.label)) {
+        NodeId next = g_.Target(e);
+        switch (options_.semantics) {
+          case PathSemantics::kWalk:
+            break;
+          case PathSemantics::kTrail:
+            if (used_edges_.count(e) != 0) continue;
+            break;
+          case PathSemantics::kAcyclic:
+            if (visited_nodes_.count(next) != 0) continue;
+            break;
+          case PathSemantics::kSimple:
+            if (visited_nodes_.count(next) != 0 && next != nodes_.front()) {
+              continue;
+            }
+            break;
+          case PathSemantics::kShortest:
+            return false;
+        }
+        if (TargetOk(next)) return true;
+      }
+    }
+    return false;
   }
 
   // --- BFS + backward enumeration for shortest -----------------------------
 
-  Status RunShortestFrom(NodeId source) {
+  void RunShortestFrom(NodeId source) {
     constexpr size_t kInf = std::numeric_limits<size_t>::max();
     const size_t num_states = nfa_.num_states();
     auto key = [&](NodeId n, uint32_t s) { return n * num_states + s; };
@@ -177,20 +187,17 @@ class AutomatonEvaluator {
       auto [node, state] = queue.front();
       queue.pop();
       size_t d = dist[key(node, state)];
+      // kShortest treats the cap as a pure silent filter (eval_budget.h).
       if (d >= options_.limits.max_path_length) continue;
-      const auto& by_label = index_.forward[state];
-      auto relax = [&](EdgeId e, const std::vector<uint32_t>& states) {
-        NodeId next = g_.Target(e);
-        for (uint32_t ns : states) {
-          if (dist[key(next, ns)] == kInf) {
-            dist[key(next, ns)] = d + 1;
-            queue.push({next, ns});
+      for (const ProductIndex::Arc& arc : index_.forward[state]) {
+        for (EdgeId e : g_.OutEdgesWithLabel(node, arc.label)) {
+          NodeId next = g_.Target(e);
+          for (uint32_t ns : arc.states) {
+            if (dist[key(next, ns)] == kInf) {
+              dist[key(next, ns)] = d + 1;
+              queue.push({next, ns});
+            }
           }
-        }
-      };
-      for (const auto& [label, states] : by_label) {
-        for (EdgeId e : g_.OutEdgesWithLabel(node, label)) {
-          relax(e, states);
         }
       }
     }
@@ -205,24 +212,22 @@ class AutomatonEvaluator {
       }
       if (best == kInf) continue;
       if (best == 0) {
-        PATHALG_RETURN_NOT_OK(Emit(Path::SingleNode(t)));
+        Emit(Path::SingleNode(t));
         continue;
       }
       for (uint32_t s = 0; s < num_states; ++s) {
         if (!nfa_.IsAccepting(s) || dist[key(t, s)] != best) continue;
         nodes_suffix_ = {t};
         edges_suffix_.clear();
-        PATHALG_RETURN_NOT_OK(
-            Backtrack(source, t, s, best, dist, num_states));
+        Backtrack(source, t, s, best, dist, num_states);
       }
     }
-    return Status::OK();
   }
 
   /// Walks dist-decreasing product edges backwards from (node, state) at
   /// depth `d`, emitting every completed shortest path.
-  Status Backtrack(NodeId source, NodeId node, uint32_t state, size_t d,
-                   const std::vector<size_t>& dist, size_t num_states) {
+  void Backtrack(NodeId source, NodeId node, uint32_t state, size_t d,
+                 const std::vector<size_t>& dist, size_t num_states) {
     auto key = [&](NodeId n, uint32_t s) { return n * num_states + s; };
     if (d == 0) {
       if (node == source && state == nfa_.start()) {
@@ -230,45 +235,37 @@ class AutomatonEvaluator {
                                   nodes_suffix_.rend());
         std::vector<EdgeId> edges(edges_suffix_.rbegin(),
                                   edges_suffix_.rend());
-        PATHALG_RETURN_NOT_OK(Emit(Path(std::move(nodes), std::move(edges))));
+        Emit(Path(std::move(nodes), std::move(edges)));
       }
-      return Status::OK();
+      return;
     }
-    const auto& by_label = index_.backward[state];
-    auto step = [&](EdgeId e,
-                    const std::vector<uint32_t>& prev_states) -> Status {
-      NodeId prev = g_.Source(e);
-      for (uint32_t ps : prev_states) {
-        if (dist[key(prev, ps)] != d - 1) continue;
-        nodes_suffix_.push_back(prev);
-        edges_suffix_.push_back(e);
-        PATHALG_RETURN_NOT_OK(
-            Backtrack(source, prev, ps, d - 1, dist, num_states));
-        nodes_suffix_.pop_back();
-        edges_suffix_.pop_back();
-      }
-      return Status::OK();
-    };
-    for (const auto& [label, prev_states] : by_label) {
-      for (EdgeId e : g_.InEdgesWithLabel(node, label)) {
-        PATHALG_RETURN_NOT_OK(step(e, prev_states));
+    for (const ProductIndex::Arc& arc : index_.backward[state]) {
+      for (EdgeId e : g_.InEdgesWithLabel(node, arc.label)) {
+        NodeId prev = g_.Source(e);
+        for (uint32_t ps : arc.states) {
+          if (dist[key(prev, ps)] != d - 1) continue;
+          nodes_suffix_.push_back(prev);
+          edges_suffix_.push_back(e);
+          Backtrack(source, prev, ps, d - 1, dist, num_states);
+          nodes_suffix_.pop_back();
+          edges_suffix_.pop_back();
+        }
       }
     }
-    return Status::OK();
   }
 
   const PropertyGraph& g_;
+  const Nfa& nfa_;
+  const ProductIndex& index_;
   const AutomatonEvalOptions& options_;
-  Nfa nfa_;
-  ProductIndex index_;
-  PathSet out_;
+  PathSet* out_ = nullptr;
 
   // DFS working state.
   std::vector<NodeId> nodes_;
   std::vector<EdgeId> edges_;
   std::unordered_set<EdgeId> used_edges_;
   std::unordered_set<NodeId> visited_nodes_;
-  bool budget_hit_ = false;
+  bool dropped_ = false;
 
   // Backtrack working state (stored target-to-source, reversed on emit).
   std::vector<NodeId> nodes_suffix_;
@@ -281,7 +278,57 @@ Result<PathSet> EvaluateRpqAutomaton(const PropertyGraph& g,
                                      const RegexPtr& regex,
                                      const AutomatonEvalOptions& options) {
   if (regex == nullptr) return Status::InvalidArgument("null regex");
-  return AutomatonEvaluator(g, regex, options).Run();
+  if (options.source.has_value() && !g.IsValidNode(*options.source)) {
+    return Status::InvalidArgument("unknown source node");
+  }
+  const Nfa nfa = Nfa::FromRegex(regex);
+  const ProductIndex index(g, nfa);
+
+  std::vector<NodeId> sources;
+  if (options.source.has_value()) {
+    sources.push_back(*options.source);
+  } else {
+    sources.reserve(g.num_nodes());
+    for (NodeId n = 0; n < g.num_nodes(); ++n) sources.push_back(n);
+  }
+
+  // Per-source fan-out: every path starts at its source, so chunk outputs
+  // are disjoint and merging them in chunk index order reproduces the
+  // serial source-major enumeration byte-for-byte at any thread count.
+  // Chunk bodies only write chunk-private state (no locks).
+  const ChunkLayout layout = ThreadPool::PlanFor(sources.size(),
+                                                 options.parallel);
+  std::vector<PathSet> results(layout.num_chunks);
+  std::vector<uint8_t> chunk_dropped(layout.num_chunks, 0);
+  ThreadPool::Shared().ParallelFor(
+      sources.size(), options.parallel, options.parallel_stats,
+      [&](size_t chunk, size_t begin, size_t end) {
+        SourceRunner runner(g, nfa, index, options);
+        for (size_t i = begin; i < end; ++i) {
+          runner.Run(sources[i], &results[chunk]);
+        }
+        chunk_dropped[chunk] = runner.dropped() ? 1 : 0;
+      });
+
+  PathSet out;
+  bool dropped = false;
+  for (size_t c = 0; c < layout.num_chunks; ++c) {
+    if (chunk_dropped[c] != 0) dropped = true;
+    for (const Path& p : results[c]) {
+      if (out.Contains(p)) continue;  // duplicates never trip the budget
+      if (out.size() >= options.limits.max_paths) {
+        if (options.limits.truncate) return out;
+        return BudgetExhausted("max_paths");
+      }
+      out.Insert(p);
+    }
+  }
+  // `dropped` is only consulted after the complete enumeration, so a
+  // max_paths trip anywhere above takes precedence (eval_budget.h).
+  if (dropped && !options.limits.truncate) {
+    return BudgetExhausted("max_path_length");
+  }
+  return out;
 }
 
 }  // namespace pathalg

@@ -29,6 +29,12 @@ struct AutomatonEvalOptions {
   /// Restrict to paths starting / ending at a given node.
   std::optional<NodeId> source;
   std::optional<NodeId> target;
+  /// Per-source fan-out over the shared pool (PR 4 follow-up): chunk
+  /// outputs are disjoint (every path starts at its source) and merge in
+  /// chunk index order, so results, partial answers and Status are
+  /// byte-identical at any thread count.
+  ParallelOptions parallel;
+  ParallelStats* parallel_stats = nullptr;
 };
 
 /// Returns every path p of `g` with λ(p) ∈ L(regex) that satisfies the

@@ -1,0 +1,72 @@
+#ifndef PATHALG_BASELINE_PRODUCT_INDEX_H_
+#define PATHALG_BASELINE_PRODUCT_INDEX_H_
+
+/// \file product_index.h
+/// NFA transitions re-indexed by interned graph LabelId, shared by the
+/// automaton baseline (automaton_eval.cc) and the NFA-fused frontier
+/// engine (algebra/frontier_closure.cc). Per state the live labels are
+/// kept as a *label-sorted vector* rather than a hash map: product walks
+/// iterate a state's labels in every inner loop, and walking them in
+/// LabelId order makes the enumeration order — and with it result order,
+/// truncation points and partial answers — a pure function of the graph
+/// and the regex, never of hash-bucket layout.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "baseline/nfa.h"
+#include "graph/property_graph.h"
+
+namespace pathalg {
+
+struct ProductIndex {
+  /// One live label at a state and the NFA states an edge with that label
+  /// moves to. States preserve NFA transition order (deduplicated).
+  struct Arc {
+    LabelId label = kNoLabel;
+    std::vector<uint32_t> states;
+  };
+
+  /// forward[s]: arcs leaving state s, sorted by label.
+  std::vector<std::vector<Arc>> forward;
+  /// backward[s]: arcs entering state s, sorted by label.
+  std::vector<std::vector<Arc>> backward;
+
+  ProductIndex(const PropertyGraph& g, const Nfa& nfa) {
+    forward.resize(nfa.num_states());
+    backward.resize(nfa.num_states());
+    for (uint32_t s = 0; s < nfa.num_states(); ++s) {
+      for (const Nfa::Transition& tr : nfa.TransitionsFrom(s)) {
+        LabelId l = g.FindLabel(tr.label);
+        if (l == kNoLabel) continue;  // label absent from graph: dead edge
+        AddState(forward[s], l, tr.next);
+        AddState(backward[tr.next], l, s);
+      }
+    }
+    for (auto& arcs : forward) SortArcs(arcs);
+    for (auto& arcs : backward) SortArcs(arcs);
+  }
+
+ private:
+  static void AddState(std::vector<Arc>& arcs, LabelId l, uint32_t state) {
+    for (Arc& a : arcs) {
+      if (a.label != l) continue;
+      for (uint32_t existing : a.states) {
+        if (existing == state) return;
+      }
+      a.states.push_back(state);
+      return;
+    }
+    arcs.push_back(Arc{l, {state}});
+  }
+
+  static void SortArcs(std::vector<Arc>& arcs) {
+    std::sort(arcs.begin(), arcs.end(),
+              [](const Arc& a, const Arc& b) { return a.label < b.label; });
+  }
+};
+
+}  // namespace pathalg
+
+#endif  // PATHALG_BASELINE_PRODUCT_INDEX_H_

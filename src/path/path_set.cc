@@ -11,11 +11,16 @@ bool PathSet::InsertHashed(Path p, size_t hash) {
   }
   index_.emplace(hash, paths_.size());
   paths_.push_back(std::move(p));
+  hashes_.push_back(hash);
   return true;
 }
 
 bool PathSet::Contains(const Path& p) const {
-  auto [first, last] = index_.equal_range(p.Hash());
+  return ContainsHashed(p, p.Hash());
+}
+
+bool PathSet::ContainsHashed(const Path& p, size_t hash) const {
+  auto [first, last] = index_.equal_range(hash);
   for (auto it = first; it != last; ++it) {
     if (paths_[it->second] == p) return true;
   }

@@ -46,6 +46,11 @@ class PathSet {
 
   bool Contains(const Path& p) const;
 
+  /// Contains with a caller-computed hash; precondition: hash == p.Hash().
+  /// The dedup-aware budget checks (algebra/eval_budget.h) probe candidates
+  /// that were hashed off the merge thread.
+  bool ContainsHashed(const Path& p, size_t hash) const;
+
   size_t size() const { return paths_.size(); }
   bool empty() const { return paths_.empty(); }
 
@@ -54,6 +59,11 @@ class PathSet {
   std::vector<Path>::const_iterator end() const { return paths_.end(); }
   const std::vector<Path>& paths() const { return paths_; }
 
+  /// The stored hash of paths()[i] (== paths()[i].Hash()). Set-to-set
+  /// operators (∪/∩/∖, σ's serial loop) propagate these instead of
+  /// rehashing every path they copy.
+  size_t hash_of(size_t i) const { return hashes_[i]; }
+
   /// Paths in canonical (length, node-ids, edge-ids) order.
   std::vector<Path> Sorted() const;
 
@@ -61,8 +71,16 @@ class PathSet {
   bool operator==(const PathSet& other) const;
   bool operator!=(const PathSet& other) const { return !(*this == other); }
 
+  /// Pre-sizes storage and the dedup index for `n` expected paths.
+  void Reserve(size_t n) {
+    paths_.reserve(n);
+    hashes_.reserve(n);
+    index_.reserve(n);
+  }
+
   void clear() {
     paths_.clear();
+    hashes_.clear();
     index_.clear();
   }
 
@@ -77,6 +95,8 @@ class PathSet {
   };
 
   std::vector<Path> paths_;
+  /// hashes_[i] == paths_[i].Hash(), for hash propagation (hash_of).
+  std::vector<size_t> hashes_;
   /// hash -> index into paths_; multimap so colliding hashes coexist.
   std::unordered_multimap<size_t, size_t, IdentityHash> index_;
 };

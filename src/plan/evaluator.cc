@@ -4,8 +4,10 @@
 #include <variant>
 
 #include "algebra/core_ops.h"
+#include "algebra/frontier_closure.h"
 #include "common/timing.h"
 #include "path/path_ops.h"
+#include "regex/ast.h"
 
 namespace pathalg {
 
@@ -26,6 +28,9 @@ void EvalStats::Merge(const EvalStats& other) {
   label_scan_hits += other.label_scan_hits;
   chunks_executed += other.chunks_executed;
   steal_count += other.steal_count;
+  fused_closure_hits += other.fused_closure_hits;
+  frontier_states_expanded += other.frontier_states_expanded;
+  frontier_paths_reconstructed += other.frontier_paths_reconstructed;
 }
 
 namespace {
@@ -72,6 +77,30 @@ const Condition* MatchEdgeLabelScan(const PlanNode& node) {
   return c;
 }
 
+/// Inverts the compile.cc regex→plan mapping for the closure-free shapes
+/// the frontier engine fuses: σ_{label(edge(1))=L}(Edges) → :L,
+/// Join → concatenation, Union → alternation. Returns nullptr when the
+/// subtree is not the compiled form of a closure-free regex (e.g. it
+/// contains a nested ϕ, a NodesScan from `*`/`?` lowering, or a
+/// hand-built filter) — the caller then evaluates the subtree normally.
+RegexPtr ReconstructRegex(const PlanNode& node) {
+  if (const Condition* c = MatchEdgeLabelScan(node)) {
+    return RegexNode::Label(c->constant().AsString());
+  }
+  if (node.children().size() != 2) return nullptr;
+  if (node.kind() != PlanKind::kJoin && node.kind() != PlanKind::kUnion) {
+    return nullptr;
+  }
+  RegexPtr l = ReconstructRegex(*node.children()[0]);
+  if (l == nullptr) return nullptr;
+  RegexPtr r = ReconstructRegex(*node.children()[1]);
+  if (r == nullptr) return nullptr;
+  return node.kind() == PlanKind::kJoin ? RegexNode::Concat(std::move(l),
+                                                            std::move(r))
+                                        : RegexNode::Union(std::move(l),
+                                                           std::move(r));
+}
+
 // GCC 12 flags the Result<variant<...>> moves in Eval/ApplyOp returns —
 // and, at -O2 (RelWithDebInfo, the TSan build), the inlined
 // std::get<SolutionSpace> move in EvaluateToSpace — as
@@ -97,6 +126,49 @@ Result<EvalValue> Eval(const PropertyGraph& g, const PlanNode& node,
     }
     RecordOp(options.stats, node, own_start, out);
     return out;
+  }
+  // NFA-fused ϕ: when the closure's child subtree is the compiled form of
+  // a closure-free regex, skip evaluating it (the base set is never
+  // materialized) and run the product-automaton frontier engine instead.
+  // Unlike the label-scan fast path the collapsed children are *not*
+  // booked into op_count — no operator ran for them.
+  if (node.kind() == PlanKind::kRecursive &&
+      options.engine == PhiEngine::kOptimized && options.fuse_closures) {
+    if (RegexPtr inner = ReconstructRegex(*node.children()[0]);
+        inner != nullptr && FrontierEligible(inner)) {
+      const SteadyClock::time_point own_start = SteadyClock::now();
+      const ParallelOptions par{options.threads, options.min_chunk};
+      ParallelStats pstats;
+      FrontierClosureStats fstats;
+      Result<PathSet> r = FrontierClosure(g, inner, node.semantics(),
+                                          options.limits, par, &pstats,
+                                          &fstats);
+      if (options.stats != nullptr) {  // a failed ϕ still reports its work
+        options.stats->chunks_executed += pstats.chunks_executed;
+        options.stats->steal_count += pstats.steal_count;
+        options.stats->op_serial_fallback[static_cast<size_t>(
+            PlanKind::kRecursive)] += pstats.serial_fallbacks;
+        options.stats->fused_closure_hits += 1;
+        options.stats->frontier_states_expanded += fstats.states_expanded;
+        options.stats->frontier_paths_reconstructed +=
+            fstats.paths_reconstructed;
+      }
+      if (!r.ok()) {
+        // Book the node even on a budget error, mirroring the non-fused
+        // path where children evaluate before ϕ fails — callers attribute
+        // the cost of failed evaluations (see EvalOptions::stats).
+        if (options.stats != nullptr) {
+          const size_t k = static_cast<size_t>(node.kind());
+          options.stats->op_us[k] += MicrosSince(own_start);
+          options.stats->op_count[k] += 1;
+          options.stats->nodes_evaluated += 1;
+        }
+        return r.status();
+      }
+      EvalValue out(std::move(r).value());
+      RecordOp(options.stats, node, own_start, out);
+      return out;
+    }
   }
   // Evaluate children first (all operators are strict).
   std::vector<EvalValue> inputs;

@@ -51,6 +51,13 @@ struct EvalStats {
   size_t chunks_executed = 0;
   /// Chunks executed by a pool participant other than their assigned one.
   size_t steal_count = 0;
+  /// NFA-fused ϕ (algebra/frontier_closure.h) instrumentation: ϕ nodes
+  /// answered by the frontier engine (the ϕ's child subtree is never
+  /// evaluated on a hit), product (node, NFA-state) steps taken, and Path
+  /// objects reconstructed for accepting survivors. All sum on Merge.
+  size_t fused_closure_hits = 0;
+  size_t frontier_states_expanded = 0;
+  size_t frontier_paths_reconstructed = 0;
   /// Per-operator count of parallel-eligible regions (one operator
   /// input, one ϕ segment wave, or one shortest length layer) that ran
   /// serially despite threads > 1 — input under the min_chunk threshold,
@@ -78,6 +85,13 @@ struct EvalOptions {
   /// Inputs smaller than 2*min_chunk stay serial; every chunk except
   /// possibly the last holds at least min_chunk items.
   size_t min_chunk = 128;
+  /// Fuse eligible ϕ subtrees into the NFA-driven frontier engine
+  /// (algebra/frontier_closure.h): a kRecursive node whose child subtree
+  /// is the compiled form of a closure-free regex is answered by product-
+  /// automaton expansion without materializing the base set. Set-equal
+  /// results and identical budget Status either way (the differential
+  /// fuzz pins both); only applies under PhiEngine::kOptimized.
+  bool fuse_closures = true;
   /// Optional stats collector (not owned; may be null). When set, Evaluate
   /// resets and fills it — including on error, so callers can attribute the
   /// cost of failed evaluations.

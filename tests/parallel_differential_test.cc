@@ -365,6 +365,9 @@ EvalStats MakeStats(uint64_t seed) {
   s.label_scan_hits = rng() % 20;
   s.chunks_executed = rng() % 300;
   s.steal_count = rng() % 40;
+  s.fused_closure_hits = rng() % 8;
+  s.frontier_states_expanded = rng() % 5000;
+  s.frontier_paths_reconstructed = rng() % 800;
   return s;
 }
 
@@ -373,7 +376,10 @@ bool StatsEqual(const EvalStats& a, const EvalStats& b) {
       a.peak_intermediate_paths != b.peak_intermediate_paths ||
       a.label_scan_hits != b.label_scan_hits ||
       a.chunks_executed != b.chunks_executed ||
-      a.steal_count != b.steal_count) {
+      a.steal_count != b.steal_count ||
+      a.fused_closure_hits != b.fused_closure_hits ||
+      a.frontier_states_expanded != b.frontier_states_expanded ||
+      a.frontier_paths_reconstructed != b.frontier_paths_reconstructed) {
     return false;
   }
   for (size_t i = 0; i < kNumPlanKinds; ++i) {

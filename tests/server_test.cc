@@ -298,12 +298,12 @@ TEST(ServerSessionTest, LimitsActuallyGateEvaluation) {
   const std::string unbounded =
       h.Handle("MATCH ALL TRAIL p = (?x)-[:Knows+]->(?y)");
   EXPECT_EQ(unbounded, "OK 12 paths\n");
-  // A truncating budget must cap the same query's answer: ϕ stops at the
-  // first composition past the budget, so the truncated answer is the 4
-  // base Knows edges — well under the 12-path full closure.
+  // A truncating budget must cap the same query's answer at exactly
+  // max_paths distinct paths (algebra/eval_budget.h) — here the first two
+  // base Knows edges, well under the 12-path full closure.
   h.Handle("!limits max_paths=2 truncate=1");
   EXPECT_EQ(h.Handle("MATCH ALL TRAIL p = (?x)-[:Knows+]->(?y)"),
-            "OK 4 paths\n");
+            "OK 2 paths\n");
   // A non-truncating budget turns it into a clean protocol error.
   h.Handle("!limits truncate=0");
   const std::string err = h.Handle("MATCH ALL TRAIL p = (?x)-[:Knows+]->(?y)");

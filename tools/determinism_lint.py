@@ -176,6 +176,11 @@ UNORDERED_DECL_RE = re.compile(
 # order-insensitive), integer accumulation (commutative).
 SINK_RES = [
     (re.compile(r"\.Insert(?:Hashed)?\s*\("), "PathSet insert"),
+    # Frontier-closure survivor emission and merge helpers: anything named
+    # Emit*/Merge* appends to an ordered output, so feeding it from a hash
+    # walk breaks the chunk-order byte-identity contract.
+    (re.compile(r"\bEmit\w*\s*\("), "survivor emit"),
+    (re.compile(r"\bMerge\w*\s*\("), "ordered merge"),
     (re.compile(r"\.(?:push_back|emplace_back)\s*\("), "sequence append"),
     (re.compile(r"(?:\*\s*)?\w*(?:out|os|resp|str|text|buf|line)\w*\s*\+=",
                 re.IGNORECASE), "string append"),
@@ -521,7 +526,10 @@ def run_self_test(fixtures_dir):
                   + check_raw_clock(sf)):
             found.add(f.rule)
         if name.startswith("bad_"):
-            expected = name[len("bad_"):].rsplit(".", 1)[0].replace("_", "-")
+            # A "__variant" suffix names an alternate fixture for the same
+            # rule (e.g. bad_unordered_iteration__emit.cc).
+            expected = (name[len("bad_"):].rsplit(".", 1)[0]
+                        .split("__")[0].replace("_", "-"))
             if expected not in RULES:
                 failures.append(f"{name}: unknown expected rule '{expected}'")
             elif expected not in found:

@@ -1,0 +1,30 @@
+// Lint fixture: hash-order iteration feeding the frontier-closure sinks
+// (survivor emission, chunk merge). Expect: [unordered-iteration]
+// findings; nothing else.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+struct Survivors {
+  void EmitSurvivor(int) {}
+};
+
+void DrainFrontier(Survivors* out,
+                   const std::unordered_set<int>& accepting) {
+  // BAD: survivors must be emitted in walk order (node-major, label-
+  // sorted arcs), never in the hash table's bucket order.
+  for (int state : accepting) {
+    out->EmitSurvivor(state);
+  }
+}
+
+void MergeChunk(std::vector<int>* acc,
+                const std::unordered_map<int, int>& chunk);
+
+void FoldChunks(std::vector<int>* acc,
+                const std::unordered_set<std::unordered_map<int, int>*>& chunks) {
+  // BAD: chunk results must merge in chunk index order, not hash order.
+  for (auto* chunk : chunks) {
+    MergeChunk(acc, *chunk);
+  }
+}
