@@ -22,6 +22,22 @@
 //   pathalg_serve --snapshot-dir cache/    # persist generator graphs as
 //                                          # snapshots; later starts mmap
 //                                          # them instead of rebuilding
+//   pathalg_serve --default-deadline-ms 50 # per-query wall-clock deadline
+//                                          # every session starts with
+//                                          # (sessions adjust via
+//                                          # !deadline <ms>|off)
+//   pathalg_serve --drain-deadline-ms 500  # graceful-stop budget: how
+//                                          # long SIGTERM lets in-flight
+//                                          # queries finish before
+//                                          # cancelling them
+//   pathalg_serve --fault-inject 'seed=7;snapshot-read=1'
+//                                          # deterministic fault injection
+//                                          # (common/fault_injection.h);
+//                                          # robustness testing only
+//
+// SIGTERM/SIGINT in TCP mode trigger a graceful drain: the intake
+// closes, in-flight queries get --drain-deadline-ms to finish (then are
+// cooperatively cancelled), and live !record captures flush.
 //
 // Examples:
 //   printf 'MATCH ANY SHORTEST TRAIL p = (x)-[:Knows+]->(y)\n!stats\n'
@@ -33,7 +49,13 @@
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 
+#ifdef __unix__
+#include <signal.h>  // NOLINT — sigwait/pthread_sigmask need the POSIX header
+#endif
+
+#include "common/fault_injection.h"
 #include "server/session.h"
 #include "server/tcp_server.h"
 
@@ -76,10 +98,13 @@ int ServePipe(server::SessionManager& manager, size_t min_ok) {
 int main(int argc, char** argv) {
   std::string graph_spec;
   std::string snapshot_dir;
+  std::string fault_spec;
   int port = -1;
   size_t min_ok = 0;
   size_t threads = 1;
   size_t max_sessions = 8;
+  size_t default_deadline = 0;   // ms; 0 = none
+  size_t drain_deadline = 2000;  // ms
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -131,15 +156,46 @@ int main(int argc, char** argv) {
       if (!next_size("--threads", &threads)) return 1;
     } else if (arg == "--max-sessions") {
       if (!next_size("--max-sessions", &max_sessions)) return 1;
+    } else if (arg == "--default-deadline-ms") {
+      if (!next_size("--default-deadline-ms", &default_deadline)) return 1;
+    } else if (arg == "--drain-deadline-ms") {
+      if (!next_size("--drain-deadline-ms", &drain_deadline)) return 1;
+    } else if (arg == "--fault-inject") {
+      const char* v = next();
+      if (v == nullptr) {
+        return Fail("--fault-inject needs a spec like "
+                    "'seed=7;snapshot-read=1'");
+      }
+      fault_spec = v;
     } else {
       std::fprintf(stderr,
                    "usage: pathalg_serve [--graph <spec> | --csv <file> | "
                    "--snapshot <file>] [--snapshot-dir <dir>] "
                    "[--port N] [--max-sessions N] [--min-ok N] "
-                   "[--threads N]\n");
+                   "[--threads N] [--default-deadline-ms N] "
+                   "[--drain-deadline-ms N] [--fault-inject <spec>]\n");
       return arg == "--help" ? 0 : 1;
     }
   }
+
+  if (!fault_spec.empty()) {
+    const Status configured =
+        FaultInjector::Global().Configure(fault_spec);
+    if (!configured.ok()) return Fail(configured.ToString().c_str());
+    std::fprintf(stderr, "fault injection ON: %s\n", fault_spec.c_str());
+  }
+
+#ifdef __unix__
+  // Graceful shutdown needs SIGTERM/SIGINT claimed by sigwait before any
+  // worker thread exists (threads inherit the mask; a thread with the
+  // signal unblocked would take the default, terminating, disposition).
+  // Pipe mode keeps default signal handling — Ctrl-C just kills the pipe.
+  sigset_t stop_signals;
+  sigemptyset(&stop_signals);
+  sigaddset(&stop_signals, SIGTERM);
+  sigaddset(&stop_signals, SIGINT);
+  if (port >= 0) pthread_sigmask(SIG_BLOCK, &stop_signals, nullptr);
+#endif
 
   server::GraphCatalogOptions catalog_options;
   catalog_options.snapshot_dir = snapshot_dir;
@@ -147,6 +203,7 @@ int main(int argc, char** argv) {
   server::SessionManagerOptions options;
   options.max_sessions = max_sessions;
   options.default_graph_spec = graph_spec;
+  options.default_deadline_ms = default_deadline;
   options.engine.query.eval.threads = threads;
   server::SessionManager manager(&catalog, options);
 
@@ -168,11 +225,30 @@ int main(int argc, char** argv) {
     server::TcpServer tcp(&manager);
     server::TcpServerOptions tcp_options;
     tcp_options.port = static_cast<uint16_t>(port);
+    tcp_options.drain_deadline_ms = drain_deadline;
     Status started = tcp.Start(tcp_options);
     if (!started.ok()) return Fail(started.ToString().c_str());
-    std::fprintf(stderr, "listening on 127.0.0.1:%u (Ctrl-C to stop)\n",
+#ifdef __unix__
+    // One dedicated thread owns the (blocked) stop signals: Stop() locks
+    // and condition-waits, so it must run in a normal thread, never in
+    // signal context. sigwait returns on the first SIGTERM/SIGINT and
+    // the thread performs the graceful drain.
+    std::thread signal_waiter([&stop_signals, &tcp] {
+      int sig = 0;
+      if (sigwait(&stop_signals, &sig) == 0) {
+        std::fprintf(stderr, "signal %d: draining and stopping\n", sig);
+      }
+      tcp.Stop();
+    });
+#endif
+    std::fprintf(stderr,
+                 "listening on 127.0.0.1:%u (SIGTERM/Ctrl-C drains and "
+                 "stops)\n",
                  tcp.port());
     tcp.WaitUntilStopped();
+#ifdef __unix__
+    signal_waiter.join();
+#endif
     return 0;
   }
 

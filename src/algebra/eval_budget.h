@@ -48,9 +48,26 @@
 /// enumeration. When both budgets trip in one evaluation, every engine
 /// reports BudgetExhausted("max_paths"). Pinned by
 /// FrontierDifferentialTest.BudgetPrecedenceMaxPathsBeforeMaxPathLength.
+///
+/// **cancel** — an optional CancelToken (common/cancel.h) carried in
+/// EvalLimits. Engines poll it at every deterministic control point
+/// (fixpoint round, frontier segment, length layer, chunk merge, plan
+/// node) and every kCancelCheckStride steps inside a DFS segment; a
+/// tripped token returns EvalCancelled(token) — one kResourceExhausted
+/// Status, wording fixed below — *immediately*, discarding all partial
+/// results. truncate=true does NOT apply to cancellation: which paths
+/// exist at the trip instant is a function of wall-clock timing, so a
+/// truncated answer could never satisfy the determinism contract. A
+/// deterministic budget (max_paths / max_iterations / max_path_length)
+/// whose check fires before the next cancel poll wins and reports its
+/// own Status; otherwise cancellation wins. *Whether* a given run trips
+/// the deadline is wall-clock-dependent, so — exactly like `!timing`
+/// output — deadline trips are excluded from the byte-identity surface;
+/// the Status text itself is still byte-fixed per trip reason.
 
 #include <string>
 
+#include "common/cancel.h"
 #include "common/status.h"
 
 namespace pathalg {
@@ -64,6 +81,34 @@ inline Status BudgetExhausted(const char* what) {
       std::string("path enumeration exceeded budget (") + what +
       "); the answer set may be infinite under WALK semantics — "
       "use a restrictor, a length bound, or truncate=true");
+}
+
+/// The single Status every engine returns for a tripped CancelToken;
+/// the reason ("deadline", "shutdown", ...) is the only varying part.
+/// Partial results are always discarded (contract above).
+inline Status EvalCancelled(const CancelToken& token) {
+  return Status::ResourceExhausted(std::string("query cancelled (") +
+                                   token.Reason() +
+                                   "); partial results were discarded");
+}
+
+/// True when `limits.cancel`-style token polling should return. The
+/// null check keeps the common (no token) path branch-predictable.
+inline bool CancelRequested(const CancelToken* cancel) {
+  return cancel != nullptr && cancel->Cancelled();
+}
+
+/// Classifies an engine Status as a cancellation (vs a budget trip or
+/// any other error) by its pinned wording — the server uses this to
+/// split deadline_trips from cancelled_queries.
+inline bool IsCancelledStatus(const Status& s) {
+  return s.IsResourceExhausted() &&
+         s.message().rfind("query cancelled (", 0) == 0;
+}
+
+inline bool IsDeadlineCancelledStatus(const Status& s) {
+  return s.IsResourceExhausted() &&
+         s.message().rfind("query cancelled (deadline)", 0) == 0;
 }
 
 }  // namespace pathalg

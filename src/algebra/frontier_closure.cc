@@ -70,6 +70,7 @@ class SegmentWalker {
 
  private:
   void Walk(NodeId node, uint32_t state) {
+    if (stopped_) return;
     // Arcs are label-sorted and edge runs are CSR-ordered, so the
     // enumeration order — and with it every truncation point — is a pure
     // function of the graph and the regex.
@@ -85,6 +86,15 @@ class SegmentWalker {
   /// are bounded by max_path_length and usually far shorter, so scanning
   /// the live nodes_/edges_ vectors beats maintaining hash sets.
   void Step(EdgeId e, const std::vector<uint32_t>& next_states) {
+    // Stride poll: a single segment's product walk can be long; once the
+    // token trips the walker stops emitting and unwinds. Safe because a
+    // cancelled evaluation discards every partial result (eval_budget.h),
+    // so the truncated candidate buffers are never observed.
+    if (limits_.cancel != nullptr && --cancel_countdown_ == 0) {
+      cancel_countdown_ = kCancelCheckStride;
+      if (limits_.cancel->Cancelled()) stopped_ = true;
+    }
+    if (stopped_) return;
     const NodeId next = g_.Target(e);
     bool closes_cycle = false;  // simple: path becomes closed at `next`
     switch (semantics_) {
@@ -151,6 +161,8 @@ class SegmentWalker {
   bool* dropped_ = nullptr;
   std::vector<NodeId> nodes_;
   std::vector<EdgeId> edges_;
+  uint32_t cancel_countdown_ = kCancelCheckStride;
+  bool stopped_ = false;
 };
 
 /// Non-shortest engine: semi-naive rounds where round r extends every
@@ -185,6 +197,10 @@ Result<PathSet> FrontierDfs(const PropertyGraph& g, const Nfa& nfa,
       [&](size_t n, auto take,
           std::vector<size_t>* next) -> Result<bool> {
     for (size_t seg = 0; seg < n; seg += segment) {
+      // Per-segment cancellation point, mirroring RecursiveSemiNaive.
+      if (CancelRequested(limits.cancel)) {
+        return EvalCancelled(*limits.cancel);
+      }
       const size_t m = std::min(segment, n - seg);
       const ChunkLayout layout = ThreadPool::PlanFor(m, parallel);
       std::vector<std::vector<std::pair<Path, size_t>>> candidates(
@@ -203,6 +219,12 @@ Result<PathSet> FrontierDfs(const PropertyGraph& g, const Nfa& nfa,
             chunk_counts[chunk] = {walker.states_expanded,
                                    walker.paths_reconstructed};
           });
+      // Walkers that saw the token trip stopped mid-walk, so their chunk
+      // buffers may be truncated — return before the merge can mistake
+      // them for a complete segment.
+      if (CancelRequested(limits.cancel)) {
+        return EvalCancelled(*limits.cancel);
+      }
       for (size_t c = 0; c < layout.num_chunks; ++c) {
         // `dropped` is only consulted at the natural fixpoint, never on
         // a budget return (eval_budget.h precedence), so folding chunk
@@ -285,6 +307,7 @@ class ShortestSource {
     dist_[Key(source, nfa_.start())] = 0;
     queue.push({source, nfa_.start()});
     while (!queue.empty()) {
+      if (Poll()) return;
       auto [node, state] = queue.front();
       queue.pop();
       const size_t d = dist_[Key(node, state)];
@@ -306,6 +329,7 @@ class ShortestSource {
     // Per target (node order): best = min dist over accepting states,
     // then every dist-decreasing backward path of exactly that length.
     for (NodeId t = 0; t < g_.num_nodes(); ++t) {
+      if (stopped_) return;
       size_t best = kInf;
       for (uint32_t s = 0; s < num_states_; ++s) {
         if (nfa_.IsAccepting(s)) best = std::min(best, dist_[Key(t, s)]);
@@ -326,6 +350,10 @@ class ShortestSource {
     }
   }
 
+  /// True once the evaluation's CancelToken tripped; the caller skips
+  /// the remaining sources of its chunk.
+  bool stopped() const { return stopped_; }
+
   size_t states_expanded = 0;
   size_t paths_reconstructed = 0;
 
@@ -334,7 +362,18 @@ class ShortestSource {
 
   size_t Key(NodeId n, uint32_t s) const { return n * num_states_ + s; }
 
+  /// Stride poll shared by the BFS and the backtrack enumeration (same
+  /// rationale as SegmentWalker::Step). Returns the sticky stop flag.
+  bool Poll() {
+    if (!stopped_ && limits_.cancel != nullptr && --cancel_countdown_ == 0) {
+      cancel_countdown_ = kCancelCheckStride;
+      if (limits_.cancel->Cancelled()) stopped_ = true;
+    }
+    return stopped_;
+  }
+
   void Backtrack(NodeId node, uint32_t state, size_t d) {
+    if (Poll()) return;
     if (d == 0) {
       if (node == source_ && state == nfa_.start()) {
         std::vector<NodeId> nodes(nodes_suffix_.rbegin(),
@@ -379,6 +418,8 @@ class ShortestSource {
   // Backtrack working state (stored target-to-source, reversed on emit).
   std::vector<NodeId> nodes_suffix_;
   std::vector<EdgeId> edges_suffix_;
+  uint32_t cancel_countdown_ = kCancelCheckStride;
+  bool stopped_ = false;
 };
 
 Result<PathSet> FrontierShortest(const PropertyGraph& g, const RegexPtr& inner,
@@ -397,10 +438,13 @@ Result<PathSet> FrontierShortest(const PropertyGraph& g, const RegexPtr& inner,
       n, parallel, parallel_stats, [&](size_t chunk, size_t begin, size_t end) {
         ShortestSource bfs(g, nfa, index, limits);
         for (size_t src = begin; src < end; ++src) {
+          if (bfs.stopped()) break;
           bfs.Run(static_cast<NodeId>(src), &results[chunk]);
         }
         chunk_counts[chunk] = {bfs.states_expanded, bfs.paths_reconstructed};
       });
+  // Cancellation discards every chunk's (possibly truncated) output.
+  if (CancelRequested(limits.cancel)) return EvalCancelled(*limits.cancel);
 
   PathSet out;
   for (size_t c = 0; c < layout.num_chunks; ++c) {

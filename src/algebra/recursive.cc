@@ -104,6 +104,7 @@ Result<PathSet> RecursiveNaive(const PathSet& base, PathSemantics semantics,
   bool grew = !acc.empty();
   size_t rounds = 0;
   while (grew) {
+    if (CancelRequested(limits.cancel)) return EvalCancelled(*limits.cancel);
     if (rounds == limits.max_iterations) {
       if (limits.truncate) {
         return shortest ? KeepShortestPerEndpointPair(acc) : acc;
@@ -114,7 +115,14 @@ Result<PathSet> RecursiveNaive(const PathSet& base, PathSemantics semantics,
     // Join the full accumulated set with ϕ0 (this is what makes the naive
     // engine quadratic: older paths are re-joined every round).
     std::vector<Path> generated;
+    uint32_t cancel_countdown = kCancelCheckStride;
     for (const Path& p1 : acc) {
+      // A single quadratic round can dwarf the round boundary poll above;
+      // the stride poll bounds cancellation latency inside it.
+      if (limits.cancel != nullptr && --cancel_countdown == 0) {
+        cancel_countdown = kCancelCheckStride;
+        if (limits.cancel->Cancelled()) return EvalCancelled(*limits.cancel);
+      }
       for (const Path* p2 : index.ForFirst(p1.Last())) {
         Path q = Path::ConcatUnchecked(p1, *p2);
         if (!SatisfiesSemantics(q, semantics)) continue;
@@ -214,6 +222,12 @@ Result<PathSet> RecursiveSemiNaive(const PathSet& base,
         2 * min_chunk, 8 * parallel.EffectiveThreads() * min_chunk);
     std::vector<Path> next;
     for (size_t seg = 0; seg < frontier.size(); seg += segment) {
+      // The per-segment poll is the semi-naive engine's cancellation
+      // point: segments bound both the latency and the wasted work of a
+      // trip, and polling on the merge thread keeps chunk bodies pure.
+      if (CancelRequested(limits.cancel)) {
+        return EvalCancelled(*limits.cancel);
+      }
       const size_t n = std::min(segment, frontier.size() - seg);
       const ChunkLayout layout = ThreadPool::PlanFor(n, parallel);
       // Candidates travel with their precomputed hash: the chunk bodies
@@ -315,6 +329,7 @@ Result<PathSet> RecursiveShortestLayered(const PathSet& base,
   size_t pops = 0;
   std::vector<Path> layer;  // this length class's newly-optimal paths
   while (!heap.empty()) {
+    if (CancelRequested(limits.cancel)) return EvalCancelled(*limits.cancel);
     const size_t layer_len = heap.top().Len();
     layer.clear();
     while (!heap.empty() && heap.top().Len() == layer_len) {

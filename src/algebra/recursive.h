@@ -28,6 +28,7 @@
 
 #include <cstddef>
 
+#include "common/cancel.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "path/path_set.h"
@@ -59,6 +60,11 @@ struct EvalLimits {
   size_t max_iterations = 100'000;
   /// Budget policy: error out (false) or return the partial answer (true).
   bool truncate = false;
+  /// Optional cooperative-cancellation token (deadline or external),
+  /// polled at every deterministic control point. Trip semantics —
+  /// including why truncate never applies to a cancellation — are pinned
+  /// in algebra/eval_budget.h. Not owned; must outlive the evaluation.
+  const CancelToken* cancel = nullptr;
 };
 
 enum class PhiEngine { kNaive, kOptimized };

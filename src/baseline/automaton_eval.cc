@@ -46,7 +46,24 @@ class SourceRunner {
 
   bool dropped() const { return dropped_; }
 
+  /// True once the evaluation's CancelToken tripped; the caller skips
+  /// the remaining sources of its chunk.
+  bool stopped() const { return stopped_; }
+
  private:
+  /// Stride poll inside the product traversals (same rationale as the
+  /// frontier engine's SegmentWalker): once the token trips the runner
+  /// stops emitting and unwinds — safe because a cancelled evaluation
+  /// discards every partial result (eval_budget.h).
+  bool Poll() {
+    if (!stopped_ && options_.limits.cancel != nullptr &&
+        --cancel_countdown_ == 0) {
+      cancel_countdown_ = kCancelCheckStride;
+      if (options_.limits.cancel->Cancelled()) stopped_ = true;
+    }
+    return stopped_;
+  }
+
   bool TargetOk(NodeId n) const {
     return !options_.target.has_value() || *options_.target == n;
   }
@@ -115,6 +132,7 @@ class SourceRunner {
   }
 
   void Dfs(NodeId node, uint32_t state) {
+    if (Poll()) return;
     if (edges_.size() >= options_.limits.max_path_length) {
       // The cap is a silent filter; `dropped` records only *admissible*
       // suppressed candidates (semantics checked before length —
@@ -184,6 +202,7 @@ class SourceRunner {
     dist[key(source, nfa_.start())] = 0;
     queue.push({source, nfa_.start()});
     while (!queue.empty()) {
+      if (Poll()) return;
       auto [node, state] = queue.front();
       queue.pop();
       size_t d = dist[key(node, state)];
@@ -205,6 +224,7 @@ class SourceRunner {
     // Per target: best = min dist over accepting states, then enumerate all
     // dist-decreasing backward paths of exactly that length.
     for (NodeId t = 0; t < g_.num_nodes(); ++t) {
+      if (stopped_) return;
       if (!TargetOk(t)) continue;
       size_t best = kInf;
       for (uint32_t s = 0; s < num_states; ++s) {
@@ -229,6 +249,7 @@ class SourceRunner {
   void Backtrack(NodeId source, NodeId node, uint32_t state, size_t d,
                  const std::vector<size_t>& dist, size_t num_states) {
     auto key = [&](NodeId n, uint32_t s) { return n * num_states + s; };
+    if (Poll()) return;
     if (d == 0) {
       if (node == source && state == nfa_.start()) {
         std::vector<NodeId> nodes(nodes_suffix_.rbegin(),
@@ -266,6 +287,8 @@ class SourceRunner {
   std::unordered_set<EdgeId> used_edges_;
   std::unordered_set<NodeId> visited_nodes_;
   bool dropped_ = false;
+  uint32_t cancel_countdown_ = kCancelCheckStride;
+  bool stopped_ = false;
 
   // Backtrack working state (stored target-to-source, reversed on emit).
   std::vector<NodeId> nodes_suffix_;
@@ -305,10 +328,16 @@ Result<PathSet> EvaluateRpqAutomaton(const PropertyGraph& g,
       [&](size_t chunk, size_t begin, size_t end) {
         SourceRunner runner(g, nfa, index, options);
         for (size_t i = begin; i < end; ++i) {
+          if (runner.stopped()) break;
           runner.Run(sources[i], &results[chunk]);
         }
         chunk_dropped[chunk] = runner.dropped() ? 1 : 0;
       });
+  // Runners that saw the token trip stopped mid-traversal, so chunk
+  // outputs may be truncated — cancellation discards them all.
+  if (CancelRequested(options.limits.cancel)) {
+    return EvalCancelled(*options.limits.cancel);
+  }
 
   PathSet out;
   bool dropped = false;

@@ -1,0 +1,103 @@
+#ifndef PATHALG_COMMON_CANCEL_H_
+#define PATHALG_COMMON_CANCEL_H_
+
+/// \file cancel.h
+/// Cooperative cancellation for long-running evaluations. A CancelToken
+/// trips either when a wall-clock deadline passes (ArmDeadline) or when
+/// some other thread calls Cancel() — e.g. the server's graceful-shutdown
+/// drain. Tokens chain: a per-query token parented to a process-wide
+/// shutdown token trips when either does, so one SIGTERM cancels every
+/// in-flight query without the server tracking them individually.
+///
+/// Checking is cheap by design — an atomic load on the common path, a
+/// clock read only when a deadline is armed — so engines can poll at
+/// every chunk/round/layer boundary, and every few thousand steps inside
+/// a DFS segment (kCancelCheckStride), without measurable overhead.
+///
+/// Thread-safety: Cancel() and Cancelled() are safe from any thread.
+/// ArmDeadline() and parenting are setup-time operations: call them
+/// before the token is shared with workers.
+///
+/// The *trip semantics* — what an engine returns when a token fires —
+/// are pinned in algebra/eval_budget.h next to the budget contract.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "common/timing.h"
+
+namespace pathalg {
+
+/// How many enumeration steps a tight inner loop (segment walker, product
+/// DFS) may take between token polls. Bounds the cancellation latency of
+/// a single pathological segment without a clock read per step.
+inline constexpr uint32_t kCancelCheckStride = 4096;
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  /// A child token: trips when `parent` trips, in addition to its own
+  /// deadline/Cancel. `parent` must outlive this token (or be null).
+  explicit CancelToken(const CancelToken* parent) : parent_(parent) {}
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Arms a wall-clock deadline `budget_ms` from now. Setup-time only.
+  void ArmDeadline(uint64_t budget_ms) {
+    deadline_ = SteadyClock::now() + std::chrono::milliseconds(budget_ms);
+    has_deadline_ = true;
+  }
+
+  /// Trips the token from any thread; `why` must be a string with static
+  /// storage duration (it travels through an atomic pointer).
+  void Cancel(const char* why = "shutdown") {
+    reason_.store(why, std::memory_order_relaxed);
+    cancelled_.store(true, std::memory_order_release);
+  }
+
+  /// True once the token has tripped (sticky). Latches a deadline or
+  /// parent trip into the local flag so later polls are one atomic load.
+  bool Cancelled() const {
+    if (cancelled_.load(std::memory_order_acquire)) return true;
+    if (parent_ != nullptr && parent_->Cancelled()) {
+      reason_.store(parent_->Reason(), std::memory_order_relaxed);
+      cancelled_.store(true, std::memory_order_release);
+      return true;
+    }
+    if (has_deadline_ && SteadyClock::now() >= deadline_) {
+      reason_.store("deadline", std::memory_order_relaxed);
+      cancelled_.store(true, std::memory_order_release);
+      return true;
+    }
+    return false;
+  }
+
+  /// Why the token tripped ("deadline", "shutdown", ...); meaningful only
+  /// after Cancelled() returned true.
+  const char* Reason() const {
+    const char* r = reason_.load(std::memory_order_relaxed);
+    return r != nullptr ? r : "cancel";
+  }
+
+  /// True when the trip came from the armed deadline (vs an external
+  /// Cancel) — drives the deadline_trips / cancelled_queries split.
+  bool DeadlineTripped() const {
+    const char* r = reason_.load(std::memory_order_relaxed);
+    return r != nullptr && r[0] == 'd';
+  }
+
+ private:
+  const CancelToken* parent_ = nullptr;
+  bool has_deadline_ = false;
+  SteadyClock::time_point deadline_{};
+  // Mutable: Cancelled() latches deadline/parent trips on first
+  // observation, which is a logical read.
+  mutable std::atomic<bool> cancelled_{false};
+  mutable std::atomic<const char*> reason_{nullptr};
+};
+
+}  // namespace pathalg
+
+#endif  // PATHALG_COMMON_CANCEL_H_

@@ -1,0 +1,139 @@
+#include "common/fault_injection.h"
+
+#include <string_view>
+#include <vector>
+
+#include "common/str_util.h"
+
+namespace pathalg {
+
+namespace {
+
+// SplitMix64 (Steele/Lea/Flood): a full-period mixer, so distinct
+// (seed, site, ordinal) triples map to effectively independent draws.
+// determinism-lint: allow(raw-random) — fully seeded, no entropy source.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kSnapshotRead:
+      return "snapshot-read";
+    case FaultSite::kSnapshotMmap:
+      return "snapshot-mmap";
+    case FaultSite::kCatalogLoad:
+      return "catalog-load";
+    case FaultSite::kSocketWrite:
+      return "socket-write";
+    case FaultSite::kRecordFlush:
+      return "record-flush";
+  }
+  return "?";
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector injector;
+  return injector;
+}
+
+Status FaultInjector::Configure(const std::string& spec) {
+  uint64_t seed = 0;
+  uint64_t rates[kNumFaultSites] = {};
+  for (std::string_view field : Split(spec, ';')) {
+    field = StripWhitespace(field);
+    if (field.empty()) continue;
+    const size_t eq = field.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("fault spec field '" +
+                                     std::string(field) +
+                                     "' is not key=value");
+    }
+    const std::string_view key = StripWhitespace(field.substr(0, eq));
+    const std::string_view value = StripWhitespace(field.substr(eq + 1));
+    size_t n = 0;
+    if (!ParseSizeT(value, &n)) {
+      return Status::InvalidArgument("fault spec value '" +
+                                     std::string(value) +
+                                     "' is not a non-negative integer");
+    }
+    if (key == "seed") {
+      seed = n;
+      continue;
+    }
+    if (key == "*") {
+      for (uint64_t& rate : rates) rate = n;
+      continue;
+    }
+    bool known = false;
+    for (int s = 0; s < kNumFaultSites; ++s) {
+      if (key == FaultSiteName(static_cast<FaultSite>(s))) {
+        rates[s] = n;
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Status::InvalidArgument("unknown fault site '" +
+                                     std::string(key) + "'");
+    }
+  }
+  seed_.store(seed, std::memory_order_relaxed);
+  for (int s = 0; s < kNumFaultSites; ++s) {
+    one_in_[s].store(rates[s], std::memory_order_relaxed);
+    calls_[s].store(0, std::memory_order_relaxed);
+    injected_[s].store(0, std::memory_order_relaxed);
+  }
+  return Status();
+}
+
+void FaultInjector::Disable() {
+  for (int s = 0; s < kNumFaultSites; ++s) {
+    one_in_[s].store(0, std::memory_order_relaxed);
+    calls_[s].store(0, std::memory_order_relaxed);
+    injected_[s].store(0, std::memory_order_relaxed);
+  }
+}
+
+bool FaultInjector::ShouldFail(FaultSite site) {
+  const int s = static_cast<int>(site);
+  const uint64_t one_in = one_in_[s].load(std::memory_order_relaxed);
+  if (one_in == 0) return false;
+  const uint64_t ordinal = calls_[s].fetch_add(1, std::memory_order_relaxed);
+  bool fire = one_in == 1;
+  if (!fire) {
+    const uint64_t seed = seed_.load(std::memory_order_relaxed);
+    fire = SplitMix64(seed ^ (static_cast<uint64_t>(s) << 56) ^ ordinal) %
+               one_in ==
+           0;
+  }
+  if (fire) injected_[s].fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+bool FaultInjector::Enabled() const {
+  for (int s = 0; s < kNumFaultSites; ++s) {
+    if (one_in_[s].load(std::memory_order_relaxed) != 0) return true;
+  }
+  return false;
+}
+
+uint64_t FaultInjector::Calls(FaultSite site) const {
+  return calls_[static_cast<int>(site)].load(std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::Injected(FaultSite site) const {
+  return injected_[static_cast<int>(site)].load(std::memory_order_relaxed);
+}
+
+Status InjectedFault(FaultSite site) {
+  return Status::Internal(std::string("injected fault at site ") +
+                          FaultSiteName(site));
+}
+
+}  // namespace pathalg

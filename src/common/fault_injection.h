@@ -1,0 +1,87 @@
+#ifndef PATHALG_COMMON_FAULT_INJECTION_H_
+#define PATHALG_COMMON_FAULT_INJECTION_H_
+
+/// \file fault_injection.h
+/// Seeded, deterministic fault injection for the storage and server
+/// layers. Each named site below wraps one real failure surface; code at
+/// a site asks `FaultInjector::Global().ShouldFail(site)` and, on true,
+/// behaves exactly as if the underlying I/O failed (same Status, same
+/// errno-shaped path). Everything is off by default and costs one relaxed
+/// atomic load per check when off.
+///
+/// Firing is a pure function of (seed, site, per-site call ordinal): call
+/// n at a site fires iff `one_in == 1` or
+/// `SplitMix64(seed ^ site ^ n) % one_in == 0`. Single-threaded call
+/// sequences therefore replay bit-for-bit from a seed; concurrent
+/// callers each draw a unique ordinal (fetch_add), so the *set* of fired
+/// ordinals is still seed-determined even when their thread assignment
+/// is not.
+///
+/// Enablement: tests call Configure()/Disable() directly;
+/// `pathalg_serve --fault-inject <spec>` enables per-process. Spec
+/// grammar: `seed=S` plus `<site>=N` ("fire one in N arms at <site>";
+/// N=1 fires always, N=0 disables) with `*` for every site, joined by
+/// ';' — e.g. `seed=42;snapshot-read=1` or `seed=7;*=4`.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace pathalg {
+
+/// The registered injection sites. Names (FaultSiteName) are the spec /
+/// !stats spelling.
+enum class FaultSite : int {
+  kSnapshotRead = 0,  // snapshot image validation/decode (SnapshotReader)
+  kSnapshotMmap,      // snapshot file open/mmap (MappedFile)
+  kCatalogLoad,       // graph build inside GraphCatalog
+  kSocketWrite,       // server response write to a client socket
+  kRecordFlush,       // !record workload-capture file flush
+};
+inline constexpr int kNumFaultSites = 5;
+
+const char* FaultSiteName(FaultSite site);
+
+class FaultInjector {
+ public:
+  /// The process-wide injector every instrumented site consults.
+  static FaultInjector& Global();
+
+  /// Parses and applies a spec (grammar above). Replaces the previous
+  /// configuration wholesale; counters are reset. InvalidArgument on a
+  /// malformed spec (the previous configuration is kept).
+  Status Configure(const std::string& spec);
+
+  /// Turns every site off and zeroes counters.
+  void Disable();
+
+  /// Draws this call's ordinal at `site` and reports whether it fires.
+  /// Increments the site's calls counter; injected counter too on fire.
+  bool ShouldFail(FaultSite site);
+
+  /// True when any site has a nonzero rate (cheap; used to skip
+  /// diagnostics plumbing when injection is off).
+  bool Enabled() const;
+
+  uint64_t Calls(FaultSite site) const;
+  uint64_t Injected(FaultSite site) const;
+
+ private:
+  FaultInjector() = default;
+
+  std::atomic<uint64_t> seed_{0};
+  std::atomic<uint64_t> one_in_[kNumFaultSites] = {};
+  std::atomic<uint64_t> calls_[kNumFaultSites] = {};
+  std::atomic<uint64_t> injected_[kNumFaultSites] = {};
+};
+
+/// The Status an instrumented site returns for an injected failure —
+/// spelled like a real I/O error but tagged so tests can tell the two
+/// apart. Always Status::Internal.
+Status InjectedFault(FaultSite site);
+
+}  // namespace pathalg
+
+#endif  // PATHALG_COMMON_FAULT_INJECTION_H_

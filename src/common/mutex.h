@@ -28,6 +28,7 @@
 /// irrelevant on these paths — every wait here is per-region /
 /// per-connection / per-graph-load, never per-item.
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -80,6 +81,17 @@ class CondVar {
   CondVar& operator=(const CondVar&) = delete;
 
   void Wait(Mutex& mu) PA_REQUIRES(mu) { cv_.wait(mu); }
+
+  /// Timed variant for bounded drains (the TCP server's graceful stop):
+  /// returns false when `deadline` passed without a notification. Same
+  /// while-loop discipline as Wait — spurious wakeups return true.
+  template <class Clock, class Duration>
+  bool WaitUntil(Mutex& mu,
+                 const std::chrono::time_point<Clock, Duration>& deadline)
+      PA_REQUIRES(mu) {
+    return cv_.wait_until(mu, deadline) == std::cv_status::no_timeout;
+  }
+
   void NotifyOne() { cv_.notify_one(); }
   void NotifyAll() { cv_.notify_all(); }
 

@@ -132,6 +132,15 @@ class QueryEngine {
     return options_.query.eval.limits;
   }
 
+  /// Installs (or clears, with nullptr) the cooperative-cancellation
+  /// token polled by subsequent Execute/ExecutePrepared calls
+  /// (EvalLimits::cancel; trip semantics in algebra/eval_budget.h). Not
+  /// owned — the caller arms a deadline per query and must keep the
+  /// token alive for the duration of the call.
+  void SetCancelToken(const CancelToken* cancel) {
+    options_.query.eval.limits.cancel = cancel;
+  }
+
   /// Normalize → cache lookup → parse+optimize on miss (inserting into the
   /// cache). Returns the shared prepared entry; `stats`, when non-null,
   /// receives normalization/caching/parse/optimize numbers (eval fields

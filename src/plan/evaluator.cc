@@ -4,6 +4,7 @@
 #include <variant>
 
 #include "algebra/core_ops.h"
+#include "algebra/eval_budget.h"
 #include "algebra/frontier_closure.h"
 #include "common/timing.h"
 #include "path/path_ops.h"
@@ -113,6 +114,13 @@ RegexPtr ReconstructRegex(const PlanNode& node) {
 #endif
 Result<EvalValue> Eval(const PropertyGraph& g, const PlanNode& node,
                        const EvalOptions& options) {
+  // Per-plan-node cancellation point: covers σ/⋈ and the scans, whose
+  // operator kernels return plain PathSets and so cannot trip mid-op;
+  // the ϕ engines additionally poll at their own round/segment/layer
+  // boundaries via options.limits.cancel.
+  if (CancelRequested(options.limits.cancel)) {
+    return EvalCancelled(*options.limits.cancel);
+  }
   if (const Condition* c = MatchEdgeLabelScan(node)) {
     const SteadyClock::time_point own_start = SteadyClock::now();
     EvalValue out(
@@ -209,11 +217,20 @@ Result<EvalValue> ApplyOp(const PropertyGraph& g, const PlanNode& node,
     case PlanKind::kSelect: {
       EvalValue out(Select(g, paths(0), *node.condition(), par, &pstats));
       fold_parallel();
+      // σ/⋈ run to completion (their kernels return plain PathSets), so
+      // a trip during the operator surfaces here, at the chunk-merge
+      // boundary, before the result can flow further up the plan.
+      if (CancelRequested(options.limits.cancel)) {
+        return EvalCancelled(*options.limits.cancel);
+      }
       return out;
     }
     case PlanKind::kJoin: {
       EvalValue out(Join(paths(0), paths(1), par, &pstats));
       fold_parallel();
+      if (CancelRequested(options.limits.cancel)) {
+        return EvalCancelled(*options.limits.cancel);
+      }
       return out;
     }
     case PlanKind::kUnion:

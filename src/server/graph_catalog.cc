@@ -8,9 +8,12 @@
 #endif
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/str_util.h"
 #include "common/timing.h"
 #include "engine/workload_file.h"
@@ -22,6 +25,11 @@ namespace pathalg {
 namespace server {
 
 namespace {
+
+/// One bounded pause between the first failed snapshot-cache open and
+/// its single retry (transient I/O errors clear fast or not at all;
+/// anything longer just stalls the session's first query).
+constexpr std::chrono::milliseconds kSnapshotRetryBackoff{10};
 
 /// True when `stripped` starts with the word `kind` ("csv" alone or
 /// "csv <path>").
@@ -186,6 +194,12 @@ Result<CatalogEntryPtr> GraphCatalog::Get(std::string_view spec) {
 }
 
 Result<PropertyGraph> GraphCatalog::LoadGraph(const std::string& key) {
+  // The catalog-load injection site: models the graph build (or the CSV
+  // parse behind it) failing. No degradation path exists below a failed
+  // build — the error propagates to the session as a clean ERR.
+  if (FaultInjector::Global().ShouldFail(FaultSite::kCatalogLoad)) {
+    return InjectedFault(FaultSite::kCatalogLoad);
+  }
   const bool cacheable =
       !options_.snapshot_dir.empty() && !IsPathSpec(key);
   if (!cacheable) return engine::BuildWorkloadGraph(key);
@@ -193,9 +207,24 @@ Result<PropertyGraph> GraphCatalog::LoadGraph(const std::string& key) {
   const std::string cache_path =
       options_.snapshot_dir + "/" + SnapshotCacheName(key);
   // A cached snapshot mmaps in without rebuilding — the fast-restart
-  // path. Any failure (missing, truncated, corrupt, version-skewed) falls
-  // through to a rebuild that overwrites the bad file.
+  // path. NotFound is a normal cold-cache miss; any *other* failure
+  // (torn write, corrupt image, injected I/O error) gets one retry after
+  // a bounded backoff — transient errors under memory/disk pressure are
+  // common — and, if it persists, the bad file is renamed aside to
+  // `<file>.quarantined` so the rebuild below writes a fresh cache file
+  // and no future session ever re-reads the bad bytes. The session sees
+  // a slower load, never a failure.
   Result<PropertyGraph> cached = storage::SnapshotReader::Open(cache_path);
+  if (!cached.ok() && !cached.status().IsNotFound()) {
+    std::this_thread::sleep_for(kSnapshotRetryBackoff);
+    cached = storage::SnapshotReader::Open(cache_path);
+    if (!cached.ok() && !cached.status().IsNotFound()) {
+      const std::string quarantine_path = cache_path + ".quarantined";
+      std::rename(cache_path.c_str(), quarantine_path.c_str());
+      MutexLock lock(mu_);
+      ++counters_.quarantined_snapshots;
+    }
+  }
   if (cached.ok()) {
     {
       MutexLock lock(mu_);

@@ -70,6 +70,11 @@ struct CatalogCounters {
   uint64_t snapshot_hits = 0;
   uint64_t snapshot_misses = 0;
   uint64_t snapshot_evictions = 0;
+  /// Cache files that failed to open with a non-NotFound error twice
+  /// (once plus one bounded-backoff retry) and were renamed aside to
+  /// `<file>.quarantined`; the graph was rebuilt from its generator spec
+  /// instead of failing the session.
+  uint64_t quarantined_snapshots = 0;
 };
 
 struct GraphCatalogOptions {

@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "algebra/eval_budget.h"
+#include "common/fault_injection.h"
 #include "common/str_util.h"
 #include "common/thread_pool.h"
 
@@ -86,6 +88,20 @@ void SessionManager::ReleaseSlot() {
   ++counters_.closed;
 }
 
+void SessionManager::RecordQueryCancelled(bool deadline) {
+  MutexLock lock(mu_);
+  if (deadline) {
+    ++counters_.deadline_trips;
+  } else {
+    ++counters_.cancelled_queries;
+  }
+}
+
+void SessionManager::RecordSlowClientDrop() {
+  MutexLock lock(mu_);
+  ++counters_.slow_client_drops;
+}
+
 SessionCounters SessionManager::counters() const {
   MutexLock lock(mu_);
   return counters_;
@@ -115,6 +131,19 @@ std::string SessionManager::StatsLines() const {
          " pool_chunks=" + std::to_string(pool.chunks) +
          " pool_steals=" + std::to_string(pool.steals) +
          " pool_tasks=" + std::to_string(pool.tasks_submitted) + "\n";
+  out += "STAT deadline_trips=" + std::to_string(ses.deadline_trips) +
+         " cancelled_queries=" + std::to_string(ses.cancelled_queries) +
+         " slow_client_drops=" + std::to_string(ses.slow_client_drops) +
+         " quarantined_snapshots=" +
+         std::to_string(cat.quarantined_snapshots) + "\n";
+  const FaultInjector& faults = FaultInjector::Global();
+  std::string fault_line = "STAT faults";
+  for (int s = 0; s < kNumFaultSites; ++s) {
+    const FaultSite site = static_cast<FaultSite>(s);
+    fault_line += std::string(" ") + FaultSiteName(site) + "=" +
+                  std::to_string(faults.Injected(site));
+  }
+  out += fault_line + "\n";
   return out;
 }
 
@@ -129,8 +158,16 @@ ServerSession::ServerSession(SessionManager* manager,
       catalog_entry_(std::move(catalog_entry)),
       graph_spec_(catalog_entry_->spec),
       engine_(catalog_entry_->graph, std::move(options)) {
+  deadline_ms_ = manager_->options_.default_deadline_ms;
   serve_.query_observer = [this](std::string_view query,
                                  const Result<PathSet>& result) {
+    // Classify cancellations by the pinned Status wording so the
+    // deadline_trips / cancelled_queries counters track the ERR lines
+    // clients actually saw.
+    if (!result.ok() && IsCancelledStatus(result.status())) {
+      manager_->RecordQueryCancelled(
+          IsDeadlineCancelledStatus(result.status()));
+    }
     if (!recording_) return;
     // A leading '#' would read back as a directive; such lines are
     // unrepresentable in .gqlw (and are never valid GQL anyway).
@@ -168,7 +205,10 @@ std::string ServerSession::StopRecording() {
   }
   file << engine::FormatWorkload(recorded_);
   file.flush();
-  if (!file) {
+  // The record-flush injection site: models the final flush losing bytes
+  // (disk full, NFS hiccup). Shares the real short-write ERR shape so
+  // clients and tests see one failure surface.
+  if (FaultInjector::Global().ShouldFail(FaultSite::kRecordFlush) || !file) {
     return "ERR short write to workload file '" + record_path_ + "'\n";
   }
   std::string line = "OK recorded " + std::to_string(n) + " queries to " +
@@ -237,6 +277,22 @@ bool ServerSession::HandleServerCommand(std::string_view cmd,
     }
     engine_.SetEvalLimits(limits);
     ok(LimitsLine(limits));
+    return true;
+  }
+
+  if (cmd == "!deadline") {
+    if (rest == "off") {
+      deadline_ms_ = 0;
+      ok("OK deadline off\n");
+      return true;
+    }
+    size_t n = 0;
+    if (!ParseSizeT(rest, &n) || n == 0) {
+      err("ERR !deadline takes a positive millisecond count or 'off'\n");
+      return true;
+    }
+    deadline_ms_ = n;
+    ok("OK deadline " + std::to_string(n) + "\n");
     return true;
   }
 
@@ -341,8 +397,8 @@ bool ServerSession::HandleServerCommand(std::string_view cmd,
   if (cmd == "!help") {
     *out +=
         "HELP one query per line; directives: !help !stats !cache clear "
-        "!graph <spec> !threads N !limits [k=v ...] !timing on|off "
-        "!record <path>|stop !quit\n";
+        "!graph <spec> !threads N !limits [k=v ...] !deadline <ms>|off "
+        "!timing on|off !record <path>|stop !quit\n";
     ok("OK help\n");
     return true;
   }
@@ -368,7 +424,19 @@ bool ServerSession::HandleLine(const std::string& line, std::string* out) {
   }
   // The original line, not a copy of the trimmed view: HandleRequestLine
   // strips whitespace itself.
-  return engine::HandleRequestLine(engine_, line, out, &result_, serve_);
+  //
+  // Every query runs under a fresh per-query CancelToken parented to the
+  // manager's shutdown token: the session's `!deadline` budget arms it,
+  // and a server-wide drain cancels through the parent. The token lives
+  // on this frame — HandleRequestLine is synchronous and the engine
+  // drops the pointer before returning.
+  CancelToken cancel(&manager_->shutdown_token());
+  if (deadline_ms_ > 0) cancel.ArmDeadline(deadline_ms_);
+  engine_.SetCancelToken(&cancel);
+  const bool keep_going =
+      engine::HandleRequestLine(engine_, line, out, &result_, serve_);
+  engine_.SetCancelToken(nullptr);
+  return keep_going;
 }
 
 }  // namespace server

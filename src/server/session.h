@@ -16,6 +16,13 @@
 ///   !limits [k=v ...]          per-session EvalLimits (admission control:
 ///                              max_paths, max_len, max_iterations,
 ///                              truncate=0|1); bare !limits prints them
+///   !deadline <ms>|off         per-query wall-clock deadline: each later
+///                              query runs under a CancelToken armed with
+///                              this budget and trips to the pinned
+///                              "query cancelled (deadline)" ERR
+///                              (algebra/eval_budget.h). Wall-clock trips
+///                              are excluded from the byte-identity
+///                              surface the same way `!timing` output is.
 ///   !timing on|off             timings off = deterministic "OK <n> paths"
 ///                              responses (the byte-identity surface)
 ///   !record <path> | stop      live workload recording: queries issued
@@ -48,6 +55,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/cancel.h"
 #include "common/mutex.h"
 #include "common/result.h"
 #include "common/thread_annotations.h"
@@ -66,6 +74,10 @@ struct SessionManagerOptions {
   size_t max_sessions = 8;
   /// Graph spec sessions start on (catalog key; empty = figure1).
   std::string default_graph_spec;
+  /// Per-query deadline every session starts with (0 = none); sessions
+  /// adjust theirs with `!deadline <ms>|off`. Surfaced as
+  /// `pathalg_serve --default-deadline-ms`.
+  uint64_t default_deadline_ms = 0;
   /// Base engine options for every session. `shared_cache` is overwritten
   /// with the manager's process-wide cache; `plan_cache_capacity` sizes
   /// that cache. The optimizer's GraphStats pointer is nulled: plans in a
@@ -81,6 +93,14 @@ struct SessionCounters {
   uint64_t rejected = 0;  // admission-gate refusals
   size_t active = 0;
   size_t peak_active = 0;
+  /// Queries whose CancelToken tripped on its armed deadline.
+  uint64_t deadline_trips = 0;
+  /// Queries cancelled externally (shutdown drain) — disjoint from
+  /// deadline_trips.
+  uint64_t cancelled_queries = 0;
+  /// Connections dropped because a response write timed out against a
+  /// slow/stuck client (reported by the transport layer).
+  uint64_t slow_client_drops = 0;
 };
 
 class SessionManager;
@@ -122,6 +142,9 @@ class ServerSession {
   engine::ServeOptions serve_;
   engine::ServeResult result_;
 
+  /// Per-query wall-clock budget (`!deadline`); 0 = none.
+  uint64_t deadline_ms_ = 0;
+
   bool recording_ = false;
   std::string record_path_;
   engine::Workload recorded_;
@@ -146,6 +169,17 @@ class SessionManager {
   size_t max_sessions() const { return options_.max_sessions; }
   SessionCounters counters() const;
 
+  /// The process-wide shutdown token. Every per-query CancelToken is
+  /// parented to it, so tripping it (the TCP server's drain-deadline
+  /// path) cancels every in-flight query at its next poll. Sticky: a
+  /// manager whose token tripped is shutting down for good.
+  const CancelToken& shutdown_token() const { return shutdown_token_; }
+  void CancelAllQueries() { shutdown_token_.Cancel(); }
+
+  /// Counter feeds from the session/transport layers (thread-safe).
+  void RecordQueryCancelled(bool deadline);
+  void RecordSlowClientDrop();
+
   /// The catalog/session/pool "STAT ..." lines appended to `!stats`.
   std::string StatsLines() const;
 
@@ -156,6 +190,7 @@ class SessionManager {
   GraphCatalog* const catalog_;
   SessionManagerOptions options_;
   std::shared_ptr<engine::PlanCache> shared_cache_;
+  CancelToken shutdown_token_;  // internally synchronized (atomics)
   mutable Mutex mu_;
   SessionCounters counters_ PA_GUARDED_BY(mu_);
 };

@@ -7,18 +7,38 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
 #include <memory>
 #include <unordered_set>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
+#include "common/timing.h"
 
 namespace pathalg {
 namespace server {
+
+namespace {
+
+/// The one socket-I/O patience policy: how long a misbehaving peer may
+/// pin a pool worker on a single syscall. Applied as SO_RCVTIMEO on the
+/// refusal drain's reads and SO_SNDTIMEO on every connection's response
+/// writes — one named constant so the two bounds cannot drift apart.
+constexpr time_t kSocketIoTimeoutSec = 1;
+
+timeval SocketIoTimeout() {
+  timeval tv{};
+  tv.tv_sec = kSocketIoTimeoutSec;
+  return tv;
+}
+
+}  // namespace
 
 struct TcpServer::Impl {
   /// Set once at construction, immutable afterwards (no guard needed).
@@ -46,6 +66,13 @@ struct TcpServer::Impl {
   std::shared_ptr<std::atomic<int>> refusals_in_flight =
       std::make_shared<std::atomic<int>>(0);
   static constexpr int kMaxRefusalTasks = 8;
+  /// Refusal-drain budget in *bytes* (on top of the per-read count and
+  /// timeout bounds): a refused peer gets at most this much of its
+  /// pipelined backlog read before the fd closes regardless.
+  static constexpr size_t kMaxRefusalDrainBytes = 1024;
+  /// Stop()'s drain budget (TcpServerOptions::drain_deadline_ms), fixed
+  /// at Start.
+  std::chrono::milliseconds drain_deadline PA_GUARDED_BY(mu){2000};
 
   /// Registers a freshly-accepted fd unless the server is stopping (in
   /// which case the caller must close it). Guards the Stop() sweep: a fd
@@ -78,6 +105,14 @@ struct TcpServer::Impl {
   /// writes, one ServerSession for the connection's lifetime (destroying
   /// it releases the admission slot and flushes any recording).
   void ServeConnection(int fd, std::unique_ptr<ServerSession> session) {
+    // A client that stops reading must not pin this worker for the
+    // connection's lifetime: response writes time out after the shared
+    // socket-I/O bound and the connection is dropped cleanly (counted in
+    // slow_client_drops). The kernel send buffer absorbs normal reader
+    // lag; only a peer stuck for the full timeout with the buffer full
+    // trips this.
+    const timeval timeout = SocketIoTimeout();
+    setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
     std::string pending;
     char buf[4096];
     ssize_t n;
@@ -87,10 +122,24 @@ struct TcpServer::Impl {
       quit = !session->HandleLine(line, &response);
       size_t off = 0;
       while (off < response.size()) {
+        // The socket-write injection site: models the send wedging
+        // against a stuck peer, exercising the same drop path the
+        // SO_SNDTIMEO expiry takes.
+        if (FaultInjector::Global().ShouldFail(FaultSite::kSocketWrite)) {
+          manager->RecordSlowClientDrop();
+          quit = true;
+          break;
+        }
         const ssize_t w =
             write(fd, response.data() + off, response.size() - off);
         if (w <= 0) {
-          quit = true;  // client went away (EPIPE with SIGPIPE ignored)
+          // EAGAIN/EWOULDBLOCK is the SO_SNDTIMEO write timeout — the
+          // slow-client drop, which we count; anything else means the
+          // client went away (EPIPE with SIGPIPE ignored).
+          if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            manager->RecordSlowClientDrop();
+          }
+          quit = true;
           break;
         }
         off += static_cast<size_t>(w);
@@ -124,12 +173,18 @@ struct TcpServer::Impl {
   static void RefuseAndClose(int fd, const std::string& line) {
     (void)!write(fd, line.data(), line.size());
     shutdown(fd, SHUT_WR);
-    timeval timeout{};
-    timeout.tv_sec = 1;
+    const timeval timeout = SocketIoTimeout();
     setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    // Bounded three ways — reads, total bytes, per-read timeout — so a
+    // peer trickling bytes can pin this task for at most a handful of
+    // short reads, never proportionally to what it queued.
     char buf[256];
-    for (int reads = 0; reads < 8; ++reads) {
-      if (read(fd, buf, sizeof(buf)) <= 0) break;  // EOF, error or timeout
+    size_t drained = 0;
+    for (int reads = 0; reads < 8 && drained < kMaxRefusalDrainBytes;
+         ++reads) {
+      const ssize_t r = read(fd, buf, sizeof(buf));
+      if (r <= 0) break;  // EOF, error or timeout
+      drained += static_cast<size_t>(r);
     }
     close(fd);
   }
@@ -236,6 +291,8 @@ Status TcpServer::Start(const TcpServerOptions& options) {
     impl_->accepting = true;
     impl_->accept_running = true;
     impl_->stopping = false;
+    impl_->drain_deadline =
+        std::chrono::milliseconds(options.drain_deadline_ms);
   }
   Impl* impl = impl_.get();
   ThreadPool::Shared().Submit([impl, listener] { impl->AcceptLoop(listener); });
@@ -256,13 +313,33 @@ void TcpServer::Stop() {
   MutexLock lock(impl_->mu);
   if (!impl_->accepting) return;
   impl_->stopping = true;
-  // Unblock the accept loop, then every connection read. shutdown()
-  // (not close()) so no fd number is reused while its handler still
-  // reads from it.
+  // Phase 1 — close the intake. Unblock the accept loop, and half-close
+  // (SHUT_RD, not RDWR) every connection's read side: blocked reads see
+  // EOF, no new request line is ever picked up, but in-flight queries
+  // keep running and their responses still flow out. Handlers unwind
+  // through their normal path, so live `!record` captures flush via the
+  // session destructor. shutdown() (not close()) so no fd number is
+  // reused while its handler still touches it.
   if (impl_->listener >= 0) shutdown(impl_->listener, SHUT_RDWR);
-  for (int fd : impl_->connections) shutdown(fd, SHUT_RDWR);
+  for (int fd : impl_->connections) shutdown(fd, SHUT_RD);
+  // Phase 2 — bounded drain: give in-flight queries the configured
+  // deadline to finish on their own.
+  const SteadyClock::time_point drain_until =
+      SteadyClock::now() + impl_->drain_deadline;
   while (impl_->accept_running || impl_->handlers_running != 0) {
-    impl_->cv.Wait(impl_->mu);
+    if (!impl_->cv.WaitUntil(impl_->mu, drain_until)) break;
+  }
+  // Phase 3 — cancel stragglers. Trip the process-wide shutdown token
+  // (every in-flight query polls it cooperatively and returns the pinned
+  // cancellation ERR promptly), fully shut the sockets, and wait without
+  // a deadline: after cancellation the handlers' remaining work is a
+  // bounded unwind, so this converges.
+  if (impl_->accept_running || impl_->handlers_running != 0) {
+    impl_->manager->CancelAllQueries();
+    for (int fd : impl_->connections) shutdown(fd, SHUT_RDWR);
+    while (impl_->accept_running || impl_->handlers_running != 0) {
+      impl_->cv.Wait(impl_->mu);
+    }
   }
   if (impl_->listener >= 0) close(impl_->listener);
   impl_->listener = -1;

@@ -12,9 +12,18 @@
 ///
 /// Lifecycle: Start binds/listens and returns (port() reports the bound
 /// port — pass 0 to let the kernel pick, which is what the tests and the
-/// in-process throughput bench do); Stop shuts the listener and every
-/// open connection down and blocks until the handlers drained. The
-/// destructor calls Stop.
+/// in-process throughput bench do); Stop drains gracefully: it stops
+/// accepting, half-closes every connection's read side so in-flight
+/// queries finish and live `!record` captures flush, waits up to
+/// TcpServerOptions::drain_deadline_ms, then trips the manager's
+/// shutdown CancelToken (stragglers return the pinned cancellation ERR,
+/// algebra/eval_budget.h) and fully shuts the sockets. The destructor
+/// calls Stop; `pathalg_serve` wires SIGTERM/SIGINT to it.
+///
+/// Slow-client policy: response writes carry a bounded timeout
+/// (SO_SNDTIMEO, shared with the refusal drain's SO_RCVTIMEO); a client
+/// that stops reading gets its connection dropped cleanly and counted in
+/// the manager's slow_client_drops.
 ///
 /// POSIX-only (like pathalg_serve's TCP mode); Start returns
 /// Unimplemented elsewhere.
@@ -33,6 +42,10 @@ struct TcpServerOptions {
   /// Port to bind on 127.0.0.1; 0 = kernel-assigned (see port()).
   uint16_t port = 0;
   int backlog = 16;
+  /// Graceful-stop drain budget: how long Stop() lets in-flight queries
+  /// run after closing the intake before cancelling them through the
+  /// manager's shutdown token. 0 = cancel immediately.
+  uint64_t drain_deadline_ms = 2000;
 };
 
 class TcpServer {
@@ -51,8 +64,12 @@ class TcpServer {
   /// True while the listener is accepting.
   bool running() const;
 
-  /// Stops accepting, shuts down open connections, and blocks until every
-  /// handler finished. Idempotent.
+  /// Graceful stop: closes the intake, drains in-flight handlers under
+  /// the configured deadline (cancelling stragglers through the
+  /// manager's shutdown token), and blocks until every handler finished.
+  /// Idempotent. Async-signal-UNSAFE (locks, condition waits) — invoke
+  /// from a normal thread, never from signal context (`pathalg_serve`
+  /// dedicates a sigwait thread to SIGTERM/SIGINT for exactly this).
   void Stop();
 
   /// Blocks until Stop() is called (from a signal handler thread or

@@ -3,6 +3,8 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/fault_injection.h"
+
 #if defined(_WIN32)
 #include <cstdio>
 #else
@@ -60,6 +62,14 @@ Result<std::shared_ptr<MappedFile>> MappedFile::Open(const std::string& path) {
                                    path + "'");
   }
   mf->size_ = static_cast<size_t>(st.st_size);
+  // Injection fires after open/fstat succeed, so a missing file still
+  // reports NotFound (a normal cache miss) and the injected Status
+  // models an I/O error on an *existing* file — the case the catalog's
+  // quarantine/rebuild path degrades around.
+  if (FaultInjector::Global().ShouldFail(FaultSite::kSnapshotMmap)) {
+    ::close(fd);
+    return InjectedFault(FaultSite::kSnapshotMmap);
+  }
   if (mf->size_ > 0) {
     void* p = ::mmap(nullptr, mf->size_, PROT_READ, MAP_PRIVATE, fd, 0);
     if (p == MAP_FAILED) {

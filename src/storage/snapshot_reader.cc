@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "storage/mapped_file.h"
 #include "storage/snapshot_format.h"
 
@@ -573,6 +574,14 @@ Result<PropertyGraph> SnapshotReader::Open(const std::string& path,
                                            const OpenOptions& options) {
   PATHALG_ASSIGN_OR_RETURN(std::shared_ptr<MappedFile> mf,
                            MappedFile::Open(path));
+  // Fires where a real torn/corrupt image surfaces: after the file
+  // mapped cleanly, before validation — the Status takes the same
+  // "snapshot '<path>': ..." shape a checksum failure would.
+  if (FaultInjector::Global().ShouldFail(FaultSite::kSnapshotRead)) {
+    const Status injected = InjectedFault(FaultSite::kSnapshotRead);
+    return Status(injected.code(),
+                  "snapshot '" + path + "': " + injected.message());
+  }
   ParsedImage img;
   Status st = ParseImage(mf->data(), mf->size(), options.verify_checksums,
                          img);

@@ -1,0 +1,389 @@
+// Tests for the seeded fault-injection substrate (common/fault_injection)
+// and the degradation paths it exercises: every registered site, forced to
+// fire, must yield a clean Status/ERR — never a crash, leak, or wedged
+// worker — and the non-faulted surface must stay byte-identical once
+// injection is disabled. The quarantine/rebuild path of the catalog's
+// snapshot cache and the server's slow-client drop ride the same
+// machinery. The suite runs under ASan/TSan in CI, which is what turns
+// "returns cleanly" into "returns cleanly and leaks nothing".
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "engine/workload_file.h"
+#include "server/graph_catalog.h"
+#include "server/session.h"
+#include "storage/snapshot_reader.h"
+#include "storage/snapshot_writer.h"
+
+#ifdef __unix__
+#include <dirent.h>
+
+#include "server/line_client.h"
+#include "server/tcp_server.h"
+#endif
+
+namespace pathalg {
+namespace {
+
+using server::GraphCatalog;
+using server::GraphCatalogOptions;
+using server::SessionManager;
+using server::SessionManagerOptions;
+
+std::string TempPath(const std::string& stem) {
+  return ::testing::TempDir() + "pathalg_fault_test_" + stem;
+}
+
+/// Snapshot-cache dirs persist across test-binary runs (gtest's TempDir
+/// is stable); tests that assert hit/miss/quarantine counters must start
+/// from an empty dir or a previous run's cache file skews them.
+void WipeDir(const std::string& dir) {
+#ifdef __unix__
+  if (DIR* d = opendir(dir.c_str())) {
+    while (struct dirent* entry = readdir(d)) {
+      const std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      std::remove((dir + "/" + name).c_str());
+    }
+    closedir(d);
+  }
+#else
+  (void)dir;
+#endif
+}
+
+/// RAII: the injector is process-global, so every test that configures it
+/// must leave it off for the next one.
+struct FaultScope {
+  explicit FaultScope(const std::string& spec) {
+    const Status s = FaultInjector::Global().Configure(spec);
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  }
+  ~FaultScope() { FaultInjector::Global().Disable(); }
+};
+
+// ---------------------------------------------------------------------------
+// FaultInjector mechanics
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectorTest, OffByDefaultAndAfterDisable) {
+  FaultInjector& fi = FaultInjector::Global();
+  fi.Disable();
+  EXPECT_FALSE(fi.Enabled());
+  for (int s = 0; s < kNumFaultSites; ++s) {
+    EXPECT_FALSE(fi.ShouldFail(static_cast<FaultSite>(s)));
+    EXPECT_EQ(fi.Injected(static_cast<FaultSite>(s)), 0u);
+  }
+  fi.Disable();  // zeroes the calls counters drawn above
+}
+
+TEST(FaultInjectorTest, ConfigureParsesSitesSeedAndWildcard) {
+  {
+    FaultScope scope("seed=42;snapshot-read=1");
+    FaultInjector& fi = FaultInjector::Global();
+    EXPECT_TRUE(fi.Enabled());
+    EXPECT_TRUE(fi.ShouldFail(FaultSite::kSnapshotRead));
+    EXPECT_FALSE(fi.ShouldFail(FaultSite::kCatalogLoad));
+    EXPECT_EQ(fi.Calls(FaultSite::kSnapshotRead), 1u);
+    EXPECT_EQ(fi.Injected(FaultSite::kSnapshotRead), 1u);
+    EXPECT_EQ(fi.Injected(FaultSite::kCatalogLoad), 0u);
+  }
+  {
+    FaultScope scope("seed=7;*=1");
+    for (int s = 0; s < kNumFaultSites; ++s) {
+      EXPECT_TRUE(FaultInjector::Global().ShouldFail(
+          static_cast<FaultSite>(s)));
+    }
+  }
+  EXPECT_FALSE(FaultInjector::Global().Enabled());
+}
+
+TEST(FaultInjectorTest, MalformedSpecsAreRejected) {
+  FaultInjector& fi = FaultInjector::Global();
+  EXPECT_FALSE(fi.Configure("seed").ok());
+  EXPECT_FALSE(fi.Configure("no-such-site=1").ok());
+  EXPECT_FALSE(fi.Configure("snapshot-read=banana").ok());
+  EXPECT_FALSE(fi.Enabled());  // a rejected spec must not half-apply
+}
+
+TEST(FaultInjectorTest, FiringPatternIsASeededPureFunction) {
+  // Same seed → the same subset of the first N ordinals fires; a
+  // different seed → (almost surely) a different subset. This is what
+  // makes a CI fault-sweep failure replayable from its seed.
+  constexpr int kDraws = 64;
+  auto draw = [](const std::string& spec) {
+    FaultScope scope(spec);
+    std::vector<bool> fired;
+    for (int i = 0; i < kDraws; ++i) {
+      fired.push_back(
+          FaultInjector::Global().ShouldFail(FaultSite::kSocketWrite));
+    }
+    return fired;
+  };
+  const auto a = draw("seed=1;socket-write=3");
+  const auto b = draw("seed=1;socket-write=3");
+  const auto c = draw("seed=2;socket-write=3");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  int fired_count = 0;
+  for (bool f : a) fired_count += f ? 1 : 0;
+  EXPECT_GT(fired_count, 0);
+  EXPECT_LT(fired_count, kDraws);
+}
+
+// ---------------------------------------------------------------------------
+// Storage sites: snapshot-read, snapshot-mmap
+// ---------------------------------------------------------------------------
+
+/// Writes a real snapshot of a small generator graph, returning its path.
+std::string WriteSnapshotFixture(const std::string& stem) {
+  const std::string path = TempPath(stem);
+  auto graph = engine::BuildWorkloadGraph("chain n=6 label=Knows");
+  EXPECT_TRUE(graph.ok()) << graph.status().ToString();
+  const Status written = storage::SnapshotWriter::Write(*graph, path);
+  EXPECT_TRUE(written.ok()) << written.ToString();
+  return path;
+}
+
+TEST(FaultSiteTest, SnapshotReadFailsCleanAndRecovers) {
+  const std::string path = WriteSnapshotFixture("read_site.snap");
+  {
+    FaultScope scope("seed=3;snapshot-read=1");
+    auto r = storage::SnapshotReader::Open(path);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("injected fault"), std::string::npos)
+        << r.status().ToString();
+    EXPECT_GE(FaultInjector::Global().Injected(FaultSite::kSnapshotRead), 1u);
+  }
+  // Injection off: the same bytes read back fine — the fault left no
+  // residue on the file or the reader.
+  auto r = storage::SnapshotReader::Open(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->num_nodes(), 6u);
+  std::remove(path.c_str());
+}
+
+TEST(FaultSiteTest, SnapshotMmapFailsCleanButMissingFileStaysNotFound) {
+  const std::string path = WriteSnapshotFixture("mmap_site.snap");
+  {
+    FaultScope scope("seed=3;snapshot-mmap=1");
+    auto r = storage::SnapshotReader::Open(path);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("injected fault"), std::string::npos);
+    // The site models an I/O error on an *existing* file; a missing file
+    // must still report NotFound (the catalog's normal cold-cache miss),
+    // or injection would quarantine files that never existed.
+    auto missing = storage::SnapshotReader::Open(TempPath("no_such.snap"));
+    ASSERT_FALSE(missing.ok());
+    EXPECT_TRUE(missing.status().IsNotFound())
+        << missing.status().ToString();
+  }
+  auto r = storage::SnapshotReader::Open(path);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Catalog site + quarantine/rebuild degradation
+// ---------------------------------------------------------------------------
+
+TEST(FaultSiteTest, CatalogLoadFailsCleanAndIsRetryable) {
+  GraphCatalog catalog;
+  {
+    FaultScope scope("seed=5;catalog-load=1");
+    auto g = catalog.Get("figure1");
+    ASSERT_FALSE(g.ok());
+    EXPECT_NE(g.status().message().find("injected fault"), std::string::npos);
+    EXPECT_EQ(catalog.counters().errors, 1u);
+  }
+  // Failed loads are not cached: the same spec succeeds once the fault
+  // clears — the catalog degraded, it did not wedge.
+  auto g = catalog.Get("figure1");
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ((*g)->graph->num_nodes(), 7u);
+}
+
+TEST(FaultSiteTest, CorruptSnapshotCacheIsQuarantinedAndRebuilt) {
+  const std::string dir = TempPath("quarantine_cache");
+  WipeDir(dir);
+  GraphCatalogOptions options;
+  options.snapshot_dir = dir;
+  const std::string spec = "chain n=9 label=Knows";
+
+  // Populate the cache (built from the generator, then persisted).
+  {
+    GraphCatalog warm(options);
+    auto g = warm.Get(spec);
+    ASSERT_TRUE(g.ok()) << g.status().ToString();
+    EXPECT_EQ(warm.counters().snapshot_misses, 1u);
+  }
+  // A fresh catalog with the cache file unreadable (injected I/O error on
+  // every open, including the backoff retry) must quarantine the file and
+  // rebuild from the generator spec: the session sees a slower load,
+  // never a failure.
+  {
+    FaultScope scope("seed=11;snapshot-read=1");
+    GraphCatalog cold(options);
+    auto g = cold.Get(spec);
+    ASSERT_TRUE(g.ok()) << g.status().ToString();
+    EXPECT_EQ((*g)->graph->num_nodes(), 9u);
+    const server::CatalogCounters c = cold.counters();
+    EXPECT_EQ(c.quarantined_snapshots, 1u);
+    EXPECT_EQ(c.snapshot_hits, 0u);
+    EXPECT_EQ(c.snapshot_misses, 1u);  // quarantine degrades to a miss
+  }
+  // The rebuild re-persisted a fresh cache file; with the fault cleared
+  // the next cold catalog mmaps it — full recovery, no residue.
+  {
+    GraphCatalog healed(options);
+    auto g = healed.Get(spec);
+    ASSERT_TRUE(g.ok()) << g.status().ToString();
+    const server::CatalogCounters c = healed.counters();
+    EXPECT_EQ(c.snapshot_hits, 1u);
+    EXPECT_EQ(c.quarantined_snapshots, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Server sites: record-flush, socket-write
+// ---------------------------------------------------------------------------
+
+TEST(FaultSiteTest, RecordFlushFailsCleanWithoutWedgingTheSession) {
+  GraphCatalog catalog;
+  SessionManager manager(&catalog, {});
+  auto session = manager.Open();
+  ASSERT_TRUE(session.ok());
+  const std::string path = TempPath("record_flush.gqlw");
+  std::string out;
+  (*session)->HandleLine("!timing off", &out);
+  (*session)->HandleLine("!record " + path, &out);
+  (*session)->HandleLine("MATCH ALL TRAIL p = (?x)-[:Knows+]->(?y)", &out);
+  out.clear();
+  {
+    FaultScope scope("seed=13;record-flush=1");
+    (*session)->HandleLine("!record stop", &out);
+    EXPECT_EQ(out, "ERR short write to workload file '" + path + "'\n");
+    EXPECT_GE(FaultInjector::Global().Injected(FaultSite::kRecordFlush), 1u);
+  }
+  // The session keeps serving, and a later recording succeeds end to end.
+  out.clear();
+  (*session)->HandleLine("MATCH ALL TRAIL p = (?x)-[:Knows+]->(?y)", &out);
+  EXPECT_EQ(out, "OK 12 paths\n");
+  out.clear();
+  (*session)->HandleLine("!record " + path, &out);
+  (*session)->HandleLine("MATCH ALL TRAIL p = (?x)-[:Knows+]->(?y)", &out);
+  out.clear();
+  (*session)->HandleLine("!record stop", &out);
+  EXPECT_EQ(out.rfind("OK recorded 1 queries", 0), 0u) << out;
+  std::remove(path.c_str());
+}
+
+#ifdef __unix__
+
+TEST(FaultSiteTest, SocketWriteDropsTheConnectionAndCountsIt) {
+  GraphCatalog catalog;
+  SessionManager manager(&catalog, {});
+  server::TcpServer tcp(&manager);
+  ASSERT_TRUE(tcp.Start({}).ok());
+  {
+    FaultScope scope("seed=17;socket-write=1");
+    server::LineClient client;
+    ASSERT_TRUE(client.Connect(tcp.port()).ok());
+    // The response write is injected to fail, so the server drops the
+    // connection cleanly: the client sees EOF/error, never a wedge.
+    auto r = client.RoundTrip("!timing off");
+    EXPECT_FALSE(r.ok());
+    EXPECT_GE(FaultInjector::Global().Injected(FaultSite::kSocketWrite), 1u);
+  }
+  // The drop released the admission slot and was counted; the server
+  // still serves the next client normally.
+  for (int spin = 0; spin < 500 && manager.counters().active != 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(manager.counters().slow_client_drops, 1u);
+  server::LineClient healthy;
+  ASSERT_TRUE(healthy.Connect(tcp.port()).ok());
+  auto ok = healthy.RoundTrip("!timing off");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(*ok, "OK timing off");
+  tcp.Stop();
+}
+
+#endif  // __unix__
+
+// ---------------------------------------------------------------------------
+// Fault sweep: every registered site, forced on, over a representative
+// server workload — clean ERR or clean success, never a crash (ASan/TSan
+// make that assertion sharp in CI).
+// ---------------------------------------------------------------------------
+
+TEST(FaultSweepTest, EverySiteForcedOnYieldsCleanStatuses) {
+  for (int s = 0; s < kNumFaultSites; ++s) {
+    const FaultSite site = static_cast<FaultSite>(s);
+    for (uint64_t seed : {1u, 7u, 23u}) {
+      FaultScope scope("seed=" + std::to_string(seed) + ";" +
+                       std::string(FaultSiteName(site)) + "=1");
+      const std::string dir = TempPath("sweep_cache");
+      WipeDir(dir);
+      GraphCatalogOptions catalog_options;
+      catalog_options.snapshot_dir = dir;
+      GraphCatalog catalog(catalog_options);
+      SessionManager manager(&catalog, {});
+      auto session = manager.Open();
+      if (!session.ok()) continue;  // catalog-load fired: clean refusal
+      const std::string record = TempPath("sweep_record.gqlw");
+      std::string out;
+      for (const std::string& line : std::vector<std::string>{
+               "!timing off",
+               "MATCH ALL TRAIL p = (?x)-[:Knows+]->(?y)",
+               "!graph chain n=5 label=Knows",
+               "!record " + record,
+               "MATCH ALL WALK p = (?x)-[:Knows]->(?y)",
+               "!record stop",
+               "!stats",
+           }) {
+        out.clear();
+        const bool keep = (*session)->HandleLine(line, &out);
+        EXPECT_TRUE(keep);
+        // Every response line is a complete, '\n'-terminated protocol
+        // line — injected failures surface as ERR, never as garbage.
+        ASSERT_FALSE(out.empty());
+        EXPECT_EQ(out.back(), '\n');
+      }
+      std::remove(record.c_str());
+    }
+  }
+  EXPECT_FALSE(FaultInjector::Global().Enabled());
+}
+
+TEST(FaultSweepTest, NonFaultedSurfaceIsByteIdenticalAcrossConfigCycles) {
+  // Configure/Disable cycles must leave zero residue on the serving
+  // path: the same script yields byte-identical output before and after.
+  auto run = [] {
+    GraphCatalog catalog;
+    SessionManager manager(&catalog, {});
+    auto session = manager.Open();
+    EXPECT_TRUE(session.ok());
+    std::string out;
+    (*session)->HandleLine("!timing off", &out);
+    (*session)->HandleLine("MATCH ALL TRAIL p = (?x)-[:Knows+]->(?y)", &out);
+    (*session)->HandleLine("MATCH ANY SHORTEST p = (?x)-[:Knows+]->(?y)",
+                           &out);
+    return out;
+  };
+  const std::string before = run();
+  { FaultScope scope("seed=29;*=1"); }
+  const std::string after = run();
+  EXPECT_EQ(before, after);
+}
+
+}  // namespace
+}  // namespace pathalg

@@ -331,6 +331,96 @@ TEST(ServerSessionTest, StatsIncludeCatalogSessionAndPoolLines) {
   EXPECT_NE(stats.find("OK stats\n"), std::string::npos);
 }
 
+TEST(ServerSessionTest, StatsIncludeRobustnessCounters) {
+  SessionHarness h;
+  const std::string stats = h.Handle("!stats");
+  // A fresh manager: every robustness counter present and zero.
+  EXPECT_NE(stats.find("STAT deadline_trips=0 cancelled_queries=0 "
+                       "slow_client_drops=0 quarantined_snapshots=0"),
+            std::string::npos)
+      << stats;
+  // The per-site fault-injection counters, one line, every site named.
+  EXPECT_NE(stats.find("STAT faults snapshot-read="), std::string::npos);
+  EXPECT_NE(stats.find(" snapshot-mmap="), std::string::npos);
+  EXPECT_NE(stats.find(" catalog-load="), std::string::npos);
+  EXPECT_NE(stats.find(" socket-write="), std::string::npos);
+  EXPECT_NE(stats.find(" record-flush="), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines & cooperative cancellation
+// ---------------------------------------------------------------------------
+
+TEST(ServerSessionTest, DeadlineCommandSetsAndClearsTheBudget) {
+  SessionHarness h;
+  EXPECT_EQ(h.Handle("!deadline 250"), "OK deadline 250\n");
+  EXPECT_EQ(h.Handle("!deadline off"), "OK deadline off\n");
+  EXPECT_EQ(h.Handle("!deadline 0"),
+            "ERR !deadline takes a positive millisecond count or 'off'\n");
+  EXPECT_EQ(h.Handle("!deadline soon"),
+            "ERR !deadline takes a positive millisecond count or 'off'\n");
+  EXPECT_NE(h.Handle("!help").find("!deadline <ms>|off"), std::string::npos);
+}
+
+/// The acceptance case: a query that would run far beyond the deadline is
+/// cancelled cooperatively (the pinned contract ERR of
+/// algebra/eval_budget.h), promptly enough that the same session answers
+/// a follow-up query immediately — at one and at four eval threads, so
+/// both the serial path and the chunked parallel merge paths honor the
+/// token.
+TEST(ServerSessionTest, DeadlineCancelsCooperativelyAndSessionStaysUsable) {
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    SessionHarness h;
+    h.Handle("!timing off");
+    h.Handle("!threads " + std::to_string(threads));
+    // A dense generator graph whose full TRAIL closure is astronomically
+    // beyond a few milliseconds; the huge non-truncating max_paths keeps
+    // the deterministic budget from firing first.
+    EXPECT_EQ(h.Handle("!graph social persons=300 seed=1")
+                  .rfind("OK graph ", 0),
+              0u);
+    h.Handle("!limits max_paths=100000000 truncate=0");
+    h.Handle("!deadline 5");
+    const std::string err =
+        h.Handle("MATCH ALL TRAIL p = (?x)-[:Knows+]->(?y)");
+    EXPECT_EQ(err.rfind("ERR ", 0), 0u) << err;
+    EXPECT_NE(err.find("query cancelled (deadline)"), std::string::npos)
+        << "threads=" << threads << ": " << err;
+    EXPECT_NE(err.find("partial results were discarded"), std::string::npos);
+    // The worker is immediately reusable: the very next request on the
+    // same session (same engine, same pool) answers normally.
+    h.Handle("!deadline off");
+    const std::string ok =
+        h.Handle("MATCH ANY SHORTEST p = (?x)-[:Knows]->(?y)");
+    EXPECT_EQ(ok.rfind("OK ", 0), 0u) << ok;
+    EXPECT_GE(h.manager->counters().deadline_trips, 1u)
+        << "threads=" << threads;
+    EXPECT_EQ(h.manager->counters().cancelled_queries, 0u);
+    // The trip reached !stats too.
+    const std::string stats = h.Handle("!stats");
+    EXPECT_NE(stats.find("STAT deadline_trips=1"), std::string::npos)
+        << stats;
+  }
+}
+
+TEST(ServerSessionTest, DefaultDeadlineAppliesToFreshSessions) {
+  SessionManagerOptions options;
+  options.default_deadline_ms = 5;
+  SessionHarness h(options);
+  h.Handle("!timing off");
+  h.Handle("!graph social persons=300 seed=1");
+  h.Handle("!limits max_paths=100000000 truncate=0");
+  const std::string err =
+      h.Handle("MATCH ALL TRAIL p = (?x)-[:Knows+]->(?y)");
+  EXPECT_NE(err.find("query cancelled (deadline)"), std::string::npos)
+      << err;
+  // `!deadline off` overrides the server default for this session.
+  h.Handle("!deadline off");
+  const std::string ok =
+      h.Handle("MATCH ANY SHORTEST p = (?x)-[:Knows]->(?y)");
+  EXPECT_EQ(ok.rfind("OK ", 0), 0u) << ok;
+}
+
 TEST(ServerSessionTest, BareGraphCommandIsAnError) {
   // `!graph` with no spec must not silently swap to the figure1 default.
   SessionHarness h;
@@ -651,6 +741,45 @@ TEST(TcpServerTest, BrokenDefaultGraphAnswersErrNotBusy) {
   EXPECT_EQ(c.closed, 0u);
   EXPECT_EQ(c.active, 0u);
   EXPECT_EQ(c.peak_active, 0u);
+}
+
+TEST(TcpServerTest, StopCancelsInFlightQueriesUnderTheDrainDeadline) {
+  // Graceful shutdown end to end: a query far exceeding the drain budget
+  // is in flight when Stop() is called; Stop must close the intake, wait
+  // out the (short) drain deadline, cancel the query through the
+  // manager's shutdown token, and return — with the cancellation counted.
+  GraphCatalog catalog;
+  SessionManager manager(&catalog, {});
+  TcpServer tcp(&manager);
+  server::TcpServerOptions options;
+  options.drain_deadline_ms = 50;
+  ASSERT_TRUE(tcp.Start(options).ok());
+
+  std::atomic<bool> query_sent{false};
+  std::thread client([&] {
+    LineClient c;
+    if (!c.Connect(tcp.port()).ok()) return;
+    if (!c.RoundTrip("!timing off").ok()) return;
+    if (!c.RoundTrip("!limits max_paths=100000000 truncate=0").ok()) return;
+    if (!c.RoundTrip("!graph social persons=300 seed=1").ok()) return;
+    query_sent = true;
+    // Runs for minutes if never cancelled; the drain must cut it short.
+    // The response may be the cancellation ERR or a dropped connection
+    // (the forced phase of Stop shuts the socket) — both are clean ends.
+    (void)c.RoundTrip("MATCH ALL TRAIL p = (?x)-[:Knows+]->(?y)");
+  });
+  for (int spin = 0; spin < 2000 && !query_sent; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(query_sent.load());
+  // Let the query line reach the handler and start evaluating.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  tcp.Stop();  // returns ≈ drain deadline + cancellation latency later
+  client.join();
+  EXPECT_FALSE(tcp.running());
+  EXPECT_EQ(manager.counters().active, 0u);
+  EXPECT_GE(manager.counters().cancelled_queries, 1u);
+  EXPECT_EQ(manager.counters().deadline_trips, 0u);
 }
 
 TEST(TcpServerTest, StopDrainsOpenConnections) {

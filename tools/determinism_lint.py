@@ -21,9 +21,14 @@ lint flags the project-specific hazards that silently break it:
   clock-in-response     a wall-clock value (MicrosSince/..._us/..._ms/
                         ::now()) appended to a protocol response string
                         in a response-producing file without a `timings`
-                        guard in view. `"STAT ...` lines are exempt: the
-                        `!stats` surface is the protocol's one declared
-                        nondeterministic response.
+                        guard in view. Two declared nondeterministic
+                        surfaces are exempt: `"STAT ...` lines (the
+                        `!stats` counters) and lines carrying
+                        `cancelled (` (the deadline/shutdown
+                        cancellation ERR of algebra/eval_budget.h —
+                        wall-clock trips are excluded from the
+                        byte-identity surface the same way `!timing`
+                        output is).
   raw-clock             clock primitives other than common/timing.h's
                         SteadyClock/MicrosSince (steady_clock spelled
                         raw, system_clock, high_resolution_clock,
@@ -339,6 +344,11 @@ def check_clock_in_response(sf):
         raw = sf.raw_lines[i - 1] if i <= len(sf.raw_lines) else ""
         if '"STAT' in raw:
             continue  # !stats: the declared nondeterministic surface
+        if 'cancelled (' in raw:
+            # Deadline/shutdown-trip ERR lines: the other declared
+            # nondeterministic surface (algebra/eval_budget.h pins the
+            # wording; wall-clock trips are outside byte-identity).
+            continue
         window = sf.clean_lines[max(0, i - 1 - GUARD_WINDOW):i - 1]
         if any(re.search(r"\btimings?\b", w) for w in window):
             continue

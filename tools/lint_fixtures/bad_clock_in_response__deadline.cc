@@ -1,0 +1,21 @@
+// Lint fixture: a deadline-trip ERR that embeds a wall-clock value but
+// does NOT use the pinned cancellation wording of algebra/eval_budget.h.
+// Only lines carrying `cancelled (` are a declared nondeterministic
+// surface; an ad-hoc "deadline exceeded after N" response leaks the
+// clock into the byte-identity surface. The '"ERR ' literal below marks
+// this file as response-producing, which is what scopes the rule onto it.
+// Expect: [clock-in-response]; nothing else.
+#include <cstdint>
+#include <string>
+
+namespace pathalg {
+uint64_t MicrosSince(uint64_t start);
+}
+
+void RespondDeadline(std::string* out, uint64_t start) {
+  *out += "ERR deadline exceeded after ";
+  // BAD: the elapsed time rides in an ERR line that is not spelled with
+  // the exempt `cancelled (` wording — `!timing off` responses are no
+  // longer byte-identical across runs.
+  *out += std::to_string(pathalg::MicrosSince(start)) + "_us\n";
+}
