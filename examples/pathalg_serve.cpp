@@ -22,6 +22,11 @@
 //   pathalg_serve --snapshot-dir cache/    # persist generator graphs as
 //                                          # snapshots; later starts mmap
 //                                          # them instead of rebuilding
+//   pathalg_serve --mutation-dir live/     # graphs become mutable: !mutate
+//                                          # journals to disk (fsync),
+//                                          # compaction publishes base
+//                                          # snapshots, restart recovers
+//                                          # the last acknowledged version
 //   pathalg_serve --default-deadline-ms 50 # per-query wall-clock deadline
 //                                          # every session starts with
 //                                          # (sessions adjust via
@@ -98,6 +103,7 @@ int ServePipe(server::SessionManager& manager, size_t min_ok) {
 int main(int argc, char** argv) {
   std::string graph_spec;
   std::string snapshot_dir;
+  std::string mutation_dir;
   std::string fault_spec;
   int port = -1;
   size_t min_ok = 0;
@@ -143,6 +149,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Fail("--snapshot-dir needs a directory");
       snapshot_dir = v;
+    } else if (arg == "--mutation-dir") {
+      const char* v = next();
+      if (v == nullptr) return Fail("--mutation-dir needs a directory");
+      mutation_dir = v;
     } else if (arg == "--port") {
       size_t value = 0;
       if (!next_size("--port", &value)) return 1;
@@ -171,6 +181,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: pathalg_serve [--graph <spec> | --csv <file> | "
                    "--snapshot <file>] [--snapshot-dir <dir>] "
+                   "[--mutation-dir <dir>] "
                    "[--port N] [--max-sessions N] [--min-ok N] "
                    "[--threads N] [--default-deadline-ms N] "
                    "[--drain-deadline-ms N] [--fault-inject <spec>]\n");
@@ -199,6 +210,7 @@ int main(int argc, char** argv) {
 
   server::GraphCatalogOptions catalog_options;
   catalog_options.snapshot_dir = snapshot_dir;
+  catalog_options.mutation_dir = mutation_dir;
   server::GraphCatalog catalog(catalog_options);
   server::SessionManagerOptions options;
   options.max_sessions = max_sessions;

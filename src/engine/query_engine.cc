@@ -1,12 +1,31 @@
 #include "engine/query_engine.h"
 
+#include <atomic>
+
 #include "common/timing.h"
 
 namespace pathalg {
 namespace engine {
 
+uint64_t QueryEngine::NextGraphToken() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::string QueryEngine::CacheKey(const std::string& normalized) const {
+  // Graph-independent preparation (no optimizer stats) keys on the text
+  // alone — the invariant that lets a server share one cache across
+  // sessions sitting on different graphs. With stats set, plans embed
+  // graph-derived decisions, so the graph token joins the key; the
+  // '\x1f' separator is a control byte no parseable (hence cacheable)
+  // query contains, keeping token keys disjoint from text keys.
+  if (options_.query.optimizer.stats == nullptr) return normalized;
+  return "g" + std::to_string(graph_token_) + "\x1f" + normalized;
+}
+
 void QueryEngine::ResetGraph(PropertyGraph graph) {
   graph_ = std::make_shared<const PropertyGraph>(std::move(graph));
+  graph_token_ = NextGraphToken();
   cache_->Clear();
 }
 
@@ -16,8 +35,9 @@ Result<PreparedQueryPtr> QueryEngine::Prepare(std::string_view text,
   ExecStats& s = stats != nullptr ? *stats : local;
   s = ExecStats();
   s.normalized = NormalizeQueryText(text);
+  const std::string key = CacheKey(s.normalized);
 
-  if (PreparedQueryPtr hit = cache_->Get(s.normalized)) {
+  if (PreparedQueryPtr hit = cache_->Get(key)) {
     s.cache_hit = true;
     return hit;
   }
@@ -45,7 +65,7 @@ Result<PreparedQueryPtr> QueryEngine::Prepare(std::string_view text,
   prepared->optimize_us = s.optimize_us;
 
   PreparedQueryPtr shared = std::move(prepared);
-  cache_->Put(s.normalized, shared);
+  cache_->Put(key, shared);
   return shared;
 }
 

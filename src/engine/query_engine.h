@@ -108,9 +108,16 @@ class QueryEngine {
 
   /// Swaps in a shared graph *without* clearing the plan cache — prepared
   /// plans are graph-independent (see EngineOptions::shared_cache), and
-  /// the cache may belong to every other session of a server.
+  /// the cache may belong to every other session of a server. When the
+  /// session *does* prepare graph-dependently (optimizer stats are set),
+  /// the cache key carries a per-graph token, so a swap — a `!graph`
+  /// command or a live-mutation version publish — can never serve a plan
+  /// memoized against the previous graph's statistics. Same-pointer
+  /// swaps are no-ops (the token, and thus cached keys, stay valid).
   void SetGraph(std::shared_ptr<const PropertyGraph> graph) {
+    if (graph.get() == graph_.get()) return;
     graph_ = std::move(graph);
+    graph_token_ = NextGraphToken();
   }
 
   /// Sets the evaluation thread count (EvalOptions::threads; 0 = hardware
@@ -164,10 +171,23 @@ class QueryEngine {
   const SessionStats& session_stats() const { return session_; }
 
  private:
+  /// Process-unique token minted per distinct graph instance an engine
+  /// has pointed at (monotonic atomic counter — tokens are never reused,
+  /// so a key built against an old graph can never collide with a new
+  /// one's).
+  static uint64_t NextGraphToken();
+
+  /// The plan-cache key for `normalized` query text: the text itself for
+  /// graph-independent preparation (the shared-cache contract), prefixed
+  /// with the graph token when optimizer statistics make prepared plans
+  /// graph-dependent.
+  std::string CacheKey(const std::string& normalized) const;
+
   std::shared_ptr<const PropertyGraph> graph_;
   EngineOptions options_;
   std::shared_ptr<PlanCache> cache_;
   SessionStats session_;
+  uint64_t graph_token_ = NextGraphToken();
 };
 
 }  // namespace engine

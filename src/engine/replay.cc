@@ -1,8 +1,11 @@
 #include "engine/replay.h"
 
 #include <cstdio>
+#include <memory>
 
 #include "common/timing.h"
+#include "mutation/delta_log.h"
+#include "mutation/overlay.h"
 
 namespace pathalg {
 namespace engine {
@@ -55,11 +58,18 @@ Result<ReplayReport> ReplayWorkload(QueryEngine& engine,
   // session engine was configured with. The override is scoped to this
   // replay — a long-lived serving session must come back out with its
   // own configuration, whichever return path we take.
-  struct ThreadRestore {
+  // The graph is restored alongside: a workload with `# mutate` steps
+  // walks the engine through derived versions, and a long-lived session
+  // must come back out on the graph it went in with.
+  struct SessionRestore {
     QueryEngine& engine;
-    size_t original;
-    ~ThreadRestore() { engine.SetEvalThreads(original); }
-  } restore{engine, engine.eval_threads()};
+    size_t original_threads;
+    std::shared_ptr<const PropertyGraph> original_graph;
+    ~SessionRestore() {
+      engine.SetEvalThreads(original_threads);
+      engine.SetGraph(std::move(original_graph));
+    }
+  } restore{engine, engine.eval_threads(), engine.shared_graph()};
   if (options.threads.has_value()) {
     engine.SetEvalThreads(*options.threads);
   } else if (workload.threads.has_value()) {
@@ -72,21 +82,58 @@ Result<ReplayReport> ReplayWorkload(QueryEngine& engine,
   report.passes = options.passes;
   report.threads = engine.eval_threads();
   report.queries.reserve(workload.entries.size());
+  bool has_mutations = false;
   for (const WorkloadEntry& e : workload.entries) {
     ReplayQueryStat stat;
     stat.name = e.name;
     stat.query = e.query;
+    stat.mutation = e.mutation;
     stat.expect = e.expect;
+    if (!e.mutation.empty()) has_mutations = true;
     report.queries.push_back(std::move(stat));
   }
   // First observed cardinality per entry, for the stability check.
   std::vector<std::optional<size_t>> first_card(workload.entries.size());
 
   const SteadyClock::time_point start = SteadyClock::now();
+  const std::shared_ptr<const PropertyGraph> original = engine.shared_graph();
+  std::unique_ptr<mutation::DeltaState> delta;
   for (size_t pass = 0; pass < options.passes; ++pass) {
+    if (has_mutations) {
+      // Per-pass reset: every pass replays the same evolution from the
+      // original graph, so per-entry cardinality — and thus `# expect` —
+      // is the same on pass 1 and pass N.
+      engine.SetGraph(original);
+      delta.reset();
+    }
     for (size_t i = 0; i < workload.entries.size(); ++i) {
       const WorkloadEntry& entry = workload.entries[i];
       ReplayQueryStat& stat = report.queries[i];
+      if (!entry.mutation.empty()) {
+        const SteadyClock::time_point mutate_start = SteadyClock::now();
+        Result<mutation::DeltaRecord> rec =
+            mutation::ParseMutationCommand(entry.mutation);
+        if (!rec.ok()) return rec.status();  // unreachable: parse-validated
+        if (delta == nullptr) {
+          delta = std::make_unique<mutation::DeltaState>(original);
+        }
+        mutation::DeltaRecord resolved = *rec;
+        Status applied = delta->Apply(&resolved);
+        if (!applied.ok()) {
+          // A failed mutation poisons every later expectation — an
+          // infrastructure error, not a per-query one.
+          return Status(applied.code(), "workload mutation '" +
+                                            entry.mutation +
+                                            "' failed: " +
+                                            applied.message());
+        }
+        engine.SetGraph(std::make_shared<const PropertyGraph>(
+            mutation::DeltaOverlayGraph::Apply(*delta)));
+        stat.total_us += MicrosSince(mutate_start);
+        ++stat.runs;
+        ++report.mutations;
+        continue;
+      }
       for (size_t r = 0; r < entry.repeat; ++r) {
         ExecStats es;
         Result<PathSet> result = engine.Execute(entry.query, &es);
@@ -152,6 +199,8 @@ std::string ReplayReportToJson(const ReplayReport& report) {
     const ReplayQueryStat& q = report.queries[i];
     out += "    {\"name\": " + JsonQuote(q.name) +
            ", \"query\": " + JsonQuote(q.query) +
+           (q.mutation.empty() ? ""
+                               : ", \"mutation\": " + JsonQuote(q.mutation)) +
            ", \"runs\": " + std::to_string(q.runs) +
            ", \"cache_hits\": " + std::to_string(q.cache_hits) +
            ", \"parse_us\": " + std::to_string(q.parse_us) +
@@ -181,7 +230,7 @@ std::string ReplayReportToJson(const ReplayReport& report) {
          ", \"cache_misses\": " + std::to_string(report.cache_misses) +
          ", \"errors\": " + std::to_string(report.errors) +
          ", \"expect_failures\": " + std::to_string(report.expect_failures) +
-         "},\n";
+         ", \"mutations\": " + std::to_string(report.mutations) + "},\n";
   // compare.py-compatible rollups (same keys as the BENCH_*.json
   // aggregates): per query, total wall time and mean time per run.
   out += "  \"wall_time_ms\": {";

@@ -43,6 +43,9 @@ struct ReplayOptions {
 struct ReplayQueryStat {
   std::string name;
   std::string query;
+  /// Non-empty for `# mutate` steps; `runs` then counts applications
+  /// (one per pass) and `total_us` the apply + re-materialize cost.
+  std::string mutation;
   size_t runs = 0;
   size_t cache_hits = 0;
   uint64_t parse_us = 0;
@@ -79,6 +82,10 @@ struct ReplayReport {
   size_t cache_misses = 0;
   size_t errors = 0;
   size_t expect_failures = 0;
+  /// `# mutate` steps applied (passes × mutation entries). Each pass
+  /// restarts from the workload's original graph, so expectations stay
+  /// pass-independent.
+  size_t mutations = 0;
 
   /// True when no run errored and every expectation held.
   bool ok() const { return errors == 0 && expect_failures == 0; }

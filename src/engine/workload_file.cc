@@ -6,6 +6,7 @@
 
 #include "common/str_util.h"
 #include "graph/csv.h"
+#include "mutation/delta_log.h"
 #include "storage/snapshot_reader.h"
 #include "workload/figure1.h"
 #include "workload/generators.h"
@@ -197,6 +198,31 @@ Result<Workload> ParseWorkload(std::string_view text) {
         if (!n.ok()) return DirectiveError(line_no, n.status().message());
         if (pending_name.empty()) pending_meta_line = line_no;
         pending_expect = *n;
+      } else if (directive == "mutate") {
+        // A mutation step is an entry of its own: it changes the graph
+        // every later query sees, so its position in the list matters.
+        std::string_view cmd =
+            StripWhitespace(line.substr(line.find("mutate") + 6));
+        if (cmd.empty()) {
+          return DirectiveError(line_no,
+                                "'# mutate' needs a mutation command "
+                                "(add-node/add-edge/rm-node/rm-edge ...)");
+        }
+        Result<mutation::DeltaRecord> rec =
+            mutation::ParseMutationCommand(cmd);
+        if (!rec.ok()) {
+          return DirectiveError(line_no, rec.status().message());
+        }
+        if (pending_expect.has_value() || !pending_name.empty()) {
+          return DirectiveError(line_no,
+                                "'# expect'/'# name' must precede a query, "
+                                "not a '# mutate'");
+        }
+        WorkloadEntry entry;
+        entry.name = "q" + std::to_string(w.entries.size() + 1);
+        entry.mutation = std::string(cmd);
+        entry.line = line_no;
+        w.entries.push_back(std::move(entry));
       } else if (directive == "name") {
         if (words.size() != 2) {
           return DirectiveError(line_no, "'# name' takes one word");
@@ -209,8 +235,8 @@ Result<Workload> ParseWorkload(std::string_view text) {
       } else {
         return DirectiveError(
             line_no, "unknown directive '# " + std::string(directive) +
-                         "' (known: graph, threads, repeat, expect, name; "
-                         "use '##' for comments)");
+                         "' (known: graph, threads, repeat, expect, name, "
+                         "mutate; use '##' for comments)");
       }
       continue;
     }
@@ -268,6 +294,10 @@ std::string FormatWorkload(const Workload& workload) {
   size_t sticky_repeat = 1;
   for (size_t i = 0; i < workload.entries.size(); ++i) {
     const WorkloadEntry& e = workload.entries[i];
+    if (!e.mutation.empty()) {
+      out += "# mutate " + e.mutation + "\n";
+      continue;
+    }
     if (e.repeat != sticky_repeat) {
       out += "# repeat " + std::to_string(e.repeat) + "\n";
       sticky_repeat = e.repeat;

@@ -14,6 +14,14 @@
 ///   # repeat 5                          sticky: following queries run 5x
 ///   # expect 42                         next query must yield 42 paths
 ///   # name two_hop                      next query's label (stats/JSON key)
+///   # mutate add-edge n1 n2 label=Knows a live-mutation step: the replay
+///                                       graph evolves here, affecting all
+///                                       later queries (grammar:
+///                                       mutation/delta_log.h; recorded by
+///                                       the server's !mutate under
+///                                       !record). Runs once per pass —
+///                                       never repeated — and each pass
+///                                       restarts from the original graph
 ///   ## free-text comment                ignored
 ///
 /// Graph specs (first word selects the workload/generators.h family,
@@ -49,9 +57,14 @@ namespace engine {
 struct WorkloadEntry {
   /// Stats/JSON key; defaults to "q<1-based index>".
   std::string name;
-  /// Query text, exactly as written.
+  /// Query text, exactly as written. Empty for mutation steps.
   std::string query;
-  /// Times to run the query per replay pass (>= 1).
+  /// Non-empty marks a `# mutate` step: the mutation command (validated
+  /// at parse time against the mutation grammar) applied to the replay
+  /// graph before later entries run. Mutually exclusive with `query`.
+  std::string mutation;
+  /// Times to run the query per replay pass (>= 1; always 1 for
+  /// mutation steps — re-applying a mutation is not idempotent).
   size_t repeat = 1;
   /// Expected result cardinality; checked by the replay driver when set.
   std::optional<size_t> expect;
@@ -59,8 +72,8 @@ struct WorkloadEntry {
   size_t line = 0;
 
   bool operator==(const WorkloadEntry& o) const {
-    return name == o.name && query == o.query && repeat == o.repeat &&
-           expect == o.expect;
+    return name == o.name && query == o.query && mutation == o.mutation &&
+           repeat == o.repeat && expect == o.expect;
   }
 };
 

@@ -63,6 +63,10 @@ class SnapshotReader;
 class SnapshotWriter;
 }  // namespace storage
 
+namespace mutation {
+class DeltaOverlayGraph;
+}  // namespace mutation
+
 using NodeId = uint32_t;
 using EdgeId = uint32_t;
 using LabelId = uint32_t;
@@ -145,6 +149,7 @@ class PropertyGraph {
     return id == kInvalidId ? std::string_view() : prop_keys_[id];
   }
   size_t num_labels() const { return labels_.size(); }
+  size_t num_prop_keys() const { return prop_keys_.size(); }
 
   /// ν: property access; nullptr when the property is not set. On a
   /// mapped graph the first call materializes that side's property
@@ -229,6 +234,7 @@ class PropertyGraph {
   friend class storage::SnapshotAccess;
   friend class storage::SnapshotReader;
   friend class storage::SnapshotWriter;
+  friend class mutation::DeltaOverlayGraph;
 
   static NeighborRange CsrSlice(const FlatArray<uint32_t>& offsets,
                                 const FlatArray<EdgeId>& edges,

@@ -1,0 +1,716 @@
+#include "mutation/delta_log.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "common/str_util.h"
+#include "storage/snapshot_format.h"
+
+namespace pathalg {
+namespace mutation {
+
+namespace {
+
+constexpr char kJournalMagic[8] = {'P', 'A', 'L', 'G', 'D', 'L', 'O', 'G'};
+constexpr uint32_t kJournalVersion = 1;
+
+struct JournalHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t reserved;
+  uint64_t base_version;
+};
+static_assert(sizeof(JournalHeader) == 24, "header is packed");
+
+/// Protocol value typing: int64 when the whole token parses as one, else
+/// double, else the bool/null literals, else the raw string.
+Value ParseValueToken(std::string_view tok) {
+  if (tok == "true") return Value(true);
+  if (tok == "false") return Value(false);
+  if (tok == "null") return Value();
+  if (!tok.empty()) {
+    std::string s(tok);
+    char* end = nullptr;
+    errno = 0;
+    long long i = std::strtoll(s.c_str(), &end, 10);
+    if (errno == 0 && end != s.c_str() && *end == '\0') {
+      return Value(static_cast<int64_t>(i));
+    }
+    errno = 0;
+    double d = std::strtod(s.c_str(), &end);
+    if (errno == 0 && end != s.c_str() && *end == '\0') return Value(d);
+  }
+  return Value(std::string(tok));
+}
+
+/// Inverse of ParseValueToken. Doubles use the shortest %g form that
+/// round-trips exactly, so Format∘Parse is the identity on every token
+/// ParseValueToken can produce.
+std::string FormatValueToken(const Value& v) {
+  switch (v.type()) {
+    case Value::Type::kNull:
+      return "null";
+    case Value::Type::kBool:
+      return v.AsBool() ? "true" : "false";
+    case Value::Type::kInt:
+      return std::to_string(v.AsInt());
+    case Value::Type::kDouble: {
+      char buf[64];
+      double d = v.AsDouble();
+      for (int prec = 1; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, d);
+        if (std::strtod(buf, nullptr) == d) break;
+      }
+      return buf;
+    }
+    case Value::Type::kString:
+      return v.AsString();
+  }
+  return "null";
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void PutStr(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+/// Bounds-checked reader over a record payload.
+struct Cursor {
+  const unsigned char* p;
+  size_t left;
+
+  bool GetU8(uint8_t* v) {
+    if (left < 1) return false;
+    *v = *p;
+    ++p;
+    --left;
+    return true;
+  }
+  bool GetU32(uint32_t* v) {
+    if (left < 4) return false;
+    std::memcpy(v, p, 4);
+    p += 4;
+    left -= 4;
+    return true;
+  }
+  bool GetU64(uint64_t* v) {
+    if (left < 8) return false;
+    std::memcpy(v, p, 8);
+    p += 8;
+    left -= 8;
+    return true;
+  }
+  bool GetStr(std::string* s) {
+    uint32_t n = 0;
+    if (!GetU32(&n) || left < n) return false;
+    s->assign(reinterpret_cast<const char*>(p), n);
+    p += n;
+    left -= n;
+    return true;
+  }
+};
+
+Status CorruptRecord() {
+  return Status::InvalidArgument("malformed delta record payload");
+}
+
+Status WriteBufferDurably(const std::string& path, const std::string& buf) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::InvalidArgument("cannot create journal file '" + tmp +
+                                   "': " + std::strerror(errno));
+  }
+  size_t done = 0;
+  while (done < buf.size()) {
+    ssize_t n = ::write(fd, buf.data() + done, buf.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      std::remove(tmp.c_str());
+      return Status::InvalidArgument("short write on journal file '" + tmp +
+                                     "': " + std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    std::remove(tmp.c_str());
+    return Status::InvalidArgument("cannot sync journal file '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::InvalidArgument("cannot move journal into place at '" +
+                                   path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string_view DeltaOpName(DeltaOp op) {
+  switch (op) {
+    case DeltaOp::kAddNode:
+      return "add-node";
+    case DeltaOp::kAddEdge:
+      return "add-edge";
+    case DeltaOp::kRemoveNode:
+      return "rm-node";
+    case DeltaOp::kRemoveEdge:
+      return "rm-edge";
+  }
+  return "?";
+}
+
+bool DeltaRecord::operator==(const DeltaRecord& other) const {
+  return op == other.op && name == other.name && label == other.label &&
+         src == other.src && dst == other.dst && props == other.props;
+}
+
+Result<DeltaRecord> ParseMutationCommand(std::string_view text) {
+  std::vector<std::string_view> toks = SplitWhitespace(text);
+  if (toks.empty()) {
+    return Status::InvalidArgument(
+        "empty mutation; expected add-node|add-edge|rm-node|rm-edge");
+  }
+  DeltaRecord rec;
+  std::string_view verb = toks[0];
+  if (verb == "add-node") {
+    rec.op = DeltaOp::kAddNode;
+  } else if (verb == "add-edge") {
+    rec.op = DeltaOp::kAddEdge;
+  } else if (verb == "rm-node") {
+    rec.op = DeltaOp::kRemoveNode;
+  } else if (verb == "rm-edge") {
+    rec.op = DeltaOp::kRemoveEdge;
+  } else {
+    return Status::InvalidArgument(
+        "unknown mutation op '" + std::string(verb) +
+        "'; expected add-node|add-edge|rm-node|rm-edge");
+  }
+
+  if (rec.op == DeltaOp::kRemoveNode || rec.op == DeltaOp::kRemoveEdge) {
+    // Removals take the name verbatim (names may contain '=').
+    if (toks.size() != 2) {
+      return Status::InvalidArgument(std::string(DeltaOpName(rec.op)) +
+                                     " takes exactly one name");
+    }
+    rec.name = std::string(toks[1]);
+    return rec;
+  }
+
+  std::vector<std::string_view> positional;
+  bool saw_name_kv = false;
+  for (size_t i = 1; i < toks.size(); ++i) {
+    std::string_view t = toks[i];
+    size_t eq = t.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      positional.push_back(t);
+      continue;
+    }
+    std::string_view key = t.substr(0, eq);
+    std::string_view val = t.substr(eq + 1);
+    if (key == "label") {
+      if (!rec.label.empty()) {
+        return Status::InvalidArgument("duplicate label= in mutation");
+      }
+      rec.label = std::string(val);
+    } else if (key == "name") {
+      if (saw_name_kv) {
+        return Status::InvalidArgument("duplicate name= in mutation");
+      }
+      saw_name_kv = true;
+      rec.name = std::string(val);
+    } else {
+      rec.props.emplace_back(std::string(key), ParseValueToken(val));
+    }
+  }
+
+  if (rec.op == DeltaOp::kAddNode) {
+    if (positional.size() > 1) {
+      return Status::InvalidArgument(
+          "add-node takes at most one positional name");
+    }
+    if (!positional.empty()) {
+      if (saw_name_kv) {
+        return Status::InvalidArgument(
+            "add-node given both a positional name and name=");
+      }
+      rec.name = std::string(positional[0]);
+    }
+  } else {  // kAddEdge
+    if (positional.size() != 2) {
+      return Status::InvalidArgument(
+          "add-edge takes exactly two positional node names: add-edge "
+          "<src> <dst> [label=L] [name=N] [key=value ...]");
+    }
+    rec.src = std::string(positional[0]);
+    rec.dst = std::string(positional[1]);
+  }
+  return rec;
+}
+
+std::string FormatMutation(const DeltaRecord& rec) {
+  std::string out(DeltaOpName(rec.op));
+  switch (rec.op) {
+    case DeltaOp::kRemoveNode:
+    case DeltaOp::kRemoveEdge:
+      out += ' ';
+      out += rec.name;
+      return out;
+    case DeltaOp::kAddNode:
+      if (!rec.name.empty()) {
+        out += ' ';
+        out += rec.name;
+      }
+      break;
+    case DeltaOp::kAddEdge:
+      out += ' ';
+      out += rec.src;
+      out += ' ';
+      out += rec.dst;
+      break;
+  }
+  if (!rec.label.empty()) {
+    out += " label=";
+    out += rec.label;
+  }
+  if (rec.op == DeltaOp::kAddEdge && !rec.name.empty()) {
+    out += " name=";
+    out += rec.name;
+  }
+  for (const auto& [key, value] : rec.props) {
+    out += ' ';
+    out += key;
+    out += '=';
+    out += FormatValueToken(value);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// DeltaState
+
+DeltaState::DeltaState(std::shared_ptr<const PropertyGraph> base)
+    : base_(std::move(base)),
+      base_node_live_(base_->num_nodes(), true),
+      base_edge_live_(base_->num_edges(), true),
+      live_nodes_(base_->num_nodes()),
+      live_edges_(base_->num_edges()) {}
+
+Status DeltaState::Apply(DeltaRecord* rec) {
+  Status st;
+  switch (rec->op) {
+    case DeltaOp::kAddNode:
+      st = ApplyAddNode(rec);
+      break;
+    case DeltaOp::kAddEdge:
+      st = ApplyAddEdge(rec);
+      break;
+    case DeltaOp::kRemoveNode:
+      st = ApplyRemoveNode(*rec);
+      break;
+    case DeltaOp::kRemoveEdge:
+      st = ApplyRemoveEdge(*rec);
+      break;
+  }
+  if (st.ok()) records_.push_back(*rec);
+  return st;
+}
+
+Result<DeltaRef> DeltaState::LookupNode(std::string_view name) const {
+  auto it = added_node_by_name_.find(std::string(name));
+  if (it != added_node_by_name_.end()) {
+    return DeltaRef{/*added=*/true, it->second};
+  }
+  NodeId id = base_->FindNodeByName(name);
+  if (id != kInvalidId && base_node_live_[id]) {
+    return DeltaRef{/*added=*/false, id};
+  }
+  return Status::NotFound("no live node named '" + std::string(name) + "'");
+}
+
+Result<DeltaRef> DeltaState::LookupEdge(std::string_view name) const {
+  auto it = added_edge_by_name_.find(std::string(name));
+  if (it != added_edge_by_name_.end()) {
+    return DeltaRef{/*added=*/true, it->second};
+  }
+  const_cast<DeltaState*>(this)->EnsureBaseEdgeNameIndex();
+  auto bit = base_edge_name_index_.find(std::string(name));
+  if (bit != base_edge_name_index_.end() && base_edge_live_[bit->second]) {
+    return DeltaRef{/*added=*/false, bit->second};
+  }
+  return Status::NotFound("no live edge named '" + std::string(name) + "'");
+}
+
+void DeltaState::EnsureBaseEdgeNameIndex() {
+  if (base_edge_name_index_built_) return;
+  base_edge_name_index_built_ = true;
+  const size_t n = base_->num_edges();
+  base_edge_name_index_.reserve(n);
+  for (EdgeId e = 0; e < n; ++e) {
+    // First-wins on duplicate names, matching FindNodeByName for nodes.
+    base_edge_name_index_.emplace(base_->EdgeName(e), e);
+  }
+}
+
+Status DeltaState::ApplyAddNode(DeltaRecord* rec) {
+  if (rec->name.empty()) {
+    // Insertion-order auto name, GraphBuilder's scheme: one past every
+    // node ever added (dead ones included — ids are never reused).
+    rec->name =
+        "n" + std::to_string(base_->num_nodes() + added_nodes_.size() + 1);
+    if (LookupNode(rec->name).ok()) {
+      return Status::InvalidArgument("auto node name '" + rec->name +
+                                     "' is taken; pass an explicit name");
+    }
+  } else if (LookupNode(rec->name).ok()) {
+    return Status::InvalidArgument("node '" + rec->name +
+                                   "' already exists");
+  }
+  uint32_t index = static_cast<uint32_t>(added_nodes_.size());
+  added_nodes_.push_back(AddedNode{rec->name, rec->label, rec->props, true});
+  added_node_by_name_.emplace(rec->name, index);
+  ++live_nodes_;
+  return Status::OK();
+}
+
+Status DeltaState::ApplyAddEdge(DeltaRecord* rec) {
+  Result<DeltaRef> src = LookupNode(rec->src);
+  if (!src.ok()) return src.status();
+  Result<DeltaRef> dst = LookupNode(rec->dst);
+  if (!dst.ok()) return dst.status();
+  if (rec->name.empty()) {
+    rec->name =
+        "e" + std::to_string(base_->num_edges() + added_edges_.size() + 1);
+    if (LookupEdge(rec->name).ok()) {
+      return Status::InvalidArgument("auto edge name '" + rec->name +
+                                     "' is taken; pass an explicit name");
+    }
+  } else if (LookupEdge(rec->name).ok()) {
+    return Status::InvalidArgument("edge '" + rec->name +
+                                   "' already exists");
+  }
+  uint32_t index = static_cast<uint32_t>(added_edges_.size());
+  added_edges_.push_back(AddedEdge{rec->name, rec->label, *src, *dst,
+                                   rec->props, true});
+  added_edge_by_name_.emplace(rec->name, index);
+  ++live_edges_;
+  return Status::OK();
+}
+
+void DeltaState::RemoveEdgeRef(const DeltaRef& ref) {
+  if (ref.added) {
+    AddedEdge& e = added_edges_[ref.index];
+    if (!e.live) return;
+    e.live = false;
+    added_edge_by_name_.erase(e.name);
+  } else {
+    if (!base_edge_live_[ref.index]) return;
+    base_edge_live_[ref.index] = false;
+  }
+  --live_edges_;
+}
+
+Status DeltaState::ApplyRemoveNode(const DeltaRecord& rec) {
+  Result<DeltaRef> ref = LookupNode(rec.name);
+  if (!ref.ok()) return ref.status();
+  // Cascade: ρ is total on E, so every incident edge goes with the node.
+  if (!ref->added) {
+    NodeId id = ref->index;
+    for (EdgeId e : base_->OutEdges(id)) {
+      if (base_edge_live_[e]) RemoveEdgeRef(DeltaRef{false, e});
+    }
+    for (EdgeId e : base_->InEdges(id)) {
+      if (base_edge_live_[e]) RemoveEdgeRef(DeltaRef{false, e});
+    }
+  }
+  for (uint32_t i = 0; i < added_edges_.size(); ++i) {
+    const AddedEdge& e = added_edges_[i];
+    if (!e.live) continue;
+    auto touches = [&](const DeltaRef& end) {
+      return end.added == ref->added && end.index == ref->index;
+    };
+    if (touches(e.src) || touches(e.dst)) RemoveEdgeRef(DeltaRef{true, i});
+  }
+  if (ref->added) {
+    added_nodes_[ref->index].live = false;
+    added_node_by_name_.erase(rec.name);
+  } else {
+    base_node_live_[ref->index] = false;
+  }
+  --live_nodes_;
+  return Status::OK();
+}
+
+Status DeltaState::ApplyRemoveEdge(const DeltaRecord& rec) {
+  Result<DeltaRef> ref = LookupEdge(rec.name);
+  if (!ref.ok()) return ref.status();
+  RemoveEdgeRef(*ref);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Record serialization
+
+std::string SerializeDeltaRecord(const DeltaRecord& rec) {
+  std::string out;
+  out.push_back(static_cast<char>(rec.op));
+  PutStr(&out, rec.name);
+  PutStr(&out, rec.label);
+  PutStr(&out, rec.src);
+  PutStr(&out, rec.dst);
+  PutU32(&out, static_cast<uint32_t>(rec.props.size()));
+  for (const auto& [key, value] : rec.props) {
+    PutStr(&out, key);
+    out.push_back(static_cast<char>(value.type()));
+    switch (value.type()) {
+      case Value::Type::kNull:
+        break;
+      case Value::Type::kBool:
+        out.push_back(value.AsBool() ? 1 : 0);
+        break;
+      case Value::Type::kInt: {
+        uint64_t bits = static_cast<uint64_t>(value.AsInt());
+        PutU64(&out, bits);
+        break;
+      }
+      case Value::Type::kDouble: {
+        uint64_t bits = 0;
+        double d = value.AsDouble();
+        std::memcpy(&bits, &d, sizeof(bits));
+        PutU64(&out, bits);
+        break;
+      }
+      case Value::Type::kString:
+        PutStr(&out, value.AsString());
+        break;
+    }
+  }
+  return out;
+}
+
+Result<DeltaRecord> ParseDeltaRecord(const void* data, size_t size) {
+  Cursor c{static_cast<const unsigned char*>(data), size};
+  DeltaRecord rec;
+  uint8_t op = 0;
+  if (!c.GetU8(&op)) return CorruptRecord();
+  if (op < 1 || op > 4) return CorruptRecord();
+  rec.op = static_cast<DeltaOp>(op);
+  if (!c.GetStr(&rec.name) || !c.GetStr(&rec.label) ||
+      !c.GetStr(&rec.src) || !c.GetStr(&rec.dst)) {
+    return CorruptRecord();
+  }
+  uint32_t nprops = 0;
+  if (!c.GetU32(&nprops)) return CorruptRecord();
+  rec.props.reserve(nprops);
+  for (uint32_t i = 0; i < nprops; ++i) {
+    std::string key;
+    uint8_t type = 0;
+    if (!c.GetStr(&key) || !c.GetU8(&type)) return CorruptRecord();
+    switch (static_cast<Value::Type>(type)) {
+      case Value::Type::kNull:
+        rec.props.emplace_back(std::move(key), Value());
+        break;
+      case Value::Type::kBool: {
+        uint8_t b = 0;
+        if (!c.GetU8(&b)) return CorruptRecord();
+        rec.props.emplace_back(std::move(key), Value(b != 0));
+        break;
+      }
+      case Value::Type::kInt: {
+        uint64_t bits = 0;
+        if (!c.GetU64(&bits)) return CorruptRecord();
+        rec.props.emplace_back(std::move(key),
+                               Value(static_cast<int64_t>(bits)));
+        break;
+      }
+      case Value::Type::kDouble: {
+        uint64_t bits = 0;
+        if (!c.GetU64(&bits)) return CorruptRecord();
+        double d = 0;
+        std::memcpy(&d, &bits, sizeof(d));
+        rec.props.emplace_back(std::move(key), Value(d));
+        break;
+      }
+      case Value::Type::kString: {
+        std::string s;
+        if (!c.GetStr(&s)) return CorruptRecord();
+        rec.props.emplace_back(std::move(key), Value(std::move(s)));
+        break;
+      }
+      default:
+        return CorruptRecord();
+    }
+  }
+  if (c.left != 0) return CorruptRecord();
+  return rec;
+}
+
+// ---------------------------------------------------------------------------
+// DeltaJournal
+
+DeltaJournal::~DeltaJournal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<DeltaJournal>> DeltaJournal::OpenForAppend(
+    std::string path, uint64_t base_version) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::InvalidArgument("cannot open journal '" + path +
+                                   "': " + std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::InvalidArgument("cannot stat journal '" + path + "'");
+  }
+  if (st.st_size == 0) {
+    JournalHeader h{};
+    std::memcpy(h.magic, kJournalMagic, sizeof(h.magic));
+    h.version = kJournalVersion;
+    h.base_version = base_version;
+    if (::write(fd, &h, sizeof(h)) != sizeof(h) || ::fsync(fd) != 0) {
+      ::close(fd);
+      return Status::InvalidArgument("cannot initialize journal '" + path +
+                                     "'");
+    }
+    return std::unique_ptr<DeltaJournal>(
+        new DeltaJournal(std::move(path), fd));
+  }
+  // Existing journal: validate via ReadAll (which finds the valid
+  // prefix), then truncate any torn tail before appending after it.
+  Result<Contents> contents = ReadAll(path);
+  if (!contents.ok()) {
+    ::close(fd);
+    return contents.status();
+  }
+  if (contents->base_version != base_version) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        "journal '" + path + "' is bound to a different base version");
+  }
+  off_t valid =
+      static_cast<off_t>(st.st_size) -
+      static_cast<off_t>(contents->dropped_bytes);
+  if (contents->dropped_bytes != 0 &&
+      (::ftruncate(fd, valid) != 0 || ::fsync(fd) != 0)) {
+    ::close(fd);
+    return Status::InvalidArgument("cannot truncate torn journal tail in '" +
+                                   path + "'");
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    ::close(fd);
+    return Status::InvalidArgument("cannot seek journal '" + path + "'");
+  }
+  return std::unique_ptr<DeltaJournal>(new DeltaJournal(std::move(path), fd));
+}
+
+Status DeltaJournal::Append(const DeltaRecord& rec) {
+  std::string payload = SerializeDeltaRecord(rec);
+  std::string frame;
+  frame.reserve(16 + payload.size());
+  PutU64(&frame, payload.size());
+  PutU64(&frame, storage::Fnv1a64(payload.data(), payload.size()));
+  frame += payload;
+  size_t done = 0;
+  while (done < frame.size()) {
+    ssize_t n = ::write(fd_, frame.data() + done, frame.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("journal append failed on '" + path_ +
+                              "': " + std::strerror(errno));
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::Internal("journal fsync failed on '" + path_ + "'");
+  }
+  return Status::OK();
+}
+
+Result<DeltaJournal::Contents> DeltaJournal::ReadAll(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("no journal at '" + path + "'");
+  }
+  std::string buf;
+  char chunk[1 << 16];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    buf.append(chunk, n);
+  }
+  std::fclose(f);
+  if (buf.size() < sizeof(JournalHeader)) {
+    return Status::InvalidArgument("journal '" + path +
+                                   "' is shorter than its header");
+  }
+  JournalHeader h;
+  std::memcpy(&h, buf.data(), sizeof(h));
+  if (std::memcmp(h.magic, kJournalMagic, sizeof(h.magic)) != 0) {
+    return Status::InvalidArgument("'" + path + "' is not a delta journal");
+  }
+  if (h.version != kJournalVersion) {
+    return Status::InvalidArgument("journal '" + path +
+                                   "' has unsupported format version " +
+                                   std::to_string(h.version));
+  }
+  Contents out;
+  out.base_version = h.base_version;
+  size_t pos = sizeof(JournalHeader);
+  while (pos < buf.size()) {
+    // A frame that does not fully check out — short header, payload past
+    // EOF, checksum mismatch, unparseable payload — ends the valid
+    // prefix: standard WAL torn-tail semantics.
+    if (buf.size() - pos < 16) break;
+    uint64_t payload_size = 0, checksum = 0;
+    std::memcpy(&payload_size, buf.data() + pos, 8);
+    std::memcpy(&checksum, buf.data() + pos + 8, 8);
+    if (payload_size > buf.size() - pos - 16) break;
+    const char* payload = buf.data() + pos + 16;
+    if (storage::Fnv1a64(payload, payload_size) != checksum) break;
+    Result<DeltaRecord> rec = ParseDeltaRecord(payload, payload_size);
+    if (!rec.ok()) break;
+    out.records.push_back(std::move(rec).value());
+    pos += 16 + payload_size;
+  }
+  out.dropped_bytes = buf.size() - pos;
+  return out;
+}
+
+Status DeltaJournal::WriteAll(const std::string& path, uint64_t base_version,
+                              const std::vector<DeltaRecord>& records) {
+  std::string buf;
+  JournalHeader h{};
+  std::memcpy(h.magic, kJournalMagic, sizeof(h.magic));
+  h.version = kJournalVersion;
+  h.base_version = base_version;
+  buf.append(reinterpret_cast<const char*>(&h), sizeof(h));
+  for (const DeltaRecord& rec : records) {
+    std::string payload = SerializeDeltaRecord(rec);
+    PutU64(&buf, payload.size());
+    PutU64(&buf, storage::Fnv1a64(payload.data(), payload.size()));
+    buf += payload;
+  }
+  return WriteBufferDurably(path, buf);
+}
+
+}  // namespace mutation
+}  // namespace pathalg

@@ -1,0 +1,246 @@
+#ifndef PATHALG_MUTATION_DELTA_LOG_H_
+#define PATHALG_MUTATION_DELTA_LOG_H_
+
+/// \file delta_log.h
+/// The mutation half of the live-graph subsystem: delta records, the one
+/// mutation grammar shared by the `!mutate` session command and `.gqlw`
+/// `# mutate` directives, the in-memory `DeltaState` that validates and
+/// accumulates mutations over an immutable base `PropertyGraph`, and the
+/// fsync'd on-disk `DeltaJournal` that makes acknowledged mutations
+/// durable (crash recovery replays it over the last snapshot on disk).
+///
+/// Design constraints, in order:
+///
+///  - *The base graph is never touched.* A `PropertyGraph` is immutable
+///    after build (shared across sessions by shared_ptr), so mutations
+///    accumulate in a side structure — tombstone bitmaps over base
+///    nodes/edges plus append-only arrays of added objects — and become
+///    visible to queries only when `DeltaOverlayGraph::Apply`
+///    (mutation/overlay.h) materializes the next version.
+///
+///  - *Records are self-contained and name-based.* Journal records refer
+///    to nodes/edges by display name, never by dense id: compaction
+///    renumbers ids, names survive it. Auto-assigned names ("n7"/"e12"
+///    in GraphBuilder's insertion-order scheme) are resolved at apply
+///    time and journalled resolved, so replay is order-deterministic.
+///
+///  - *Replay is exact.* `DeltaState` application is strictly sequential
+///    and deterministic: replaying a journal over the same base version
+///    reproduces the same state (the kill-and-recover tests pin that the
+///    recovered `!version` id equals the pre-crash one).
+///
+/// Grammar (one line per mutation; tokens split on whitespace):
+///
+///   add-node [name] [label=L] [key=value ...]
+///   add-edge <src> <dst> [label=L] [name=N] [key=value ...]
+///   rm-node <name>
+///   rm-edge <name>
+///
+/// `label=`/`name=` are reserved keys. Values type themselves: int64 if
+/// the token parses fully as one, else double, else true/false/null, else
+/// the raw string (so values cannot contain whitespace — the protocol is
+/// line-oriented). `rm-node` cascades to every incident edge, mirroring
+/// the paper's requirement that ρ stay total on E.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "graph/property_graph.h"
+#include "graph/value.h"
+
+namespace pathalg {
+namespace mutation {
+
+enum class DeltaOp : uint8_t {
+  kAddNode = 1,
+  kAddEdge = 2,
+  kRemoveNode = 3,
+  kRemoveEdge = 4,
+};
+
+/// Returns "add-node", "add-edge", "rm-node" or "rm-edge".
+std::string_view DeltaOpName(DeltaOp op);
+
+/// One mutation. Only the fields relevant to `op` are populated:
+/// add-node: name (may be empty = auto), label, props.
+/// add-edge: name (may be empty = auto), label, src, dst, props.
+/// rm-node / rm-edge: name.
+struct DeltaRecord {
+  DeltaOp op = DeltaOp::kAddNode;
+  std::string name;
+  std::string label;
+  std::string src;
+  std::string dst;
+  std::vector<std::pair<std::string, Value>> props;
+
+  bool operator==(const DeltaRecord& other) const;
+  bool operator!=(const DeltaRecord& other) const {
+    return !(*this == other);
+  }
+};
+
+/// Parses one mutation command (the text after `!mutate ` / `# mutate `).
+Result<DeltaRecord> ParseMutationCommand(std::string_view text);
+
+/// Renders `rec` back into the grammar above. Round-trip stable:
+/// Parse(Format(r)) == r for every record Parse can produce.
+std::string FormatMutation(const DeltaRecord& rec);
+
+/// Reference to a node/edge in a DeltaState: either a base-graph id or an
+/// index into the added-object array.
+struct DeltaRef {
+  bool added = false;
+  uint32_t index = 0;
+};
+
+/// Validated, applied mutations over one immutable base graph. Owner
+/// provides synchronization (LiveGraph serializes writers); DeltaState
+/// itself is single-writer.
+class DeltaState {
+ public:
+  struct AddedNode {
+    std::string name;
+    std::string label;
+    std::vector<std::pair<std::string, Value>> props;
+    bool live = true;
+  };
+  struct AddedEdge {
+    std::string name;
+    std::string label;
+    DeltaRef src;
+    DeltaRef dst;
+    std::vector<std::pair<std::string, Value>> props;
+    bool live = true;
+  };
+
+  explicit DeltaState(std::shared_ptr<const PropertyGraph> base);
+
+  /// Validates `*rec` against the current state and applies it. Empty
+  /// add names are resolved in place (insertion-order "n<k>"/"e<k>"), so
+  /// the caller journals the resolved record. On error the state is
+  /// unchanged.
+  Status Apply(DeltaRecord* rec);
+
+  const PropertyGraph& base() const { return *base_; }
+  const std::shared_ptr<const PropertyGraph>& shared_base() const {
+    return base_;
+  }
+
+  /// Applied records, in order (the journal tail for compaction).
+  const std::vector<DeltaRecord>& records() const { return records_; }
+  size_t num_records() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  /// Tombstone bitmaps over the base (true = survives).
+  const std::vector<bool>& base_node_live() const { return base_node_live_; }
+  const std::vector<bool>& base_edge_live() const { return base_edge_live_; }
+  const std::vector<AddedNode>& added_nodes() const { return added_nodes_; }
+  const std::vector<AddedEdge>& added_edges() const { return added_edges_; }
+
+  /// Live object counts of the merged graph this state denotes.
+  size_t live_node_count() const { return live_nodes_; }
+  size_t live_edge_count() const { return live_edges_; }
+
+  /// Resolves a display name to a live node/edge; !found.ok() when the
+  /// name does not denote a live object.
+  Result<DeltaRef> LookupNode(std::string_view name) const;
+  Result<DeltaRef> LookupEdge(std::string_view name) const;
+
+ private:
+  Status ApplyAddNode(DeltaRecord* rec);
+  Status ApplyAddEdge(DeltaRecord* rec);
+  Status ApplyRemoveNode(const DeltaRecord& rec);
+  Status ApplyRemoveEdge(const DeltaRecord& rec);
+  void RemoveEdgeRef(const DeltaRef& ref);
+  /// Builds base_edge_name_index_ on first use (rm-edge / explicit edge
+  /// names); first-wins on duplicate base edge names, matching
+  /// FindNodeByName's behavior for nodes.
+  void EnsureBaseEdgeNameIndex();
+
+  std::shared_ptr<const PropertyGraph> base_;
+  std::vector<DeltaRecord> records_;
+  std::vector<bool> base_node_live_;
+  std::vector<bool> base_edge_live_;
+  std::vector<AddedNode> added_nodes_;
+  std::vector<AddedEdge> added_edges_;
+  size_t live_nodes_ = 0;
+  size_t live_edges_ = 0;
+  /// Name lookup side tables. Lookup-only (never iterated into ordered
+  /// output — enumeration goes through the vectors above).
+  std::unordered_map<std::string, uint32_t> added_node_by_name_;
+  std::unordered_map<std::string, uint32_t> added_edge_by_name_;
+  std::unordered_map<std::string, EdgeId> base_edge_name_index_;
+  bool base_edge_name_index_built_ = false;
+};
+
+/// Append-only on-disk journal of DeltaRecords, bound to one base-graph
+/// version. Layout (all integers little-endian host width):
+///
+///   [8]  magic "PALGDLOG"
+///   u32  format version (1)
+///   u32  reserved (0)
+///   u64  base_version  — SnapshotWriter::VersionId of the base graph
+///   then per record: [u64 payload_size][u64 fnv1a64(payload)][payload]
+///
+/// Appends are fsync'd before Mutate acknowledges, so an acknowledged
+/// mutation survives a crash. A torn tail (crash mid-append) or a
+/// corrupt frame invalidates that record and everything after it — the
+/// prefix before it replays normally and `Contents::dropped_bytes`
+/// reports what was cut.
+class DeltaJournal {
+ public:
+  ~DeltaJournal();
+  DeltaJournal(const DeltaJournal&) = delete;
+  DeltaJournal& operator=(const DeltaJournal&) = delete;
+
+  /// Opens `path` for appending, creating it (header only) if absent.
+  /// An existing file is validated: the header's base_version must equal
+  /// `base_version`, and a torn tail is truncated away before the first
+  /// append.
+  static Result<std::unique_ptr<DeltaJournal>> OpenForAppend(
+      std::string path, uint64_t base_version);
+
+  /// Appends one framed record and fsyncs.
+  Status Append(const DeltaRecord& rec);
+
+  const std::string& path() const { return path_; }
+
+  struct Contents {
+    uint64_t base_version = 0;
+    std::vector<DeltaRecord> records;
+    /// Bytes dropped off the tail (torn append / corrupt frame); 0 for a
+    /// cleanly closed journal.
+    uint64_t dropped_bytes = 0;
+  };
+  /// Reads every valid record. Fails only on missing file / bad header;
+  /// tail damage is tolerated and reported via dropped_bytes.
+  static Result<Contents> ReadAll(const std::string& path);
+
+  /// Writes a complete journal (header + records) atomically via a
+  /// same-directory temp file + rename + fsync. Compaction uses this to
+  /// emit the next base version's tail journal.
+  static Status WriteAll(const std::string& path, uint64_t base_version,
+                         const std::vector<DeltaRecord>& records);
+
+ private:
+  DeltaJournal(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+  std::string path_;
+  int fd_ = -1;
+};
+
+/// Serialized frame payload for one record (exposed for tests that build
+/// corrupt journals byte by byte).
+std::string SerializeDeltaRecord(const DeltaRecord& rec);
+Result<DeltaRecord> ParseDeltaRecord(const void* data, size_t size);
+
+}  // namespace mutation
+}  // namespace pathalg
+
+#endif  // PATHALG_MUTATION_DELTA_LOG_H_

@@ -1,0 +1,247 @@
+#include "mutation/live_graph.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "mutation/overlay.h"
+#include "storage/snapshot_format.h"
+#include "storage/snapshot_writer.h"
+
+namespace pathalg {
+namespace mutation {
+
+namespace {
+
+/// tmp + rename, same idiom as SnapshotWriter::Write but over an image we
+/// already hold (compaction serializes once: the image yields both the
+/// new version id and the bytes on disk).
+Status WriteImageAtomic(const std::string& path, const std::string& image) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot create snapshot file '" + tmp +
+                                   "'");
+  }
+  size_t written =
+      image.empty() ? 0 : std::fwrite(image.data(), 1, image.size(), f);
+  bool flushed = std::fclose(f) == 0;
+  if (written != image.size() || !flushed) {
+    std::remove(tmp.c_str());
+    return Status::InvalidArgument("short write on snapshot file '" + tmp +
+                                   "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::InvalidArgument("cannot move snapshot into place at '" +
+                                   path + "'");
+  }
+  return Status::OK();
+}
+
+uint64_t VersionIdOfImage(const std::string& image) {
+  storage::SnapshotHeader h;
+  std::memcpy(&h, image.data(), sizeof(h));
+  return h.table_checksum;
+}
+
+}  // namespace
+
+LiveGraph::LiveGraph(std::shared_ptr<const PropertyGraph> base,
+                     LiveGraphOptions options, uint64_t base_version)
+    : options_(std::move(options)),
+      base_(std::move(base)),
+      base_version_(base_version),
+      state_(std::make_unique<DeltaState>(base_)) {}
+
+Result<std::shared_ptr<LiveGraph>> LiveGraph::Open(
+    std::shared_ptr<const PropertyGraph> base, LiveGraphOptions options,
+    uint64_t base_version_hint) {
+  uint64_t base_version = base_version_hint != 0
+                              ? base_version_hint
+                              : storage::SnapshotWriter::VersionId(*base);
+  std::shared_ptr<LiveGraph> lg(
+      new LiveGraph(std::move(base), std::move(options), base_version));
+  const std::string& jpath = lg->options_.journal_path;
+  if (jpath.empty()) return lg;
+
+  MutexLock lock(lg->mu_);
+  const std::string next_path = jpath + ".next";
+  Result<DeltaJournal::Contents> journal = DeltaJournal::ReadAll(jpath);
+  bool replay_ready = journal.ok() && journal->base_version == base_version;
+  if (!replay_ready) {
+    // The journal is absent or bound to another version. A compaction
+    // that crashed between publishing the new base and swapping journals
+    // left the matching journal at `<journal>.next` — promote it. Any
+    // non-matching journal is quarantined aside, never deleted.
+    Result<DeltaJournal::Contents> next = DeltaJournal::ReadAll(next_path);
+    bool promote = next.ok() && next->base_version == base_version;
+    if (journal.ok() || journal.status().IsInvalidArgument()) {
+      std::rename(jpath.c_str(), (jpath + ".stale").c_str());
+      ++lg->counters_.stale_journals;
+    }
+    if (promote) {
+      if (std::rename(next_path.c_str(), jpath.c_str()) != 0) {
+        return Status::InvalidArgument("cannot promote journal '" +
+                                       next_path + "'");
+      }
+      journal = std::move(next);
+      replay_ready = true;
+    } else {
+      std::rename(next_path.c_str(), (next_path + ".stale").c_str());
+    }
+  } else {
+    // Normal open: a leftover .next (crash before the base rename) holds
+    // a subset of the journal's records — redundant, drop it.
+    std::remove(next_path.c_str());
+  }
+
+  if (replay_ready) {
+    for (const DeltaRecord& rec : journal->records) {
+      DeltaRecord copy = rec;
+      Status applied = lg->state_->Apply(&copy);
+      if (!applied.ok()) {
+        return Status::Internal("journal replay failed on '" +
+                                FormatMutation(rec) +
+                                "': " + applied.ToString());
+      }
+      ++lg->counters_.recovered_records;
+    }
+  }
+  PATHALG_ASSIGN_OR_RETURN(lg->journal_,
+                           DeltaJournal::OpenForAppend(jpath, base_version));
+  return lg;
+}
+
+Status LiveGraph::Mutate(const DeltaRecord& rec, DeltaRecord* resolved) {
+  MutexLock lock(mu_);
+  DeltaRecord r = rec;
+  Status applied = state_->Apply(&r);
+  if (!applied.ok()) {
+    ++counters_.mutations_rejected;
+    return applied;
+  }
+  if (journal_ != nullptr) {
+    // Durability point. On append failure the in-memory state is ahead
+    // of disk; surfacing the error (instead of silently continuing)
+    // lets the operator fail the session before acknowledging.
+    Status logged = journal_->Append(r);
+    if (!logged.ok()) return logged;
+  }
+  ++counters_.mutations_applied;
+  current_.reset();
+  version_id_ = 0;
+  if (resolved != nullptr) *resolved = r;
+  MaybeScheduleCompactionLocked();
+  return Status::OK();
+}
+
+std::shared_ptr<const PropertyGraph> LiveGraph::Current() {
+  MutexLock lock(mu_);
+  return EnsureCurrentLocked();
+}
+
+std::shared_ptr<const PropertyGraph> LiveGraph::EnsureCurrentLocked() {
+  if (current_ != nullptr) return current_;
+  if (state_->empty()) {
+    current_ = base_;
+    version_id_ = base_version_;
+  } else {
+    current_ = std::make_shared<const PropertyGraph>(
+        DeltaOverlayGraph::Apply(*state_));
+    ++counters_.materializations;
+  }
+  return current_;
+}
+
+uint64_t LiveGraph::VersionId() {
+  MutexLock lock(mu_);
+  std::shared_ptr<const PropertyGraph> cur = EnsureCurrentLocked();
+  if (version_id_ == 0) {
+    version_id_ = storage::SnapshotWriter::VersionId(*cur);
+  }
+  return version_id_;
+}
+
+void LiveGraph::MaybeScheduleCompactionLocked() {
+  if (options_.compact_threshold == 0 ||
+      options_.base_snapshot_path.empty() || compaction_in_flight_ ||
+      state_->num_records() < options_.compact_threshold) {
+    return;
+  }
+  compaction_in_flight_ = true;
+  if (options_.background_compaction) {
+    std::shared_ptr<LiveGraph> self = shared_from_this();
+    ThreadPool::Shared().Submit([self] {
+      MutexLock lock(self->mu_);
+      (void)self->CompactLocked();  // failure leaves the delta pending
+      self->compaction_in_flight_ = false;
+    });
+  } else {
+    (void)CompactLocked();
+    compaction_in_flight_ = false;
+  }
+}
+
+Status LiveGraph::Compact() {
+  MutexLock lock(mu_);
+  return CompactLocked();
+}
+
+Status LiveGraph::CompactLocked() {
+  if (state_->empty()) return Status::OK();
+  if (options_.base_snapshot_path.empty()) {
+    return Status::InvalidArgument(
+        "compaction disabled: no base snapshot path configured");
+  }
+  std::shared_ptr<const PropertyGraph> next = EnsureCurrentLocked();
+  // One serialization yields the new version id, the journal binding and
+  // the bytes published on disk (parent chained to the version being
+  // folded away).
+  std::string image = storage::SnapshotWriter::Serialize(*next, base_version_);
+  uint64_t next_version = VersionIdOfImage(image);
+
+  // Crash-safe order (see live_graph.h): tail journal for the new
+  // version first, then the base, then the journal swap. The mutex is
+  // held throughout, so the delta cannot grow mid-fold and the new
+  // journal is always empty.
+  if (!options_.journal_path.empty()) {
+    PATHALG_RETURN_NOT_OK(DeltaJournal::WriteAll(
+        options_.journal_path + ".next", next_version, {}));
+  }
+  PATHALG_RETURN_NOT_OK(WriteImageAtomic(options_.base_snapshot_path, image));
+  if (!options_.journal_path.empty()) {
+    journal_.reset();  // close the old fd before renaming over its file
+    if (std::rename((options_.journal_path + ".next").c_str(),
+                    options_.journal_path.c_str()) != 0) {
+      return Status::InvalidArgument("cannot swap journal at '" +
+                                     options_.journal_path + "'");
+    }
+    PATHALG_ASSIGN_OR_RETURN(
+        journal_,
+        DeltaJournal::OpenForAppend(options_.journal_path, next_version));
+  }
+
+  base_ = next;
+  base_version_ = next_version;
+  state_ = std::make_unique<DeltaState>(base_);
+  current_ = next;
+  version_id_ = next_version;
+  ++counters_.compactions;
+  return Status::OK();
+}
+
+bool LiveGraph::compaction_in_flight() const {
+  MutexLock lock(mu_);
+  return compaction_in_flight_;
+}
+
+LiveGraphCounters LiveGraph::counters() const {
+  MutexLock lock(mu_);
+  LiveGraphCounters out = counters_;
+  out.pending = state_->num_records();
+  return out;
+}
+
+}  // namespace mutation
+}  // namespace pathalg

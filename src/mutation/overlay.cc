@@ -1,0 +1,307 @@
+#include "mutation/overlay.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace pathalg {
+namespace mutation {
+
+namespace {
+
+/// First-use-order interner mirroring GraphBuilder's, plus a fast lane
+/// for ids already interned in the base graph: a survivor's old id maps
+/// through a flat remap array after one string lookup, so the merge
+/// re-hashes each distinct base label/key at most once, not per object.
+class Interner {
+ public:
+  explicit Interner(size_t num_old) : old_remap_(num_old, kInvalidId) {}
+
+  uint32_t InternString(std::string_view name) {
+    auto [it, inserted] = index_.emplace(std::string(name),
+                                         static_cast<uint32_t>(names_.size()));
+    if (inserted) names_.emplace_back(name);
+    return it->second;
+  }
+
+  uint32_t InternOld(uint32_t old_id, std::string_view old_name) {
+    if (old_remap_[old_id] != kInvalidId) return old_remap_[old_id];
+    uint32_t id = InternString(old_name);
+    old_remap_[old_id] = id;
+    return id;
+  }
+
+  std::vector<std::string> TakeNames() { return std::move(names_); }
+  std::unordered_map<std::string, uint32_t> TakeIndex() {
+    return std::move(index_);
+  }
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, uint32_t> index_;
+  std::vector<uint32_t> old_remap_;
+};
+
+/// GraphBuilder::InternProps semantics over already-interned keys:
+/// stable-sort by key id, last writer wins on duplicates.
+PropertyList SortDedupProps(PropertyList props) {
+  std::stable_sort(props.begin(), props.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  PropertyList dedup;
+  dedup.reserve(props.size());
+  for (size_t i = 0; i < props.size(); ++i) {
+    if (i + 1 < props.size() && props[i + 1].first == props[i].first) {
+      continue;
+    }
+    dedup.push_back(std::move(props[i]));
+  }
+  return dedup;
+}
+
+/// CSR construction independent of GraphBuilder's counting-sort path: one
+/// comparison sort of the edge ids by (key, label, id) — the same
+/// (label, edge id) per-bucket order the builder produces.
+template <typename KeyFn>
+void BuildCsrBySort(size_t num_keys, size_t num_edges, KeyFn key,
+                    const std::vector<LabelId>& edge_labels,
+                    std::vector<uint32_t>* offsets,
+                    std::vector<EdgeId>* edges,
+                    std::vector<LabelId>* labels) {
+  edges->resize(num_edges);
+  std::iota(edges->begin(), edges->end(), 0);
+  std::sort(edges->begin(), edges->end(), [&](EdgeId a, EdgeId b) {
+    uint32_t ka = key(a), kb = key(b);
+    if (ka != kb) return ka < kb;
+    if (edge_labels[a] != edge_labels[b]) {
+      return edge_labels[a] < edge_labels[b];
+    }
+    return a < b;
+  });
+  offsets->assign(num_keys + 1, 0);
+  for (EdgeId e = 0; e < num_edges; ++e) (*offsets)[key(e) + 1]++;
+  for (size_t k = 0; k < num_keys; ++k) (*offsets)[k + 1] += (*offsets)[k];
+  labels->resize(num_edges);
+  for (size_t i = 0; i < num_edges; ++i) {
+    (*labels)[i] = edge_labels[(*edges)[i]];
+  }
+}
+
+}  // namespace
+
+PropertyGraph DeltaOverlayGraph::Apply(const DeltaState& state) {
+  const PropertyGraph& base = state.base();
+  const auto& node_live = state.base_node_live();
+  const auto& edge_live = state.base_edge_live();
+  const auto& added_nodes = state.added_nodes();
+  const auto& added_edges = state.added_edges();
+
+  // Monotone dense remaps: live base objects keep their relative order,
+  // live added objects follow in log order.
+  std::vector<NodeId> base_node_map(base.num_nodes(), kInvalidId);
+  NodeId next_node = 0;
+  for (NodeId n = 0; n < base.num_nodes(); ++n) {
+    if (node_live[n]) base_node_map[n] = next_node++;
+  }
+  std::vector<NodeId> added_node_map(added_nodes.size(), kInvalidId);
+  for (size_t i = 0; i < added_nodes.size(); ++i) {
+    if (added_nodes[i].live) added_node_map[i] = next_node++;
+  }
+  const size_t num_nodes = next_node;
+
+  Interner label_interner(base.num_labels());
+  Interner key_interner(base.num_prop_keys());
+
+  auto remap_base_props = [&](const PropertyList& old_props) {
+    PropertyList out;
+    out.reserve(old_props.size());
+    for (const auto& [k, v] : old_props) {
+      out.emplace_back(key_interner.InternOld(k, base.PropKeyName(k)), v);
+    }
+    return SortDedupProps(std::move(out));
+  };
+  auto intern_new_props =
+      [&](const std::vector<std::pair<std::string, Value>>& raw) {
+        PropertyList out;
+        out.reserve(raw.size());
+        for (const auto& [k, v] : raw) {
+          out.emplace_back(key_interner.InternString(k), v);
+        }
+        return SortDedupProps(std::move(out));
+      };
+
+  // Node arrays in canonical enumeration order (interning order matters:
+  // label first, then property keys, per object — the same sequence
+  // RebuildReference feeds GraphBuilder).
+  std::vector<LabelId> node_labels;
+  std::vector<std::string> node_names;
+  std::vector<PropertyList> node_props;
+  node_labels.reserve(num_nodes);
+  node_names.reserve(num_nodes);
+  node_props.reserve(num_nodes);
+  for (NodeId n = 0; n < base.num_nodes(); ++n) {
+    if (!node_live[n]) continue;
+    LabelId old = base.NodeLabelId(n);
+    node_labels.push_back(
+        old == kNoLabel ? kNoLabel
+                        : label_interner.InternOld(old, base.LabelName(old)));
+    node_names.push_back(base.NodeName(n));
+    node_props.push_back(remap_base_props(base.NodeProperties(n)));
+  }
+  for (const auto& an : added_nodes) {
+    if (!an.live) continue;
+    node_labels.push_back(an.label.empty()
+                              ? kNoLabel
+                              : label_interner.InternString(an.label));
+    node_names.push_back(an.name);
+    node_props.push_back(intern_new_props(an.props));
+  }
+
+  // Edge arrays, same discipline. Endpoints of surviving base edges are
+  // live by the cascade invariant; added-edge refs likewise.
+  std::vector<NodeId> edge_src, edge_dst;
+  std::vector<LabelId> edge_labels;
+  std::vector<std::string> edge_names;
+  std::vector<PropertyList> edge_props;
+  const size_t num_edges_hint = state.live_edge_count();
+  edge_src.reserve(num_edges_hint);
+  edge_dst.reserve(num_edges_hint);
+  edge_labels.reserve(num_edges_hint);
+  edge_names.reserve(num_edges_hint);
+  edge_props.reserve(num_edges_hint);
+  for (EdgeId e = 0; e < base.num_edges(); ++e) {
+    if (!edge_live[e]) continue;
+    edge_src.push_back(base_node_map[base.Source(e)]);
+    edge_dst.push_back(base_node_map[base.Target(e)]);
+    LabelId old = base.EdgeLabelId(e);
+    edge_labels.push_back(
+        old == kNoLabel ? kNoLabel
+                        : label_interner.InternOld(old, base.LabelName(old)));
+    edge_names.push_back(base.EdgeName(e));
+    edge_props.push_back(remap_base_props(base.EdgeProperties(e)));
+  }
+  auto resolve = [&](const DeltaRef& ref) {
+    return ref.added ? added_node_map[ref.index] : base_node_map[ref.index];
+  };
+  for (const auto& ae : added_edges) {
+    if (!ae.live) continue;
+    edge_src.push_back(resolve(ae.src));
+    edge_dst.push_back(resolve(ae.dst));
+    edge_labels.push_back(ae.label.empty()
+                              ? kNoLabel
+                              : label_interner.InternString(ae.label));
+    edge_names.push_back(ae.name);
+    edge_props.push_back(intern_new_props(ae.props));
+  }
+  const size_t num_edges = edge_src.size();
+
+  // CSR index over the merged arrays (comparison sort — deliberately not
+  // GraphBuilder's counting-sort path; see file comment).
+  std::vector<uint32_t> out_offsets, in_offsets;
+  std::vector<EdgeId> out_edges, in_edges;
+  std::vector<LabelId> out_labels, in_labels;
+  BuildCsrBySort(
+      num_nodes, num_edges, [&](EdgeId e) { return edge_src[e]; },
+      edge_labels, &out_offsets, &out_edges, &out_labels);
+  BuildCsrBySort(
+      num_nodes, num_edges, [&](EdgeId e) { return edge_dst[e]; },
+      edge_labels, &in_offsets, &in_edges, &in_labels);
+
+  const size_t num_labels = label_interner.size();
+  std::vector<EdgeId> labelled;
+  labelled.reserve(num_edges);
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    if (edge_labels[e] != kNoLabel) labelled.push_back(e);
+  }
+  std::sort(labelled.begin(), labelled.end(), [&](EdgeId a, EdgeId b) {
+    if (edge_labels[a] != edge_labels[b]) {
+      return edge_labels[a] < edge_labels[b];
+    }
+    return a < b;
+  });
+  std::vector<uint32_t> label_offsets(num_labels + 1, 0);
+  for (EdgeId e : labelled) label_offsets[edge_labels[e] + 1]++;
+  for (size_t l = 0; l < num_labels; ++l) {
+    label_offsets[l + 1] += label_offsets[l];
+  }
+
+  PropertyGraph g;
+  g.node_labels_ = FlatArray<LabelId>(std::move(node_labels));
+  g.node_props_ = std::move(node_props);
+  g.node_name_index_.reserve(node_names.size());
+  for (NodeId n = 0; n < node_names.size(); ++n) {
+    g.node_name_index_.emplace(node_names[n], n);
+  }
+  g.node_names_ = std::move(node_names);
+  g.edge_src_ = FlatArray<NodeId>(std::move(edge_src));
+  g.edge_dst_ = FlatArray<NodeId>(std::move(edge_dst));
+  g.edge_labels_ = FlatArray<LabelId>(std::move(edge_labels));
+  g.edge_props_ = std::move(edge_props);
+  g.edge_names_ = std::move(edge_names);
+  g.labels_ = label_interner.TakeNames();
+  g.label_index_ = label_interner.TakeIndex();
+  g.prop_keys_ = key_interner.TakeNames();
+  g.prop_key_index_ = key_interner.TakeIndex();
+  g.csr_out_offsets_ = FlatArray<uint32_t>(std::move(out_offsets));
+  g.csr_out_edges_ = FlatArray<EdgeId>(std::move(out_edges));
+  g.csr_out_labels_ = FlatArray<LabelId>(std::move(out_labels));
+  g.csr_in_offsets_ = FlatArray<uint32_t>(std::move(in_offsets));
+  g.csr_in_edges_ = FlatArray<EdgeId>(std::move(in_edges));
+  g.csr_in_labels_ = FlatArray<LabelId>(std::move(in_labels));
+  g.label_offsets_ = FlatArray<uint32_t>(std::move(label_offsets));
+  g.label_edges_ = FlatArray<EdgeId>(std::move(labelled));
+  return g;
+}
+
+PropertyGraph DeltaOverlayGraph::RebuildReference(const DeltaState& state) {
+  const PropertyGraph& base = state.base();
+  GraphBuilder b;
+
+  auto props_as_strings = [&](const PropertyList& props) {
+    std::vector<std::pair<std::string, Value>> out;
+    out.reserve(props.size());
+    for (const auto& [k, v] : props) {
+      out.emplace_back(std::string(base.PropKeyName(k)), v);
+    }
+    return out;
+  };
+
+  std::vector<NodeId> base_node_map(base.num_nodes(), kInvalidId);
+  for (NodeId n = 0; n < base.num_nodes(); ++n) {
+    if (!state.base_node_live()[n]) continue;
+    base_node_map[n] = b.AddNamedNode(base.NodeName(n), base.NodeLabel(n),
+                                      props_as_strings(base.NodeProperties(n)));
+  }
+  std::vector<NodeId> added_node_map(state.added_nodes().size(), kInvalidId);
+  for (size_t i = 0; i < state.added_nodes().size(); ++i) {
+    const auto& an = state.added_nodes()[i];
+    if (!an.live) continue;
+    added_node_map[i] = b.AddNamedNode(an.name, an.label, an.props);
+  }
+
+  for (EdgeId e = 0; e < base.num_edges(); ++e) {
+    if (!state.base_edge_live()[e]) continue;
+    auto added = b.AddNamedEdge(base.EdgeName(e), base_node_map[base.Source(e)],
+                                base_node_map[base.Target(e)], base.EdgeLabel(e),
+                                props_as_strings(base.EdgeProperties(e)));
+    (void)added;  // endpoints are live by the cascade invariant
+  }
+  auto resolve = [&](const DeltaRef& ref) {
+    return ref.added ? added_node_map[ref.index] : base_node_map[ref.index];
+  };
+  for (const auto& ae : state.added_edges()) {
+    if (!ae.live) continue;
+    auto added = b.AddNamedEdge(ae.name, resolve(ae.src), resolve(ae.dst),
+                                ae.label, ae.props);
+    (void)added;
+  }
+  return b.Build();
+}
+
+}  // namespace mutation
+}  // namespace pathalg

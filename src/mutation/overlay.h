@@ -1,0 +1,61 @@
+#ifndef PATHALG_MUTATION_OVERLAY_H_
+#define PATHALG_MUTATION_OVERLAY_H_
+
+/// \file overlay.h
+/// Materializes (base + delta) into the next immutable `PropertyGraph`
+/// version, behind the exact adjacency/label-slice interface every engine
+/// already consumes — the four ϕ engines, σ/⋈ and the fused frontier
+/// closure evaluate overlay versions with zero changes.
+///
+/// Why materialize instead of a lazy view: `NeighborRange` is a pair of
+/// raw pointers into one contiguous CSR run, `Nodes(G)` plan leaves and
+/// the automaton baseline enumerate the dense id space 0..N, and the
+/// label CSR is a single flat partition — tombstones and side-arrays
+/// cannot be spliced into those surfaces without changing every engine's
+/// inner loop. So the overlay *is* a graph: `Apply` merges tombstoned
+/// base arrays with the delta's added objects into fresh dense arrays
+/// (old ids remapped monotonically, no string re-hashing for survivors)
+/// and rebuilds the CSR index. Query cost is then identical to any other
+/// graph version; mutation cost is O(graph) per materialization, which
+/// the LiveGraph layer amortizes by batching (queries between two
+/// mutations share one materialization, and background compaction
+/// periodically folds the delta away entirely).
+///
+/// Canonical form. Both construction paths enumerate objects in the same
+/// order — live base nodes by ascending id, then live added nodes in log
+/// order; edges likewise — and intern labels/property keys in first-use
+/// order over that enumeration. Object ids, label ids and property-key
+/// ids in the result are therefore *history-independent*: a graph that
+/// removed node x and a graph that never had node x are byte-identical
+/// under `SnapshotWriter::Serialize`, which is what makes snapshot
+/// version ids content-addressable and lets the differential suite
+/// require `Serialize(Apply(b,d)) == Serialize(RebuildReference(b,d))`
+/// exactly.
+///
+/// `Apply` is the production path (array merge + remap, CSR built by
+/// comparison sort); `RebuildReference` is the executable specification
+/// (feed the same enumeration through `GraphBuilder`, which interns by
+/// string and counting-sorts its CSR). They share no construction code
+/// on purpose: their byte-equality over random mutation histories is the
+/// subsystem's differential contract.
+
+#include "graph/property_graph.h"
+#include "mutation/delta_log.h"
+
+namespace pathalg {
+namespace mutation {
+
+class DeltaOverlayGraph {
+ public:
+  /// Merges `state` (over `state.base()`) into the next graph version.
+  static PropertyGraph Apply(const DeltaState& state);
+
+  /// From-scratch rebuild through GraphBuilder over the same canonical
+  /// enumeration — the differential reference for Apply.
+  static PropertyGraph RebuildReference(const DeltaState& state);
+};
+
+}  // namespace mutation
+}  // namespace pathalg
+
+#endif  // PATHALG_MUTATION_OVERLAY_H_

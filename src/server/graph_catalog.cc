@@ -80,11 +80,12 @@ std::string CanonicalSpec(std::string_view spec) {
   return out;
 }
 
-/// Cache filename for a canonical generator spec: a readable slug plus an
-/// FNV-1a hash of the full spec, so distinct specs can never collide even
-/// when the slug truncates. Pure function of the spec — stable across
-/// processes, which is what makes the cache survive restarts.
-std::string SnapshotCacheName(const std::string& key) {
+/// Filename stem for a canonical spec: a readable slug plus an FNV-1a
+/// hash of the full spec, so distinct specs can never collide even when
+/// the slug truncates. Pure function of the spec — stable across
+/// processes, which is what makes snapshot caches and mutation journals
+/// survive restarts.
+std::string SpecFileStem(const std::string& key) {
   std::string slug;
   for (char c : key) {
     if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
@@ -99,7 +100,19 @@ std::string SnapshotCacheName(const std::string& key) {
   char hex[17];
   std::snprintf(hex, sizeof(hex), "%016llx",
                 static_cast<unsigned long long>(h));
-  return slug + "-" + hex + ".snap";
+  return slug + "-" + hex;
+}
+
+std::string SnapshotCacheName(const std::string& key) {
+  return SpecFileStem(key) + ".snap";
+}
+
+void MakeDirBestEffort(const std::string& dir) {
+#ifdef _WIN32
+  _mkdir(dir.c_str());
+#else
+  ::mkdir(dir.c_str(), 0755);
+#endif
 }
 
 }  // namespace
@@ -110,13 +123,8 @@ GraphCatalog::GraphCatalog(GraphCatalogOptions options)
   // a cold cache, not a silently disabled one. Failure (no permission,
   // parent missing) leaves the cache off exactly as before — every write
   // attempt below is already best-effort.
-  if (!options_.snapshot_dir.empty()) {
-#ifdef _WIN32
-    _mkdir(options_.snapshot_dir.c_str());
-#else
-    ::mkdir(options_.snapshot_dir.c_str(), 0755);
-#endif
-  }
+  if (!options_.snapshot_dir.empty()) MakeDirBestEffort(options_.snapshot_dir);
+  if (!options_.mutation_dir.empty()) MakeDirBestEffort(options_.mutation_dir);
 }
 
 Result<CatalogEntryPtr> GraphCatalog::Get(std::string_view spec) {
@@ -159,8 +167,29 @@ Result<CatalogEntryPtr> GraphCatalog::Get(std::string_view spec) {
   // recorded `# graph` directives can never drift apart — a workload
   // recorded on any catalog graph loads.
   const SteadyClock::time_point start = SteadyClock::now();
-  Result<PropertyGraph> built = LoadGraph(key);
-  if (!built.ok()) {
+  auto entry = std::make_shared<CatalogEntry>();
+  entry->spec = key;
+  Status load_error = Status::OK();
+  if (options_.mutation_dir.empty()) {
+    Result<PropertyGraph> built = LoadGraph(key);
+    if (built.ok()) {
+      entry->graph =
+          std::make_shared<const PropertyGraph>(std::move(built).value());
+    } else {
+      load_error = built.status();
+    }
+  } else {
+    // Mutable catalog: the entry's graph is whatever version crash
+    // recovery lands on (compacted base + replayed journal tail).
+    Result<std::shared_ptr<mutation::LiveGraph>> live = OpenLive(key);
+    if (live.ok()) {
+      entry->live = std::move(live).value();
+      entry->graph = entry->live->Current();
+    } else {
+      load_error = live.status();
+    }
+  }
+  if (!load_error.ok()) {
     {
       // Errors are not cached: remove the latch so a later Get retries.
       MutexLock lock(mu_);
@@ -168,15 +197,11 @@ Result<CatalogEntryPtr> GraphCatalog::Get(std::string_view spec) {
       ++counters_.errors;
     }
     MutexLock lock(slot->m);
-    slot->error = built.status();
+    slot->error = load_error;
     slot->done = true;
     slot->cv.NotifyAll();
-    return built.status();
+    return load_error;
   }
-  auto entry = std::make_shared<CatalogEntry>();
-  entry->spec = key;
-  entry->graph =
-      std::make_shared<const PropertyGraph>(std::move(built).value());
   entry->stats.nodes = entry->graph->num_nodes();
   entry->stats.edges = entry->graph->num_edges();
   entry->stats.labels = entry->graph->num_labels();
@@ -245,6 +270,71 @@ Result<PropertyGraph> GraphCatalog::LoadGraph(const std::string& key) {
     TouchCacheFile(cache_path);
   }
   return built;
+}
+
+Result<std::shared_ptr<mutation::LiveGraph>> GraphCatalog::OpenLive(
+    const std::string& key) {
+  const std::string stem = options_.mutation_dir + "/" + SpecFileStem(key);
+  mutation::LiveGraphOptions live_options;
+  live_options.journal_path = stem + ".journal";
+  live_options.base_snapshot_path = stem + ".base.snap";
+  live_options.compact_threshold = options_.mutation_compact_threshold;
+  live_options.background_compaction =
+      options_.mutation_background_compaction;
+
+  // A compacted base on disk supersedes the spec: it already folds in
+  // every mutation acknowledged before the last compaction. NotFound
+  // falls back to the deterministic spec build; any other failure is a
+  // real error — silently rebuilding from the spec would roll the graph
+  // back past acknowledged mutations.
+  std::shared_ptr<const PropertyGraph> base;
+  uint64_t version_hint = 0;
+  Result<PropertyGraph> on_disk =
+      storage::SnapshotReader::Open(live_options.base_snapshot_path);
+  if (on_disk.ok()) {
+    Result<storage::SnapshotReader::Info> info =
+        storage::SnapshotReader::Probe(live_options.base_snapshot_path);
+    if (info.ok()) version_hint = info->version_id;
+    base = std::make_shared<const PropertyGraph>(std::move(on_disk).value());
+  } else if (on_disk.status().IsNotFound()) {
+    PATHALG_ASSIGN_OR_RETURN(PropertyGraph built, LoadGraph(key));
+    base = std::make_shared<const PropertyGraph>(std::move(built));
+  } else {
+    return on_disk.status();
+  }
+  return mutation::LiveGraph::Open(std::move(base), std::move(live_options),
+                                   version_hint);
+}
+
+CatalogMutationStats GraphCatalog::mutation_stats() const {
+  std::vector<std::shared_ptr<mutation::LiveGraph>> live;
+  {
+    MutexLock lock(mu_);
+    // determinism-lint: allow(unordered-iteration)
+    for (const auto& kv : entries_) {
+      // Collection only — unordered iteration feeds an order-independent
+      // sum, never response ordering.
+      Slot* slot = kv.second.get();
+      MutexLock slot_lock(slot->m);
+      if (slot->done && slot->entry != nullptr &&
+          slot->entry->live != nullptr) {
+        live.push_back(slot->entry->live);
+      }
+    }
+  }
+  CatalogMutationStats out;
+  out.live_graphs = live.size();
+  for (const auto& lg : live) {
+    const mutation::LiveGraphCounters c = lg->counters();
+    out.totals.mutations_applied += c.mutations_applied;
+    out.totals.mutations_rejected += c.mutations_rejected;
+    out.totals.pending += c.pending;
+    out.totals.compactions += c.compactions;
+    out.totals.materializations += c.materializations;
+    out.totals.recovered_records += c.recovered_records;
+    out.totals.stale_journals += c.stale_journals;
+  }
+  return out;
 }
 
 void GraphCatalog::TouchCacheFile(const std::string& path) {

@@ -36,6 +36,7 @@
 #include "common/result.h"
 #include "common/thread_annotations.h"
 #include "graph/property_graph.h"
+#include "mutation/live_graph.h"
 
 namespace pathalg {
 namespace server {
@@ -50,11 +51,20 @@ struct GraphStats {
 };
 
 /// One catalog entry: the shared immutable graph plus its stats and the
-/// canonical spec it was loaded under.
+/// canonical spec it was loaded under. With GraphCatalogOptions::
+/// mutation_dir set, `live` additionally carries the mutable identity
+/// behind the entry: sessions route `!mutate` through it and refresh
+/// their engine from `live->Current()`, while `graph` stays the version
+/// current at load time (pinning it keeps that version alive for the
+/// entry's whole lifetime, so readers never see a dangling base).
 struct CatalogEntry {
   std::string spec;
   std::shared_ptr<const PropertyGraph> graph;
   GraphStats stats;
+  /// Null for read-only catalogs (no mutation_dir). LiveGraph is
+  /// internally synchronized, so sharing one per spec across sessions is
+  /// exactly the per-graph write serialization the protocol promises.
+  std::shared_ptr<mutation::LiveGraph> live;
 };
 
 using CatalogEntryPtr = std::shared_ptr<const CatalogEntry>;
@@ -87,6 +97,28 @@ struct GraphCatalogOptions {
   /// Cache files kept per catalog before least-recently-used ones are
   /// deleted (only files this catalog touched are ever evicted).
   size_t max_snapshot_files = 64;
+  /// When non-empty, catalog graphs are *mutable*: every entry is opened
+  /// as a mutation::LiveGraph with its journal at
+  /// `<mutation_dir>/<slug>-<hash>.journal` and its compacted base at
+  /// `<mutation_dir>/<slug>-<hash>.base.snap`. A cold Get prefers the
+  /// on-disk base over rebuilding from the spec and replays the journal
+  /// over it (crash recovery) — so a restarted server resumes at exactly
+  /// the version the last acknowledged mutation left behind.
+  std::string mutation_dir;
+  /// Pending mutations that trigger folding the delta into the next base
+  /// snapshot (mutation::LiveGraphOptions::compact_threshold); 0 keeps
+  /// the journal growing until process exit.
+  size_t mutation_compact_threshold = 64;
+  /// Run threshold compactions detached on the shared ThreadPool instead
+  /// of inline on the mutating session's thread.
+  bool mutation_background_compaction = true;
+};
+
+/// Aggregated mutation counters across every live entry (the `!stats`
+/// mutation line). Zero-valued when mutation_dir is unset.
+struct CatalogMutationStats {
+  size_t live_graphs = 0;
+  mutation::LiveGraphCounters totals;
 };
 
 class GraphCatalog {
@@ -104,6 +136,9 @@ class GraphCatalog {
   /// Number of loaded graphs (completed loads only).
   size_t size() const;
   CatalogCounters counters() const;
+  /// Sums LiveGraphCounters over every mutable entry (order-independent
+  /// reduction — unordered iteration never reaches a caller).
+  CatalogMutationStats mutation_stats() const;
 
  private:
   /// Per-spec load latch: the loader builds with the catalog lock
@@ -120,6 +155,13 @@ class GraphCatalog {
   /// Loads `key` (a canonical spec), going through the snapshot cache
   /// when it is enabled and `key` is a generator spec.
   Result<PropertyGraph> LoadGraph(const std::string& key);
+
+  /// Opens the mutable identity for `key` (mutation_dir mode): the base
+  /// is the compacted on-disk snapshot when one exists (version id read
+  /// from its header), else the spec-built graph, and journal recovery
+  /// replays any acknowledged tail over it.
+  Result<std::shared_ptr<mutation::LiveGraph>> OpenLive(
+      const std::string& key);
 
   /// Marks `path` most-recently-used in the cache LRU, evicting (deleting)
   /// the oldest cache files beyond max_snapshot_files.

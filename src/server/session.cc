@@ -1,5 +1,6 @@
 #include "server/session.h"
 
+#include <cstdio>
 #include <fstream>
 #include <utility>
 #include <vector>
@@ -8,6 +9,7 @@
 #include "common/fault_injection.h"
 #include "common/str_util.h"
 #include "common/thread_pool.h"
+#include "storage/snapshot_writer.h"
 
 namespace pathalg {
 namespace server {
@@ -19,6 +21,13 @@ std::string LimitsLine(const EvalLimits& l) {
          " max_len=" + std::to_string(l.max_path_length) +
          " max_iterations=" + std::to_string(l.max_iterations) +
          " truncate=" + (l.truncate ? "1" : "0") + "\n";
+}
+
+std::string VersionHex(uint64_t version) {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(version));
+  return hex;
 }
 
 }  // namespace
@@ -131,6 +140,18 @@ std::string SessionManager::StatsLines() const {
          " pool_chunks=" + std::to_string(pool.chunks) +
          " pool_steals=" + std::to_string(pool.steals) +
          " pool_tasks=" + std::to_string(pool.tasks_submitted) + "\n";
+  const CatalogMutationStats mut = catalog_->mutation_stats();
+  out += "STAT mutation_graphs=" + std::to_string(mut.live_graphs) +
+         " mutations_applied=" + std::to_string(mut.totals.mutations_applied) +
+         " mutations_rejected=" +
+         std::to_string(mut.totals.mutations_rejected) +
+         " mutations_pending=" + std::to_string(mut.totals.pending) +
+         " compactions=" + std::to_string(mut.totals.compactions) +
+         " materializations=" + std::to_string(mut.totals.materializations) +
+         " recovered_records=" +
+         std::to_string(mut.totals.recovered_records) +
+         " stale_journals=" + std::to_string(mut.totals.stale_journals) +
+         "\n";
   out += "STAT deadline_trips=" + std::to_string(ses.deadline_trips) +
          " cancelled_queries=" + std::to_string(ses.cancelled_queries) +
          " slow_client_drops=" + std::to_string(ses.slow_client_drops) +
@@ -382,8 +403,63 @@ bool ServerSession::HandleServerCommand(std::string_view cmd,
     // Shared graph, shared cache: swap without clearing (plans are
     // graph-independent; the cache belongs to every session).
     engine_.SetGraph(catalog_entry_->graph);
+    RefreshLiveGraph();  // a mutable entry may already be past load-time
     ok("OK graph " + std::to_string(engine_.graph().num_nodes()) +
        " nodes " + std::to_string(engine_.graph().num_edges()) + " edges\n");
+    return true;
+  }
+
+  if (cmd == "!mutate") {
+    if (rest.empty()) {
+      err("ERR !mutate takes add-node|add-edge|rm-node|rm-edge "
+          "arguments (see !help)\n");
+      return true;
+    }
+    if (catalog_entry_->live == nullptr) {
+      err("ERR graph '" + graph_spec_ +
+          "' is read-only (start the server with --mutation-dir)\n");
+      return true;
+    }
+    Result<mutation::DeltaRecord> rec =
+        mutation::ParseMutationCommand(rest);
+    if (!rec.ok()) {
+      err("ERR " + engine::OneLine(rec.status().ToString()) + "\n");
+      return true;
+    }
+    mutation::DeltaRecord resolved;
+    Status applied = catalog_entry_->live->Mutate(*rec, &resolved);
+    if (!applied.ok()) {
+      err("ERR " + engine::OneLine(applied.ToString()) + "\n");
+      return true;
+    }
+    RefreshLiveGraph();
+    if (recording_) {
+      // Mutations are part of the session history a replay must
+      // reproduce: record the *resolved* form (auto names filled in) so
+      // the replayed graph evolves identically.
+      engine::WorkloadEntry entry;
+      entry.name = "q" + std::to_string(recorded_.entries.size() + 1);
+      entry.mutation = mutation::FormatMutation(resolved);
+      recorded_.entries.push_back(std::move(entry));
+    }
+    ok("OK mutate " + mutation::FormatMutation(resolved) +
+       " nodes=" + std::to_string(engine_.graph().num_nodes()) +
+       " edges=" + std::to_string(engine_.graph().num_edges()) + "\n");
+    return true;
+  }
+
+  if (cmd == "!version") {
+    if (!rest.empty()) {
+      err("ERR !version takes no arguments\n");
+      return true;
+    }
+    // Mutable entries keep their id incrementally; a read-only graph
+    // pays one serialization per ask (command path, never query path).
+    const uint64_t version =
+        catalog_entry_->live != nullptr
+            ? catalog_entry_->live->VersionId()
+            : storage::SnapshotWriter::VersionId(*catalog_entry_->graph);
+    ok("OK version " + VersionHex(version) + "\n");
     return true;
   }
 
@@ -397,8 +473,11 @@ bool ServerSession::HandleServerCommand(std::string_view cmd,
   if (cmd == "!help") {
     *out +=
         "HELP one query per line; directives: !help !stats !cache clear "
-        "!graph <spec> !threads N !limits [k=v ...] !deadline <ms>|off "
-        "!timing on|off !record <path>|stop !quit\n";
+        "!graph <spec> !mutate <op ...> !version !threads N "
+        "!limits [k=v ...] !deadline <ms>|off "
+        "!timing on|off !record <path>|stop !quit; mutation ops: "
+        "add-node [name] [label=L] [k=v ...] / add-edge <src> <dst> "
+        "[label=L] [name=N] [k=v ...] / rm-node <name> / rm-edge <name>\n";
     ok("OK help\n");
     return true;
   }
@@ -407,9 +486,21 @@ bool ServerSession::HandleServerCommand(std::string_view cmd,
   return true;
 }
 
+void ServerSession::RefreshLiveGraph() {
+  if (catalog_entry_->live == nullptr) return;
+  std::shared_ptr<const PropertyGraph> cur = catalog_entry_->live->Current();
+  if (cur.get() != engine_.shared_graph().get()) {
+    engine_.SetGraph(std::move(cur));
+  }
+}
+
 bool ServerSession::HandleLine(const std::string& line, std::string* out) {
   const std::string_view trimmed = StripWhitespace(line);
   if (trimmed.empty()) return true;
+  // Pick up versions published by other sessions' mutations before
+  // handling anything — each request line sees the latest version, and
+  // keeps it pinned (shared_ptr) for exactly this line's duration.
+  RefreshLiveGraph();
   if (trimmed[0] == '!') {
     const size_t space = trimmed.find_first_of(" \t");
     const std::string_view cmd = trimmed.substr(0, space);

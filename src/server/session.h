@@ -32,6 +32,18 @@
 ///   !graph <spec>              swap the session graph *via the catalog*
 ///                              (shared, load-once; never clears the
 ///                              shared plan cache)
+///   !mutate <op ...>           live graph mutation (mutation_dir mode):
+///                              add-node [name] [label=L] [k=v ...],
+///                              add-edge <src> <dst> [label=L] [name=N]
+///                              [k=v ...], rm-node <name>, rm-edge <name>.
+///                              Journalled (fsync) before the OK line,
+///                              which echoes the resolved record; writers
+///                              are serialized per graph, in-flight
+///                              queries keep their pinned version
+///   !version                   content-addressed id of the session
+///                              graph's current version ("OK version
+///                              <16 hex digits>"); two graphs share an id
+///                              iff their snapshots are byte-identical
 ///   !stats                     engine stats + catalog/session/pool lines
 ///
 /// plus everything the base protocol handles (queries, !help, !cache
@@ -134,6 +146,10 @@ class ServerSession {
   /// Finishes an active recording, writing the .gqlw; returns the status
   /// line ("OK recorded ..." or "ERR ...").
   std::string StopRecording();
+  /// Re-points the engine at the live graph's current version when it
+  /// moved (this session's own !mutate, or another session's). Cheap when
+  /// nothing changed: one shared_ptr copy and a pointer compare.
+  void RefreshLiveGraph();
 
   SessionManager* const manager_;
   CatalogEntryPtr catalog_entry_;  // keeps the shared graph alive

@@ -92,7 +92,13 @@ struct SnapshotHeader {
   uint64_t num_edges;
   uint64_t file_size;      // total bytes, cross-checked against the file
   uint64_t table_checksum; // FNV-1a-64 over the section-table bytes
-  uint64_t reserved1;
+  /// Version chaining for live mutation (src/mutation/): the version id
+  /// (= table_checksum) of the base snapshot this one was compacted
+  /// from, or 0 for a root version. Not covered by table_checksum, so a
+  /// graph's version id is a pure function of its content, independent
+  /// of the mutation history that produced it. (Was `reserved1`,
+  /// written as 0, so format version 1 is unchanged.)
+  uint64_t parent_version;
 };
 static_assert(sizeof(SnapshotHeader) == 64, "header is one alignment unit");
 

@@ -632,6 +632,8 @@ Result<SnapshotReader::Info> SnapshotReader::Probe(const std::string& path) {
   info.num_nodes = h.num_nodes;
   info.num_edges = h.num_edges;
   info.file_size = h.file_size;
+  info.version_id = h.table_checksum;
+  info.parent_version = h.parent_version;
   return info;
 }
 

@@ -57,13 +57,20 @@ class SnapshotReader {
   static Result<PropertyGraph> FromBuffer(const void* data, size_t size,
                                           bool verify_checksums = true);
 
-  /// Header-only metadata, for `graph_convert --info` and cache probes.
+  /// Header-only metadata, for `graph_convert --info`, cache probes and
+  /// the live-mutation recovery path (which binds delta journals to
+  /// `version_id` without decoding the snapshot).
   struct Info {
     uint32_t version = 0;
     uint32_t section_count = 0;
     uint64_t num_nodes = 0;
     uint64_t num_edges = 0;
     uint64_t file_size = 0;
+    /// Content-addressed version id: the header's section-table checksum
+    /// (SnapshotWriter::VersionId of the stored graph).
+    uint64_t version_id = 0;
+    /// Version id of the base this snapshot was compacted from; 0 = root.
+    uint64_t parent_version = 0;
   };
   static Result<Info> Probe(const std::string& path);
 };

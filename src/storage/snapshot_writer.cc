@@ -107,7 +107,8 @@ PropColumns EncodeProps(const std::vector<PropertyList>& props) {
 
 }  // namespace
 
-std::string SnapshotWriter::Serialize(const PropertyGraph& g) {
+std::string SnapshotWriter::Serialize(const PropertyGraph& g,
+                                      uint64_t parent_version) {
   // Lazy sections must be decoded before they can be re-encoded.
   g.EnsureNodeProps();
   g.EnsureEdgeProps();
@@ -186,6 +187,7 @@ std::string SnapshotWriter::Serialize(const PropertyGraph& g) {
   header.num_edges = g.num_edges();
   header.file_size = cursor;
   header.table_checksum = Fnv1a64(table.data(), table_bytes);
+  header.parent_version = parent_version;
 
   std::string out;
   out.reserve(cursor);
@@ -199,8 +201,9 @@ std::string SnapshotWriter::Serialize(const PropertyGraph& g) {
   return out;
 }
 
-Status SnapshotWriter::Write(const PropertyGraph& g, const std::string& path) {
-  std::string image = Serialize(g);
+Status SnapshotWriter::Write(const PropertyGraph& g, const std::string& path,
+                             uint64_t parent_version) {
+  std::string image = Serialize(g, parent_version);
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
@@ -222,6 +225,13 @@ Status SnapshotWriter::Write(const PropertyGraph& g, const std::string& path) {
                                    path + "'");
   }
   return Status::OK();
+}
+
+uint64_t SnapshotWriter::VersionId(const PropertyGraph& g) {
+  std::string image = Serialize(g);
+  SnapshotHeader h;
+  std::memcpy(&h, image.data(), sizeof(h));
+  return h.table_checksum;
 }
 
 }  // namespace pathalg::storage

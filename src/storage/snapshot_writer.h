@@ -8,7 +8,14 @@
 /// source graph was freshly built or itself loaded from a snapshot — the
 /// round-trip tests pin this, and it is what makes the catalog's
 /// `--snapshot-dir` cache files stable across server restarts.
+///
+/// Determinism also yields *content-addressable versions*: the header's
+/// section-table checksum is a pure function of the graph's content, and
+/// the live-mutation subsystem (src/mutation/) uses it as the version id
+/// reported by `!version` and chained through `parent_version` when a
+/// compaction writes the next version.
 
+#include <cstdint>
 #include <string>
 
 #include "common/status.h"
@@ -18,13 +25,24 @@ namespace pathalg::storage {
 
 class SnapshotWriter {
  public:
-  /// Serializes `g` into an in-memory snapshot image.
-  static std::string Serialize(const PropertyGraph& g);
+  /// Serializes `g` into an in-memory snapshot image. `parent_version`
+  /// lands in the header's chaining field (0 = root version) and is
+  /// excluded from the table checksum, so it never perturbs version ids.
+  static std::string Serialize(const PropertyGraph& g,
+                               uint64_t parent_version = 0);
 
   /// Serializes `g` and writes it to `path` (via a same-directory temp
   /// file + rename, so concurrent readers never observe a half-written
   /// snapshot).
-  static Status Write(const PropertyGraph& g, const std::string& path);
+  static Status Write(const PropertyGraph& g, const std::string& path,
+                      uint64_t parent_version = 0);
+
+  /// The stable content-addressed version id of `g`: the section-table
+  /// checksum its serialized form carries. Two graphs have equal version
+  /// ids iff their serialized snapshots are byte-identical (modulo the
+  /// parent_version chaining field). O(serialization) — callers cache it
+  /// per version.
+  static uint64_t VersionId(const PropertyGraph& g);
 };
 
 }  // namespace pathalg::storage

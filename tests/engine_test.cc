@@ -145,6 +145,44 @@ TEST(QueryEngineTest, ExecuteMissThenHit) {
   EXPECT_EQ(eng.cache().stats().misses, 1u);
 }
 
+TEST(QueryEngineTest, GraphSwapKeepsSharedCacheButInvalidatesStatsPlans) {
+  // Without optimizer stats, prepared plans are graph-independent: a
+  // graph swap must keep hitting the cache (the server's shared-cache
+  // contract across sessions and graphs).
+  QueryEngine plain(MakeFigure1Graph());
+  ExecStats s1, s2;
+  ASSERT_TRUE(plain.Execute(kShortestTrail, &s1).ok());
+  EXPECT_FALSE(s1.cache_hit);
+  plain.SetGraph(
+      std::make_shared<const PropertyGraph>(MakeCycleGraph(4, "Knows")));
+  ASSERT_TRUE(plain.Execute(kShortestTrail, &s2).ok());
+  EXPECT_TRUE(s2.cache_hit);
+
+  // With optimizer stats set, prepared plans bake in graph-derived
+  // cardinalities, so the same swap must miss (per-graph token in the
+  // cache key) — a live-mutation republish would otherwise keep serving
+  // plans optimized for the pre-mutation graph.
+  const GraphStats stats = GraphStats::Collect(MakeFigure1Graph());
+  EngineOptions opts;
+  opts.query.optimizer.stats = &stats;
+  QueryEngine tuned(MakeFigure1Graph(), opts);
+  ExecStats t1, t2, t3;
+  ASSERT_TRUE(tuned.Execute(kShortestTrail, &t1).ok());
+  EXPECT_FALSE(t1.cache_hit);
+  ASSERT_TRUE(tuned.Execute(kShortestTrail, &t2).ok());
+  EXPECT_TRUE(t2.cache_hit);  // same graph: still hits
+  // Re-setting the *same* graph pointer must not invalidate…
+  tuned.SetGraph(tuned.shared_graph());
+  ASSERT_TRUE(tuned.Execute(kShortestTrail, &t3).ok());
+  EXPECT_TRUE(t3.cache_hit);
+  // …but a different graph must.
+  ExecStats t4;
+  tuned.SetGraph(
+      std::make_shared<const PropertyGraph>(MakeCycleGraph(4, "Knows")));
+  ASSERT_TRUE(tuned.Execute(kShortestTrail, &t4).ok());
+  EXPECT_FALSE(t4.cache_hit);
+}
+
 TEST(QueryEngineTest, ExecuteFillsEvalStats) {
   QueryEngine eng(MakeFigure1Graph());
   ExecStats stats;

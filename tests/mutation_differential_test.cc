@@ -1,0 +1,258 @@
+// The mutation subsystem's differential harness, pinning the tentpole
+// contract from two directions on seeded random mutation histories:
+//
+//  1. Representation: DeltaOverlayGraph::Apply (the incremental merge the
+//     server materializes versions through) serializes byte-identically
+//     to DeltaOverlayGraph::RebuildReference (the executable spec that
+//     rebuilds through GraphBuilder from scratch). The two share no
+//     construction code — Apply remaps and comparison-sorts, the
+//     reference re-interns and counting-sorts — so byte equality is
+//     evidence, not tautology.
+//
+//  2. Evaluation: every engine answers queries on the merged version
+//     byte-for-byte as on the rebuilt one — the optimized ϕ engine (with
+//     frontier fusion) at t ∈ {1, 4}, the naive ϕ engine, and the NFA
+//     product-automaton baseline — across all four bag semantics, plus
+//     walk on DAG-preserving mutation histories (additions only point
+//     forward in the canonical node order, so closures stay finite).
+//
+// 200 seeded trials per semantics; failure messages echo the seed so a
+// red trial reproduces with one line.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "baseline/automaton_eval.h"
+#include "fuzz_util.h"
+#include "mutation/delta_log.h"
+#include "mutation/overlay.h"
+#include "plan/evaluator.h"
+#include "regex/compile.h"
+#include "regex/parser.h"
+#include "storage/snapshot_writer.h"
+#include "workload/generators.h"
+
+namespace pathalg {
+namespace {
+
+const std::vector<std::string> kGraphLabels = {"a", "b", "c"};
+const std::vector<std::string> kRegexLabels = {"a", "b", "c", "d"};
+
+constexpr size_t kTrialsPerSemantics = 200;
+
+PropertyGraph TrialBase(std::mt19937_64& rng, bool acyclic) {
+  UniformMultigraphOptions opts;
+  opts.num_nodes = 4 + rng() % 5;  // 4..8
+  opts.num_edges = 5 + rng() % 8;  // 5..12
+  opts.labels = kGraphLabels;
+  opts.unlabeled_percent = 15;
+  opts.acyclic = acyclic;
+  opts.seed = rng();
+  return MakeUniformMultigraph(opts);
+}
+
+/// Applies a random mutation history to `state`. `dag_only` restricts
+/// added edges to point forward in the canonical enumeration order (base
+/// nodes by ascending id, then added nodes in log order) — the acyclic
+/// base generator orients edges lower→higher id, so the merged graph
+/// stays a DAG and walk semantics stays finite.
+void RandomMutations(std::mt19937_64& rng, mutation::DeltaState& state,
+                     bool dag_only) {
+  // Live node names in canonical order; base auto names are "n<id+1>".
+  std::vector<std::string> order;
+  const PropertyGraph& base = state.base();
+  for (NodeId id = 0; id < base.num_nodes(); ++id) {
+    order.push_back(std::string(base.NodeName(id)));
+  }
+  std::vector<std::string> live_edges;
+  for (EdgeId id = 0; id < base.num_edges(); ++id) {
+    live_edges.push_back(std::string(base.EdgeName(id)));
+  }
+
+  const size_t num_mutations = 3 + rng() % 8;
+  size_t added = 0;
+  for (size_t m = 0; m < num_mutations; ++m) {
+    mutation::DeltaRecord rec;
+    switch (rng() % 10) {
+      case 0:
+      case 1:
+      case 2: {  // add-node
+        rec.op = mutation::DeltaOp::kAddNode;
+        if (rng() % 2 == 0) rec.name = "x" + std::to_string(++added);
+        if (rng() % 3 != 0) {
+          rec.label = kGraphLabels[rng() % kGraphLabels.size()];
+        }
+        if (rng() % 2 == 0) {
+          rec.props.emplace_back("w", Value(int64_t(rng() % 100)));
+        }
+        mutation::DeltaRecord resolved = rec;
+        ASSERT_TRUE(state.Apply(&resolved).ok());
+        order.push_back(resolved.name);
+        break;
+      }
+      case 3:
+      case 4:
+      case 5:
+      case 6: {  // add-edge
+        if (order.size() < 2) break;
+        size_t si = rng() % order.size();
+        size_t di = rng() % order.size();
+        if (dag_only) {
+          // Forward edges only (and never self-loops).
+          if (si == di) break;
+          if (si > di) std::swap(si, di);
+        }
+        rec.op = mutation::DeltaOp::kAddEdge;
+        rec.src = order[si];
+        rec.dst = order[di];
+        if (rng() % 4 != 0) {
+          rec.label = kGraphLabels[rng() % kGraphLabels.size()];
+        }
+        mutation::DeltaRecord resolved = rec;
+        Status applied = state.Apply(&resolved);
+        // A previous rm-node may have taken an endpoint with it; that
+        // rejection path is itself worth exercising.
+        if (applied.ok()) live_edges.push_back(resolved.name);
+        break;
+      }
+      case 7: {  // rm-node (cascades)
+        if (order.empty()) break;
+        const size_t i = rng() % order.size();
+        rec.op = mutation::DeltaOp::kRemoveNode;
+        rec.name = order[i];
+        mutation::DeltaRecord resolved = rec;
+        if (state.Apply(&resolved).ok()) {
+          order.erase(order.begin() + static_cast<ptrdiff_t>(i));
+        }
+        break;
+      }
+      default: {  // rm-edge
+        if (live_edges.empty()) break;
+        const size_t i = rng() % live_edges.size();
+        rec.op = mutation::DeltaOp::kRemoveEdge;
+        rec.name = live_edges[i];
+        mutation::DeltaRecord resolved = rec;
+        if (state.Apply(&resolved).ok()) {
+          live_edges.erase(live_edges.begin() + static_cast<ptrdiff_t>(i));
+        }
+        break;
+      }
+    }
+  }
+}
+
+/// Evaluates `regex_text` on `merged` and `rebuilt` under one engine
+/// configuration, requiring byte-identical answers (or byte-identical
+/// errors).
+::testing::AssertionResult CompareEngines(const PropertyGraph& merged,
+                                          const PropertyGraph& rebuilt,
+                                          const std::string& regex_text,
+                                          PathSemantics semantics,
+                                          PhiEngine engine, size_t threads,
+                                          const std::string& context) {
+  auto fail = [&](const std::string& what) {
+    return ::testing::AssertionFailure()
+           << context << " regex `" << regex_text << "` semantics "
+           << PathSemanticsToString(semantics) << " threads "
+           << std::to_string(threads) << ": " << what;
+  };
+  auto regex = ParseRegex(regex_text);
+  if (!regex.ok()) return fail("regex parse: " + regex.status().ToString());
+  CompileOptions copts;
+  copts.semantics = semantics;
+  PlanPtr plan = CompileRegex(*regex, copts);
+  EvalOptions eopts;
+  eopts.engine = engine;
+  eopts.threads = threads;
+
+  Result<PathSet> lhs = Evaluate(merged, plan, eopts);
+  Result<PathSet> rhs = Evaluate(rebuilt, plan, eopts);
+  if (lhs.ok() != rhs.ok()) {
+    return fail("merged " + lhs.status().ToString() + " vs rebuilt " +
+                rhs.status().ToString());
+  }
+  if (!lhs.ok()) {
+    if (lhs.status().ToString() != rhs.status().ToString()) {
+      return fail("error mismatch: " + lhs.status().ToString() + " vs " +
+                  rhs.status().ToString());
+    }
+    return ::testing::AssertionSuccess();
+  }
+  if (lhs->paths() != rhs->paths()) {
+    return fail("merged (" + std::to_string(lhs->size()) +
+                " paths) != rebuilt (" + std::to_string(rhs->size()) +
+                " paths)\n  merged: " + lhs->ToString(merged) +
+                "\n  rebuilt: " + rhs->ToString(rebuilt));
+  }
+  return ::testing::AssertionSuccess();
+}
+
+void RunFuzzLoop(PathSemantics semantics, bool dag_only) {
+  for (uint64_t trial = 1; trial <= kTrialsPerSemantics; ++trial) {
+    // Offset from the CSR/parallel/snapshot harness streams so this
+    // suite explores different graphs.
+    const uint64_t seed =
+        trial * 86243u * 131071u + static_cast<uint64_t>(semantics);
+    std::mt19937_64 rng(seed);
+    const std::string context =
+        "trial " + std::to_string(trial) + " seed " + std::to_string(seed);
+
+    auto base = std::make_shared<const PropertyGraph>(
+        TrialBase(rng, dag_only));
+    mutation::DeltaState state(base);
+    RandomMutations(rng, state, dag_only);
+    if (::testing::Test::HasFailure()) break;
+
+    PropertyGraph merged = mutation::DeltaOverlayGraph::Apply(state);
+    PropertyGraph rebuilt =
+        mutation::DeltaOverlayGraph::RebuildReference(state);
+
+    // 1. The two construction paths agree to the byte.
+    const std::string merged_image =
+        storage::SnapshotWriter::Serialize(merged);
+    ASSERT_EQ(merged_image, storage::SnapshotWriter::Serialize(rebuilt))
+        << context;
+
+    // 2. Every engine answers identically on both, t ∈ {1, 4}.
+    const std::string regex =
+        fuzz::RandomTopClosureRegex(rng, kRegexLabels);
+    EXPECT_TRUE(CompareEngines(merged, rebuilt, regex, semantics,
+                               PhiEngine::kOptimized, 1,
+                               context + " [optimized]"));
+    EXPECT_TRUE(CompareEngines(merged, rebuilt, regex, semantics,
+                               PhiEngine::kOptimized, 4,
+                               context + " [optimized]"));
+    EXPECT_TRUE(CompareEngines(merged, rebuilt, regex, semantics,
+                               PhiEngine::kNaive, 1, context + " [naive]"));
+
+    // 3. The merged graph is a first-class citizen of the standing
+    //    algebra ≡ automaton contract (the automaton baseline covers the
+    //    fourth engine).
+    EXPECT_TRUE(
+        fuzz::RunDifferentialTrial(merged, regex, semantics, context));
+    if (::testing::Test::HasFailure()) break;  // one repro is enough
+  }
+}
+
+TEST(MutationDifferentialFuzz, Trail) {
+  RunFuzzLoop(PathSemantics::kTrail, false);
+}
+TEST(MutationDifferentialFuzz, Acyclic) {
+  RunFuzzLoop(PathSemantics::kAcyclic, false);
+}
+TEST(MutationDifferentialFuzz, Simple) {
+  RunFuzzLoop(PathSemantics::kSimple, false);
+}
+TEST(MutationDifferentialFuzz, Shortest) {
+  RunFuzzLoop(PathSemantics::kShortest, false);
+}
+TEST(MutationDifferentialFuzz, WalkOnDagPreservingMutations) {
+  RunFuzzLoop(PathSemantics::kWalk, true);
+}
+
+}  // namespace
+}  // namespace pathalg

@@ -10,7 +10,9 @@ lint flags the project-specific hazards that silently break it:
   unordered-iteration   a range-for over an std::unordered_{map,set,...}
                         whose body feeds an order-sensitive sink (PathSet
                         Insert/InsertHashed, push_back/emplace_back merge
-                        loops, response-string appends, stream writes).
+                        loops, response-string appends, stream writes,
+                        GraphBuilder AddNamedNode/AddNamedEdge version
+                        emission, journal Append).
                         Hash-order iteration must go through a sorted or
                         chunk-order merge instead.
   raw-random            rand()/srand()/rand_r/drand48/lrand48,
@@ -187,6 +189,13 @@ SINK_RES = [
     (re.compile(r"\bEmit\w*\s*\("), "survivor emit"),
     (re.compile(r"\bMerge\w*\s*\("), "ordered merge"),
     (re.compile(r"\.(?:push_back|emplace_back)\s*\("), "sequence append"),
+    # Mutation subsystem surfaces: building a merged graph version
+    # (GraphBuilder::AddNamedNode/AddNamedEdge — the overlay merge must
+    # emit in canonical order or version ids stop being content-
+    # addressed) and appending resolved records to the fsync'd journal
+    # (replay order is the recovery contract).
+    (re.compile(r"\bAddNamed(?:Node|Edge)\s*\("), "graph build emission"),
+    (re.compile(r"\.Append\s*\("), "journal append"),
     (re.compile(r"(?:\*\s*)?\w*(?:out|os|resp|str|text|buf|line)\w*\s*\+=",
                 re.IGNORECASE), "string append"),
     (re.compile(r"<<"), "stream write"),

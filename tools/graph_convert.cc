@@ -69,6 +69,12 @@ int Info(const std::string& path) {
               static_cast<unsigned long long>(info->num_edges));
   std::printf("  file size:      %llu bytes\n",
               static_cast<unsigned long long>(info->file_size));
+  std::printf("  version id:     %016llx\n",
+              static_cast<unsigned long long>(info->version_id));
+  if (info->parent_version != 0) {
+    std::printf("  parent version: %016llx\n",
+                static_cast<unsigned long long>(info->parent_version));
+  }
   return 0;
 }
 
@@ -89,12 +95,18 @@ int Verify(const std::string& path) {
   }
 
   // Round trip: re-serializing the decoded graph must reproduce the file
-  // byte for byte (deterministic writer).
+  // byte for byte (deterministic writer). The parent-version chaining
+  // field is the one header input not derived from the graph itself, so
+  // re-serialize with the file's own.
+  Result<storage::SnapshotReader::Info> info =
+      storage::SnapshotReader::Probe(path);
+  if (!info.ok()) return Fail(info.status().ToString());
   std::ifstream file(path, std::ios::binary);
   std::ostringstream buffer;
   buffer << file.rdbuf();
   const std::string original = buffer.str();
-  if (storage::SnapshotWriter::Serialize(*copied) != original) {
+  if (storage::SnapshotWriter::Serialize(*copied, info->parent_version) !=
+      original) {
     return Fail("re-serialization differs from the file — writer "
                 "determinism violated or file written by another version");
   }

@@ -1,0 +1,32 @@
+// Lint fixture: hash-order iteration feeding the mutation subsystem's
+// sinks — merged-version graph building (AddNamedNode/AddNamedEdge) and
+// journal appends. Expect: [unordered-iteration] findings; nothing else.
+#include <string>
+#include <unordered_map>
+
+struct Builder {
+  int AddNamedNode(const std::string&, const std::string&) { return 0; }
+};
+
+struct Journal {
+  void Append(const std::string&) {}
+};
+
+void MergeOverlay(Builder* b,
+                  const std::unordered_map<std::string, std::string>& added) {
+  // BAD: a merged version must emit added nodes in log order (canonical
+  // enumeration), never in bucket order — the serialized snapshot, and
+  // with it the content-addressed version id, would depend on hashing.
+  for (const auto& kv : added) {
+    b->AddNamedNode(kv.first, kv.second);
+  }
+}
+
+void FlushPending(Journal& journal,
+                  const std::unordered_map<int, std::string>& pending) {
+  // BAD: recovery replays the journal front to back; appending pending
+  // records in hash order makes the replayed graph history-dependent.
+  for (const auto& kv : pending) {
+    journal.Append(kv.second);
+  }
+}
