@@ -132,36 +132,72 @@ Status CorruptRecord() {
 
 Status WriteBufferDurably(const std::string& path, const std::string& buf) {
   const std::string tmp = path + ".tmp";
-  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  PATHALG_RETURN_NOT_OK(WriteFileDurably(tmp, buf));
+  Status moved = RenameDurably(tmp, path);
+  if (!moved.ok()) std::remove(tmp.c_str());
+  return moved;
+}
+
+/// fsync on the directory holding `path`, so a just-completed rename in
+/// it survives a crash (the rename is atomic without this, but not
+/// guaranteed durable).
+Status SyncParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (fd < 0) {
-    return Status::InvalidArgument("cannot create journal file '" + tmp +
+    return Status::InvalidArgument("cannot open directory '" + dir +
+                                   "' for sync: " + std::strerror(errno));
+  }
+  // Some filesystems reject fsync on directory fds; rename atomicity
+  // still holds there.
+  if (::fsync(fd) != 0 && errno != EINVAL) {
+    int saved = errno;
+    ::close(fd);
+    return Status::InvalidArgument("cannot sync directory '" + dir +
+                                   "': " + std::strerror(saved));
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteFileDurably(const std::string& path, const std::string& data) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::InvalidArgument("cannot create file '" + path +
                                    "': " + std::strerror(errno));
   }
   size_t done = 0;
-  while (done < buf.size()) {
-    ssize_t n = ::write(fd, buf.data() + done, buf.size() - done);
+  while (done < data.size()) {
+    ssize_t n = ::write(fd, data.data() + done, data.size() - done);
     if (n < 0) {
       if (errno == EINTR) continue;
       ::close(fd);
-      std::remove(tmp.c_str());
-      return Status::InvalidArgument("short write on journal file '" + tmp +
+      std::remove(path.c_str());
+      return Status::InvalidArgument("short write on file '" + path +
                                      "': " + std::strerror(errno));
     }
     done += static_cast<size_t>(n);
   }
   if (::fsync(fd) != 0 || ::close(fd) != 0) {
-    std::remove(tmp.c_str());
-    return Status::InvalidArgument("cannot sync journal file '" + tmp + "'");
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::InvalidArgument("cannot move journal into place at '" +
-                                   path + "'");
+    std::remove(path.c_str());
+    return Status::InvalidArgument("cannot sync file '" + path + "'");
   }
   return Status::OK();
 }
 
-}  // namespace
+Status RenameDurably(const std::string& from, const std::string& to) {
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::InvalidArgument("cannot move '" + from +
+                                   "' into place at '" + to +
+                                   "': " + std::strerror(errno));
+  }
+  return SyncParentDir(to);
+}
 
 std::string_view DeltaOpName(DeltaOp op) {
   switch (op) {
@@ -274,7 +310,10 @@ std::string FormatMutation(const DeltaRecord& rec) {
       out += rec.name;
       return out;
     case DeltaOp::kAddNode:
-      if (!rec.name.empty()) {
+      // A name containing '=' would re-parse as a property in positional
+      // form; it goes through `name=` below instead (the add-edge path).
+      if (!rec.name.empty() &&
+          rec.name.find('=') == std::string::npos) {
         out += ' ';
         out += rec.name;
       }
@@ -290,7 +329,10 @@ std::string FormatMutation(const DeltaRecord& rec) {
     out += " label=";
     out += rec.label;
   }
-  if (rec.op == DeltaOp::kAddEdge && !rec.name.empty()) {
+  if (!rec.name.empty() &&
+      (rec.op == DeltaOp::kAddEdge ||
+       (rec.op == DeltaOp::kAddNode &&
+        rec.name.find('=') != std::string::npos))) {
     out += " name=";
     out += rec.name;
   }

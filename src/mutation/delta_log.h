@@ -36,11 +36,15 @@
 ///   rm-node <name>
 ///   rm-edge <name>
 ///
-/// `label=`/`name=` are reserved keys. Values type themselves: int64 if
-/// the token parses fully as one, else double, else true/false/null, else
-/// the raw string (so values cannot contain whitespace — the protocol is
-/// line-oriented). `rm-node` cascades to every incident edge, mirroring
-/// the paper's requirement that ρ stay total on E.
+/// `label=`/`name=` are reserved keys. `add-node` accepts its name
+/// either positionally or as `name=N`; FormatMutation emits the
+/// key-value form whenever the name contains '=', so a positional
+/// re-parse cannot misread it as a property. Values type themselves:
+/// int64 if the token parses fully as one, else double, else
+/// true/false/null, else the raw string (so values cannot contain
+/// whitespace — the protocol is line-oriented). `rm-node` cascades to
+/// every incident edge, mirroring the paper's requirement that ρ stay
+/// total on E.
 
 #include <cstdint>
 #include <memory>
@@ -239,6 +243,16 @@ class DeltaJournal {
 /// corrupt journals byte by byte).
 std::string SerializeDeltaRecord(const DeltaRecord& rec);
 Result<DeltaRecord> ParseDeltaRecord(const void* data, size_t size);
+
+/// Durable-file primitives shared by the journal and the compaction
+/// publication path. WriteFileDurably creates/truncates `path`, writes
+/// `data` and fsyncs before closing — the bytes survive a crash, but the
+/// file is not yet published. RenameDurably renames `from` over `to` and
+/// fsyncs the destination directory, making the rename itself durable
+/// (filesystems that refuse directory fsync are tolerated; rename
+/// atomicity still holds there).
+Status WriteFileDurably(const std::string& path, const std::string& data);
+Status RenameDurably(const std::string& from, const std::string& to);
 
 }  // namespace mutation
 }  // namespace pathalg

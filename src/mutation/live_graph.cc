@@ -1,7 +1,9 @@
 #include "mutation/live_graph.h"
 
 #include <cstdio>
+#include <cstring>
 #include <utility>
+#include <vector>
 
 #include "common/thread_pool.h"
 #include "mutation/overlay.h"
@@ -13,36 +15,16 @@ namespace mutation {
 
 namespace {
 
-/// tmp + rename, same idiom as SnapshotWriter::Write but over an image we
-/// already hold (compaction serializes once: the image yields both the
-/// new version id and the bytes on disk).
-Status WriteImageAtomic(const std::string& path, const std::string& image) {
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::InvalidArgument("cannot create snapshot file '" + tmp +
-                                   "'");
-  }
-  size_t written =
-      image.empty() ? 0 : std::fwrite(image.data(), 1, image.size(), f);
-  bool flushed = std::fclose(f) == 0;
-  if (written != image.size() || !flushed) {
-    std::remove(tmp.c_str());
-    return Status::InvalidArgument("short write on snapshot file '" + tmp +
-                                   "'");
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::InvalidArgument("cannot move snapshot into place at '" +
-                                   path + "'");
-  }
-  return Status::OK();
-}
-
 uint64_t VersionIdOfImage(const std::string& image) {
   storage::SnapshotHeader h;
   std::memcpy(&h, image.data(), sizeof(h));
   return h.table_checksum;
+}
+
+Status JournalFailedError() {
+  return Status::Internal(
+      "journal unavailable after a failed append or swap; the live graph "
+      "is read-only (reopen to recover the durable state)");
 }
 
 }  // namespace
@@ -114,26 +96,61 @@ Result<std::shared_ptr<LiveGraph>> LiveGraph::Open(
 }
 
 Status LiveGraph::Mutate(const DeltaRecord& rec, DeltaRecord* resolved) {
-  MutexLock lock(mu_);
-  DeltaRecord r = rec;
-  Status applied = state_->Apply(&r);
-  if (!applied.ok()) {
-    ++counters_.mutations_rejected;
-    return applied;
+  bool compact_inline = false;
+  {
+    MutexLock lock(mu_);
+    if (journal_failed_ ||
+        (!options_.journal_path.empty() && journal_ == nullptr)) {
+      ++counters_.mutations_rejected;
+      return JournalFailedError();
+    }
+    DeltaRecord r = rec;
+    Status applied = state_->Apply(&r);
+    if (!applied.ok()) {
+      ++counters_.mutations_rejected;
+      return applied;
+    }
+    if (journal_ != nullptr) {
+      // Durability point. On append failure the fd and file tail are
+      // suspect (a torn frame may be on disk), so the write path is
+      // poisoned, and the record is rolled back out of memory so no
+      // published version ever shows a mutation the client saw ERR for.
+      Status logged = journal_->Append(r);
+      if (!logged.ok()) {
+        journal_failed_ = true;
+        RollbackLastRecordLocked();
+        ++counters_.mutations_rejected;
+        return logged;
+      }
+    }
+    ++counters_.mutations_applied;
+    ++delta_generation_;
+    current_.reset();
+    version_id_ = 0;
+    if (resolved != nullptr) *resolved = r;
+    compact_inline = MaybeScheduleCompactionLocked();
   }
-  if (journal_ != nullptr) {
-    // Durability point. On append failure the in-memory state is ahead
-    // of disk; surfacing the error (instead of silently continuing)
-    // lets the operator fail the session before acknowledging.
-    Status logged = journal_->Append(r);
-    if (!logged.ok()) return logged;
+  if (compact_inline) {
+    (void)CompactImpl();  // failure leaves the delta pending
+    MutexLock lock(mu_);
+    compaction_in_flight_ = false;
   }
-  ++counters_.mutations_applied;
-  current_.reset();
-  version_id_ = 0;
-  if (resolved != nullptr) *resolved = r;
-  MaybeScheduleCompactionLocked();
   return Status::OK();
+}
+
+void LiveGraph::RollbackLastRecordLocked() {
+  std::vector<DeltaRecord> keep = state_->records();
+  if (keep.empty()) return;
+  keep.pop_back();
+  auto fresh = std::make_unique<DeltaState>(state_->shared_base());
+  for (DeltaRecord& r : keep) {
+    // Replay of previously-accepted records over the same base is
+    // deterministic; a failure here would mean DeltaState broke its own
+    // contract, in which case the poisoned-for-writes state above
+    // already keeps the phantom out of any future published version.
+    if (!fresh->Apply(&r).ok()) return;
+  }
+  state_ = std::move(fresh);
 }
 
 std::shared_ptr<const PropertyGraph> LiveGraph::Current() {
@@ -163,72 +180,112 @@ uint64_t LiveGraph::VersionId() {
   return version_id_;
 }
 
-void LiveGraph::MaybeScheduleCompactionLocked() {
+bool LiveGraph::MaybeScheduleCompactionLocked() {
   if (options_.compact_threshold == 0 ||
       options_.base_snapshot_path.empty() || compaction_in_flight_ ||
       state_->num_records() < options_.compact_threshold) {
-    return;
+    return false;
   }
   compaction_in_flight_ = true;
   if (options_.background_compaction) {
     std::shared_ptr<LiveGraph> self = shared_from_this();
     ThreadPool::Shared().Submit([self] {
+      (void)self->CompactImpl();  // failure leaves the delta pending
       MutexLock lock(self->mu_);
-      (void)self->CompactLocked();  // failure leaves the delta pending
       self->compaction_in_flight_ = false;
     });
-  } else {
-    (void)CompactLocked();
-    compaction_in_flight_ = false;
+    return false;
   }
+  return true;  // caller folds inline once it has released mu_
 }
 
-Status LiveGraph::Compact() {
-  MutexLock lock(mu_);
-  return CompactLocked();
-}
+Status LiveGraph::Compact() { return CompactImpl(); }
 
-Status LiveGraph::CompactLocked() {
-  if (state_->empty()) return Status::OK();
-  if (options_.base_snapshot_path.empty()) {
-    return Status::InvalidArgument(
-        "compaction disabled: no base snapshot path configured");
-  }
-  std::shared_ptr<const PropertyGraph> next = EnsureCurrentLocked();
-  // One serialization yields the new version id, the journal binding and
-  // the bytes published on disk (parent chained to the version being
-  // folded away).
-  std::string image = storage::SnapshotWriter::Serialize(*next, base_version_);
-  uint64_t next_version = VersionIdOfImage(image);
-
-  // Crash-safe order (see live_graph.h): tail journal for the new
-  // version first, then the base, then the journal swap. The mutex is
-  // held throughout, so the delta cannot grow mid-fold and the new
-  // journal is always empty.
-  if (!options_.journal_path.empty()) {
-    PATHALG_RETURN_NOT_OK(DeltaJournal::WriteAll(
-        options_.journal_path + ".next", next_version, {}));
-  }
-  PATHALG_RETURN_NOT_OK(WriteImageAtomic(options_.base_snapshot_path, image));
-  if (!options_.journal_path.empty()) {
-    journal_.reset();  // close the old fd before renaming over its file
-    if (std::rename((options_.journal_path + ".next").c_str(),
-                    options_.journal_path.c_str()) != 0) {
-      return Status::InvalidArgument("cannot swap journal at '" +
-                                     options_.journal_path + "'");
+Status LiveGraph::CompactImpl() {
+  // A writer advancing the delta while the fold runs unlocked
+  // invalidates the serialized image; refold against the new state a
+  // bounded number of times, then give up and leave the delta pending
+  // (the next Mutate past the threshold reschedules).
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    std::shared_ptr<const PropertyGraph> next;
+    uint64_t parent_version = 0;
+    uint64_t folded_generation = 0;
+    {
+      MutexLock lock(mu_);
+      if (journal_failed_) return JournalFailedError();
+      if (state_->empty()) return Status::OK();
+      if (options_.base_snapshot_path.empty()) {
+        return Status::InvalidArgument(
+            "compaction disabled: no base snapshot path configured");
+      }
+      next = EnsureCurrentLocked();
+      parent_version = base_version_;
+      folded_generation = delta_generation_;
     }
-    PATHALG_ASSIGN_OR_RETURN(
-        journal_,
-        DeltaJournal::OpenForAppend(options_.journal_path, next_version));
-  }
+    // Serialization and the fsync'd writes run unlocked: `next` is
+    // immutable, so queries refreshing via Current() and new writers
+    // proceed while the image lands on disk. One serialization yields
+    // the new version id, the journal binding and the bytes published
+    // (parent chained to the version being folded away).
+    std::string image =
+        storage::SnapshotWriter::Serialize(*next, parent_version);
+    uint64_t next_version = VersionIdOfImage(image);
+    const std::string tmp = options_.base_snapshot_path + ".tmp";
+    // Crash-safe order (see live_graph.h): tail journal for the new
+    // version first, then the base image (unpublished at .tmp), then —
+    // under the mutex — the renames and the journal swap.
+    if (!options_.journal_path.empty()) {
+      PATHALG_RETURN_NOT_OK(DeltaJournal::WriteAll(
+          options_.journal_path + ".next", next_version, {}));
+    }
+    PATHALG_RETURN_NOT_OK(WriteFileDurably(tmp, image));
 
-  base_ = next;
-  base_version_ = next_version;
-  state_ = std::make_unique<DeltaState>(base_);
-  current_ = next;
-  version_id_ = next_version;
-  ++counters_.compactions;
-  return Status::OK();
+    MutexLock lock(mu_);
+    if (journal_failed_) {
+      std::remove(tmp.c_str());
+      return JournalFailedError();
+    }
+    if (delta_generation_ != folded_generation ||
+        base_version_ != parent_version) {
+      // A writer (or a concurrent explicit Compact) advanced the state;
+      // the image no longer folds the full delta. Leftover .tmp/.next
+      // files are rewritten by the retry and ignored by recovery.
+      std::remove(tmp.c_str());
+      continue;
+    }
+    PATHALG_RETURN_NOT_OK(
+        RenameDurably(tmp, options_.base_snapshot_path));
+    if (!options_.journal_path.empty()) {
+      journal_.reset();  // close the old fd before renaming over its file
+      Status swapped = RenameDurably(options_.journal_path + ".next",
+                                     options_.journal_path);
+      if (!swapped.ok()) {
+        // journal_ is gone; mutations could only be acknowledged
+        // unjournalled from here, so poison the write path (Mutate and
+        // further compactions refuse; reads continue).
+        journal_failed_ = true;
+        return swapped;
+      }
+      Result<std::unique_ptr<DeltaJournal>> reopened =
+          DeltaJournal::OpenForAppend(options_.journal_path, next_version);
+      if (!reopened.ok()) {
+        journal_failed_ = true;
+        return reopened.status();
+      }
+      journal_ = std::move(reopened).value();
+    }
+
+    base_ = next;
+    base_version_ = next_version;
+    state_ = std::make_unique<DeltaState>(base_);
+    current_ = next;
+    version_id_ = next_version;
+    ++counters_.compactions;
+    return Status::OK();
+  }
+  return Status::ResourceExhausted(
+      "compaction kept losing the race against concurrent mutations; "
+      "delta left pending");
 }
 
 bool LiveGraph::compaction_in_flight() const {

@@ -15,6 +15,13 @@
 /// is acknowledged only once it would survive a crash), invalidate the
 /// cached current version. Writers are serialized per graph by the
 /// annotated mutex; queries never take it (they hold a shared_ptr).
+/// A failed journal append rolls the record back out of the DeltaState
+/// (published versions never show a mutation the client saw ERR for) and
+/// poisons the write path: the file tail and fd are suspect after a
+/// failed append, so further Mutate/Compact calls are refused — the
+/// graph stays readable, and a restart recovers the durable prefix. The
+/// same poisoning applies if compaction loses the journal mid-swap;
+/// acknowledged-implies-durable holds at every instant either way.
 ///
 /// Versions: `Current()` materializes (base + delta) via
 /// `DeltaOverlayGraph::Apply` at most once per delta generation;
@@ -25,10 +32,19 @@
 /// and resets the journal, keeping recovery O(tail) instead of O(all
 /// mutations ever). It runs synchronously via `Compact()` (tests, and
 /// the write path when `compact_threshold` is crossed with no pool) or
-/// detached on the shared ThreadPool. Crash-safe publication order:
+/// detached on the shared ThreadPool. Either way it is phased so queries
+/// (which take mu_ briefly in Current()) and writers are never blocked
+/// behind the fold: the delta is pinned under the mutex, the serialize +
+/// fsync'd writes run unlocked against the immutable materialized
+/// version, and the mutex is re-taken only for the cheap renames — the
+/// swap is abandoned and refolded if a writer advanced the delta
+/// meanwhile (delta generation check). Crash-safe publication order:
 ///
-///   1. write journal.next  — tail records, bound to the *new* version
-///   2. rename base.snap    — the new base becomes durable
+///   1. write journal.next  — tail records, bound to the *new* version,
+///      fsync'd (the base image lands durably at base.snap.tmp too,
+///      unpublished until step 2)
+///   2. rename base.snap    — the new base becomes durable (fsync'd
+///      rename via RenameDurably)
 ///   3. rename journal.next → journal
 ///
 /// Recovery (`Open`) inverts it: a journal whose base_version matches
@@ -98,7 +114,9 @@ class LiveGraph : public std::enable_shared_from_this<LiveGraph> {
   /// Validates and applies one mutation, journalling the resolved record
   /// before acknowledging. `resolved`, when non-null, receives the
   /// record with auto names filled in (the `!mutate` OK line echoes it).
-  /// May trigger compaction per LiveGraphOptions.
+  /// May trigger compaction per LiveGraphOptions. Fails without applying
+  /// once the journal is poisoned (failed append or lost swap — see file
+  /// header); the graph is then read-only until reopened.
   Status Mutate(const DeltaRecord& rec, DeltaRecord* resolved = nullptr);
 
   /// The current published version. Readers hold the shared_ptr for as
@@ -124,8 +142,16 @@ class LiveGraph : public std::enable_shared_from_this<LiveGraph> {
 
   std::shared_ptr<const PropertyGraph> EnsureCurrentLocked()
       PA_REQUIRES(mu_);
-  Status CompactLocked() PA_REQUIRES(mu_);
-  void MaybeScheduleCompactionLocked() PA_REQUIRES(mu_);
+  /// The phased fold described in the file header. Takes mu_ itself (in
+  /// two short critical sections); must be called unlocked.
+  Status CompactImpl() PA_EXCLUDES(mu_);
+  /// Returns true when the caller should run CompactImpl inline after
+  /// releasing mu_ (threshold crossed, no background pool); schedules
+  /// the detached variant itself otherwise.
+  bool MaybeScheduleCompactionLocked() PA_REQUIRES(mu_);
+  /// Rebuilds state_ without its most recent record (deterministic
+  /// replay of the surviving prefix) after a failed journal append.
+  void RollbackLastRecordLocked() PA_REQUIRES(mu_);
 
   const LiveGraphOptions options_;
 
@@ -139,6 +165,13 @@ class LiveGraph : public std::enable_shared_from_this<LiveGraph> {
   std::shared_ptr<const PropertyGraph> current_ PA_GUARDED_BY(mu_);
   /// Version id of current_; 0 = not yet computed for this version.
   uint64_t version_id_ PA_GUARDED_BY(mu_) = 0;
+  /// Bumped on every applied mutation; compaction pins it under the
+  /// mutex before folding unlocked and abandons the swap on mismatch.
+  uint64_t delta_generation_ PA_GUARDED_BY(mu_) = 0;
+  /// True after a failed journal append or a failed journal swap: disk
+  /// can no longer track acknowledgements, so writes are refused (the
+  /// graph stays readable; reopening recovers the durable prefix).
+  bool journal_failed_ PA_GUARDED_BY(mu_) = false;
   bool compaction_in_flight_ PA_GUARDED_BY(mu_) = false;
   LiveGraphCounters counters_ PA_GUARDED_BY(mu_);
 };

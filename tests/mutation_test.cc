@@ -106,6 +106,11 @@ TEST(MutationGrammar, FormatParseRoundTrip) {
       "add-edge a b",
       "rm-node n1",
       "rm-edge e2",
+      // Names containing '=' must re-emit through the name= form, or the
+      // re-parse reads them as properties.
+      "add-node name=a=b label=x",
+      "add-edge n1 n2 name=w=1",
+      "rm-node a=b",
   };
   for (const std::string& text : cases) {
     DeltaRecord rec = MustParse(text);
